@@ -1,0 +1,90 @@
+/// Ablation bench (beyond the paper's figures): isolates the design
+/// choices DESIGN.md calls out — bounded look-ahead depth, the top-10%
+/// candidate filter, locality-conscious processor selection, and
+/// backfilling — on communication-heavy synthetic graphs.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedule/event_sim.hpp"
+#include "schedulers/loc_mps.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace locmps;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  LocMPSOptions opt;
+};
+
+}  // namespace
+
+int main() {
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.amax = 64.0;
+  p.sigma = 1.0;
+  const std::size_t P = bench::full_scale() ? 32 : 16;
+  p.max_procs = P;
+  const std::size_t n_graphs = std::min<std::size_t>(bench::suite_size(), 8);
+  const auto graphs = make_synthetic_suite(p, n_graphs, 20060904);
+  const Cluster cluster(P, p.bandwidth_Bps);
+  const CommModel comm(cluster);
+
+  std::vector<Variant> variants;
+  auto add = [&](std::string name, auto&& mutate) {
+    LocMPSOptions opt;
+    mutate(opt);
+    variants.push_back({std::move(name), opt});
+  };
+  add("baseline (depth=20, top10%, locality, backfill)", [](auto&) {});
+  add("look-ahead depth 1 (greedy)",
+      [](auto& o) { o.look_ahead_depth = 1; });
+  add("look-ahead depth 5", [](auto& o) { o.look_ahead_depth = 5; });
+  add("look-ahead depth 40", [](auto& o) { o.look_ahead_depth = 40; });
+  add("greedy candidate (top 0%, max gain only)",
+      [](auto& o) { o.candidate_top_fraction = 0.0; });
+  add("candidate pool 50%",
+      [](auto& o) { o.candidate_top_fraction = 0.5; });
+  add("no locality in LoCBS",
+      [](auto& o) { o.locbs.locality = false; });
+  add("no backfill in LoCBS",
+      [](auto& o) { o.locbs.backfill = false; });
+  add("marks bind first step only (paper text)",
+      [](auto& o) { o.marks_bind_lookahead = false; });
+
+  std::cout << "Ablation of LoC-MPS design choices (" << n_graphs
+            << " synthetic graphs, CCR=1, P=" << P << ")\n";
+  std::cout << "mean relative makespan: baseline / variant "
+               "(< 1: variant worse)\n\n";
+  Table t({"variant", "rel.makespan", "mean sched(s)"});
+
+  std::vector<double> base_makespans;
+  for (const auto& v : variants) {
+    const LocMPSScheduler sched(v.opt);
+    std::vector<double> rel;
+    std::vector<double> times;
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      Stopwatch sw;
+      const SchedulerResult r = sched.schedule(graphs[gi], cluster);
+      times.push_back(sw.seconds());
+      const double mk =
+          simulate_execution(graphs[gi], r.schedule, comm).makespan;
+      if (v.name.rfind("baseline", 0) == 0) {
+        base_makespans.push_back(mk);
+        rel.push_back(1.0);
+      } else {
+        rel.push_back(base_makespans[gi] / mk);
+      }
+    }
+    t.add_row({v.name, fmt(mean(rel), 3), fmt(mean(times), 3)});
+  }
+  t.print(std::cout);
+  t.maybe_write_csv("abl_design_choices.csv");
+  return 0;
+}

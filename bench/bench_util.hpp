@@ -1,0 +1,52 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared plumbing for the figure-reproduction harness.
+///
+/// Every fig* binary prints the series of one paper figure. Default sizes
+/// are chosen to finish in minutes on a laptop; set LOCMPS_FULL=1 to run
+/// the paper's full scale (30 graphs, up to 128 processors). Individual
+/// knobs: LOCMPS_GRAPHS (suite size), LOCMPS_MAXP (largest processor
+/// count), LOCMPS_CSV=1 (mirror each table to a CSV file next to the
+/// binary).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace locmps::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("LOCMPS_FULL");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  const long v = std::atol(env);
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+/// Number of random graphs per configuration (paper: 30).
+inline std::size_t suite_size() {
+  return env_size("LOCMPS_GRAPHS", full_scale() ? 30 : 6);
+}
+
+/// Processor-count sweep (paper: up to 128). The sweep must reach the
+/// task-scalability limit (Amax <= 64) for the figures to show the paper's
+/// DATA crossover, so even the quick pass goes to 128.
+inline std::vector<std::size_t> proc_sweep() {
+  const std::size_t maxp = env_size("LOCMPS_MAXP", 128);
+  std::vector<std::size_t> ps;
+  for (std::size_t p = 4; p <= maxp; p *= 2) ps.push_back(p);
+  return ps;
+}
+
+inline void banner(const std::string& what) {
+  std::cout << "\n=== " << what << " ===\n";
+  std::cout << "(relative performance = makespan(LoC-MPS) / makespan(scheme);"
+               " < 1 means worse than LoC-MPS)\n";
+}
+
+}  // namespace locmps::bench

@@ -1,0 +1,40 @@
+/// Extension bench: the full baseline family. The paper cites that CPR
+/// and CPA were shown superior to the older two-step schemes (TSAS, ref
+/// [3]) and layer-based scheduling (TwoL, ref [7]) and therefore compares
+/// only against them; this bench closes the loop by running the whole
+/// lineage on the same workloads.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace locmps;
+
+int main() {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.amax = 64.0;
+  p.sigma = 1.0;
+  const std::vector<std::size_t> procs{4, 8, 16, 32};
+  p.max_procs = procs.back();
+  const std::size_t n_graphs = std::min<std::size_t>(bench::suite_size(), 8);
+  const auto graphs = make_synthetic_suite(p, n_graphs, 20060907);
+
+  const std::vector<std::string> schemes{
+      "loc-mps", "cpr", "cpa", "tsas", "twol", "task", "data"};
+  std::cout << "Extension: the full baseline lineage (" << n_graphs
+            << " synthetic graphs, CCR=0.5, Amax=64, sigma=1)\n";
+  bench::banner("relative performance of every generation of schemes");
+  const Comparison c =
+      compare_schemes(graphs, schemes, procs, p.bandwidth_Bps);
+  Table t = relative_performance_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv("ext_all_baselines.csv");
+
+  std::cout << "\nmean scheduling time (seconds):\n";
+  Table times = scheduling_time_table(c);
+  times.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// Extension bench: DAG-shape sensitivity. The paper evaluates random
+/// TGFF-style graphs; here the canonical structured families (fork-join,
+/// pipeline, dense layers, series-parallel) isolate how the schemes react
+/// to structure. Pipelines have no task parallelism (DATA-like schedules
+/// win); dense layers maximize redistribution pressure (locality wins);
+/// fork-join sits in between.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/structured.hpp"
+
+using namespace locmps;
+
+namespace {
+
+void family(const char* name, std::vector<TaskGraph> graphs,
+            const std::vector<std::string>& schemes, Table& t,
+            std::size_t P) {
+  const Cluster cluster(P, kFastEthernetBytesPerSec);
+  std::vector<double> sums(schemes.size(), 0.0);
+  for (const TaskGraph& g : graphs)
+    for (std::size_t si = 0; si < schemes.size(); ++si)
+      sums[si] += evaluate_scheme(schemes[si], g, cluster).makespan;
+  std::vector<std::string> row{name};
+  for (std::size_t si = 0; si < schemes.size(); ++si)
+    row.push_back(fmt(sums[0] / sums[si], 3));
+  t.add_row(std::move(row));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t P = 16;
+  StructuredParams p;
+  p.max_procs = P;
+  p.ccr = 0.5;
+  const std::vector<std::string> schemes{"loc-mps", "icaslb", "cpr",
+                                         "cpa",     "task",   "data"};
+  std::cout << "Extension: DAG-shape sensitivity (P=" << P
+            << ", CCR=0.5, Amax=64)\n"
+            << "relative performance per family "
+               "(makespan(loc-mps)/makespan(scheme))\n\n";
+
+  std::vector<std::string> header{"family"};
+  for (const auto& s : schemes) header.push_back(s);
+  Table t(header);
+
+  Rng rng(20060906);
+  auto suite = [&](auto&& make) {
+    std::vector<TaskGraph> graphs;
+    for (int i = 0; i < 4; ++i) {
+      Rng child = rng.split(i + 1);
+      graphs.push_back(make(child));
+    }
+    return graphs;
+  };
+
+  family("fork-join 4x6",
+         suite([&](Rng& r) { return make_fork_join(4, 6, p, r); }), schemes,
+         t, P);
+  family("pipeline 24",
+         suite([&](Rng& r) { return make_pipeline(24, p, r); }), schemes, t,
+         P);
+  family("layered 5x5",
+         suite([&](Rng& r) { return make_layered(5, 5, p, r); }), schemes, t,
+         P);
+  family("series-parallel 28",
+         suite([&](Rng& r) { return make_series_parallel(28, p, r); }),
+         schemes, t, P);
+
+  t.print(std::cout);
+  t.maybe_write_csv("ext_dag_shapes.csv");
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// Figure 4: relative performance of the scheduling schemes on synthetic
+/// graphs with CCR = 0, for (a) Amax = 64, sigma = 1 and
+/// (b) Amax = 48, sigma = 2 (Section IV-A).
+///
+/// Expected shape: LoC-MPS and iCASLB coincide (communication is free);
+/// CPR/CPA/TASK fall behind as P grows; DATA is competitive for highly
+/// scalable tasks (panel a) and degrades for poorly scaling ones (panel b).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace locmps;
+
+namespace {
+
+void panel(const char* title, double amax, double sigma) {
+  SyntheticParams p;
+  p.ccr = 0.0;
+  p.amax = amax;
+  p.sigma = sigma;
+  const auto procs = bench::proc_sweep();
+  p.max_procs = procs.back();
+  const auto graphs = make_synthetic_suite(p, bench::suite_size(), 20060901);
+
+  bench::banner(std::string("Fig 4") + title + ": CCR=0, Amax=" +
+                fmt(amax, 0) + ", sigma=" + fmt(sigma, 0));
+  const Comparison c = compare_schemes(graphs, paper_schemes(), procs,
+                                       p.bandwidth_Bps);
+  Table t = relative_performance_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv(std::string("fig04") + title + ".csv");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Fig 4 (synthetic graphs, CCR=0): "
+            << bench::suite_size() << " graphs per configuration\n";
+  panel("a", 64.0, 1.0);
+  panel("b", 48.0, 2.0);
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// Figure 5: relative performance on synthetic graphs with Amax = 64,
+/// sigma = 1 as communication becomes significant: (a) CCR = 0.1 and
+/// (b) CCR = 1 (Section IV-A).
+///
+/// Expected shape: iCASLB deteriorates with CCR (it plans comm-blind);
+/// CPR and CPA also fall behind at CCR = 1 (no locality awareness); the
+/// relative standing of DATA improves with CCR (it pays no redistribution)
+/// but worsens again as P outgrows task scalability.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace locmps;
+
+namespace {
+
+void panel(const char* title, double ccr) {
+  SyntheticParams p;
+  p.ccr = ccr;
+  p.amax = 64.0;
+  p.sigma = 1.0;
+  const auto procs = bench::proc_sweep();
+  p.max_procs = procs.back();
+  const auto graphs = make_synthetic_suite(p, bench::suite_size(), 20060902);
+
+  bench::banner(std::string("Fig 5") + title + ": CCR=" + fmt(ccr, 1) +
+                ", Amax=64, sigma=1");
+  const Comparison c = compare_schemes(graphs, paper_schemes(), procs,
+                                       p.bandwidth_Bps);
+  Table t = relative_performance_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv(std::string("fig05") + title + ".csv");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Fig 5 (synthetic graphs, CCR > 0): "
+            << bench::suite_size() << " graphs per configuration\n";
+  panel("a", 0.1);
+  panel("b", 1.0);
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Figure 6: performance / scheduling-time tradeoff of LoC-MPS with and
+/// without backfilling, on synthetic graphs with CCR = 0.1, Amax = 48,
+/// sigma = 2 (Section IV-A).
+///
+/// Expected shape: the no-backfill variant schedules noticeably faster but
+/// produces makespans up to ~8% worse.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace locmps;
+
+int main() {
+  SyntheticParams p;
+  p.ccr = 0.1;
+  p.amax = 48.0;
+  p.sigma = 2.0;
+  const auto procs = bench::proc_sweep();
+  p.max_procs = procs.back();
+  const auto graphs = make_synthetic_suite(p, bench::suite_size(), 20060903);
+
+  std::cout << "Reproduction of Fig 6 (backfill vs no-backfill): "
+            << bench::suite_size()
+            << " graphs, CCR=0.1, Amax=48, sigma=2\n";
+  bench::banner("Fig 6a: schedule quality (ratio of makespans)");
+  const Comparison c = compare_schemes(graphs, {"loc-mps", "loc-mps-nbf"},
+                                       procs, p.bandwidth_Bps);
+  Table quality({"P", "with-backfill", "no-backfill"});
+  for (std::size_t pi = 0; pi < procs.size(); ++pi)
+    quality.add_row_numeric(std::to_string(procs[pi]),
+                            {c.relative[pi][0], c.relative[pi][1]});
+  quality.print(std::cout);
+  quality.maybe_write_csv("fig06a.csv");
+
+  std::cout << "\n--- Fig 6b: mean scheduling time (seconds) ---\n";
+  Table times({"P", "with-backfill", "no-backfill", "speedup"});
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    const double bf = c.sched_seconds[pi][0];
+    const double nbf = c.sched_seconds[pi][1];
+    times.add_row({std::to_string(procs[pi]), fmt(bf, 4), fmt(nbf, 4),
+                   fmt(nbf > 0 ? bf / nbf : 0.0, 1) + "x"});
+  }
+  times.print(std::cout);
+  times.maybe_write_csv("fig06b.csv");
+  return 0;
+}

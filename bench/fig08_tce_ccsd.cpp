@@ -1,0 +1,52 @@
+/// Figure 8: relative performance of the schemes on the TCE CCSD T1
+/// computation, (a) with full overlap of computation and communication and
+/// (b) with no overlap (Section IV-B).
+///
+/// Expected shape: DATA performs poorly (a few large tasks, many small
+/// non-scalable ones); LoC-MPS leads iCASLB/CPR/CPA, with the margin
+/// growing on the no-overlap platform where unhidden communication makes
+/// locality more valuable; DATA's *relative* standing improves without
+/// overlap because it does no communication at all.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/tce.hpp"
+
+using namespace locmps;
+
+namespace {
+
+/// 2 Gbps Myrinet-like interconnect of the paper's application testbed.
+constexpr double kMyrinetBps = 2e9 / 8.0;
+
+void panel(const char* title, bool overlap) {
+  const auto procs = bench::proc_sweep();
+  TCEParams tp;
+  tp.max_procs = procs.back();
+  const TaskGraph g = make_ccsd_t1(tp);
+  const std::vector<TaskGraph> graphs{g};
+
+  bench::banner(std::string("Fig 8") + title + ": CCSD T1, " +
+                (overlap ? "overlap" : "no overlap") +
+                " of computation and communication");
+  const Comparison c =
+      compare_schemes(graphs, paper_schemes(), procs, kMyrinetBps, overlap);
+  Table t = relative_performance_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv(std::string("fig08") + title + ".csv");
+}
+
+}  // namespace
+
+int main() {
+  TCEParams tp;
+  std::cout << "Reproduction of Fig 8 (TCE CCSD T1, o=" << tp.occupied
+            << ", v=" << tp.virt << ")\n";
+  panel("a", true);
+  panel("b", false);
+  return 0;
+}

@@ -1,0 +1,46 @@
+/// Figure 9: relative performance of the schemes on Strassen matrix
+/// multiplication for (a) 1024x1024 and (b) 4096x4096 matrices
+/// (Section IV-B).
+///
+/// Expected shape: at 1024 the blocks scale poorly and DATA trails badly;
+/// growing the problem 16x improves task scalability and with it DATA's
+/// relative standing. LoC-MPS leads CPR/CPA/TASK throughout.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/strassen.hpp"
+
+using namespace locmps;
+
+namespace {
+
+constexpr double kMyrinetBps = 2e9 / 8.0;
+
+void panel(const char* title, std::size_t n) {
+  const auto procs = bench::proc_sweep();
+  StrassenParams sp;
+  sp.n = n;
+  sp.max_procs = procs.back();
+  const std::vector<TaskGraph> graphs{make_strassen(sp)};
+
+  bench::banner(std::string("Fig 9") + title + ": Strassen " +
+                std::to_string(n) + "x" + std::to_string(n));
+  const Comparison c =
+      compare_schemes(graphs, paper_schemes(), procs, kMyrinetBps);
+  Table t = relative_performance_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv(std::string("fig09") + title + ".csv");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Fig 9 (Strassen matrix multiplication)\n";
+  panel("a", 1024);
+  panel("b", 4096);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Figure 10: scheduling times of the schemes for (a) the CCSD T1
+/// computation and (b) Strassen matrix multiplication (Section IV-B).
+///
+/// Expected shape: LoC-MPS is the most expensive scheme and CPA the
+/// cheapest, but LoC-MPS's planning time stays orders of magnitude below
+/// the application makespans it improves.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/strassen.hpp"
+#include "workloads/tce.hpp"
+
+using namespace locmps;
+
+namespace {
+
+constexpr double kMyrinetBps = 2e9 / 8.0;
+
+void panel(const char* name, const TaskGraph& g, const char* csv) {
+  const auto procs = bench::proc_sweep();
+  const std::vector<TaskGraph> graphs{g};
+  const Comparison c =
+      compare_schemes(graphs, paper_schemes(), procs, kMyrinetBps);
+
+  std::cout << "\n=== Fig 10" << name << ": scheduling time (seconds) ===\n";
+  Table t = scheduling_time_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv(csv);
+
+  // The paper's observation: planning cost vs application makespan.
+  std::cout << "\nLoC-MPS planning time vs resulting makespan:\n";
+  Table ratio({"P", "sched(s)", "makespan(s)", "ratio"});
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    const double st = c.sched_seconds[pi][0];
+    const double mk = c.makespan[pi][0];
+    ratio.add_row({std::to_string(procs[pi]), fmt(st, 4), fmt(mk, 2),
+                   fmt(mk > 0 ? st / mk : 0.0, 4)});
+  }
+  ratio.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Reproduction of Fig 10 (scheduling times)\n";
+  const auto procs = bench::proc_sweep();
+  // A production-size problem instance (o=48, v=192): the paper's point is
+  // that planning time stays orders of magnitude below the application
+  // makespan, which requires the application not to be toy-sized.
+  TCEParams tp;
+  tp.occupied = 48;
+  tp.virt = 192;
+  tp.max_procs = procs.back();
+  StrassenParams sp;
+  sp.n = 4096;
+  sp.max_procs = procs.back();
+  panel("a (CCSD T1)", make_ccsd_t1(tp), "fig10a.csv");
+  panel("b (Strassen 4096)", make_strassen(sp), "fig10b.csv");
+  return 0;
+}

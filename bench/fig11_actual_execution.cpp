@@ -1,0 +1,60 @@
+/// Figure 11: "actual execution" of the CCSD T1 computation.
+///
+/// The paper validates its simulation by running the schedules on a real
+/// Itanium-2/Myrinet cluster. Our substitute (documented in DESIGN.md) is
+/// the discrete-event executor with the strict platform model turned on:
+/// single-port transfers plus multiplicative runtime-estimate noise,
+/// averaged over several noise seeds. The check is that the *ranking*
+/// of the schemes survives execution-time perturbation.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "util/stats.hpp"
+#include "workloads/tce.hpp"
+
+using namespace locmps;
+
+int main() {
+  constexpr double kMyrinetBps = 2e9 / 8.0;
+  const auto procs = bench::proc_sweep();
+  TCEParams tp;
+  tp.max_procs = procs.back();
+  const TaskGraph g = make_ccsd_t1(tp);
+  const auto schemes = paper_schemes();
+  const int reps = 5;
+
+  std::cout << "Reproduction of Fig 11 (actual execution of CCSD T1):\n"
+            << "single-port transfers, +/-15% runtime noise, " << reps
+            << " runs per point\n";
+  bench::banner("Fig 11: relative performance under actual execution");
+
+  std::vector<std::string> header{"P"};
+  for (const auto& s : schemes) header.push_back(s);
+  Table t(header);
+  for (const std::size_t P : procs) {
+    const Cluster cluster(P, kMyrinetBps);
+    std::vector<double> mean_makespan(schemes.size(), 0.0);
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      std::vector<double> runs;
+      for (int rep = 0; rep < reps; ++rep) {
+        SimOptions sim;
+        sim.single_port = true;
+        sim.runtime_noise = 0.15;
+        sim.seed = 1000 + static_cast<std::uint64_t>(rep);
+        runs.push_back(
+            evaluate_scheme(schemes[si], g, cluster, sim).makespan);
+      }
+      mean_makespan[si] = mean(runs);
+    }
+    std::vector<double> rel(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si)
+      rel[si] = mean_makespan[0] / mean_makespan[si];
+    t.add_row_numeric(std::to_string(P), rel);
+  }
+  t.print(std::cout);
+  t.maybe_write_csv("fig11.csv");
+  return 0;
+}

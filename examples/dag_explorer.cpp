@@ -1,0 +1,78 @@
+/// DAG explorer: generate any of the library's workloads, print its
+/// structural statistics, and export it as Graphviz DOT and in the locmps
+/// text format (Fig 7 of the paper shows exactly these DAGs).
+///
+///   $ ./dag_explorer tce            # CCSD T1 (writes tce.dot / tce.tg)
+///   $ ./dag_explorer strassen 4096 2
+///   $ ./dag_explorer synthetic 42   # one random TGFF-style graph
+///
+/// DOT files render with: dot -Tpng tce.dot -o tce.png
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/locmps.hpp"
+
+using namespace locmps;
+
+namespace {
+
+void describe(const TaskGraph& g, const std::string& name) {
+  std::cout << name << ": " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " edges\n";
+  std::cout << "  sources: " << g.sources().size()
+            << ", sinks: " << g.sinks().size() << "\n";
+  std::cout << "  sequential work: " << fmt(g.total_serial_work(), 2)
+            << " s\n";
+  double volume = 0.0;
+  for (std::size_t e = 0; e < g.num_edges(); ++e)
+    volume += g.edge(static_cast<EdgeId>(e)).volume_bytes;
+  std::cout << "  total data on edges: " << fmt(volume / 1e6, 1) << " MB\n";
+
+  const ConcurrencyAnalysis conc(g);
+  double max_cr = 0.0;
+  for (TaskId t : g.task_ids()) max_cr = std::max(max_cr, conc.ratio(t));
+  std::cout << "  max concurrency ratio: " << fmt(max_cr, 2) << "\n";
+
+  const Levels lv = compute_levels(
+      g, [&](TaskId t) { return g.task(t).profile.serial_time(); },
+      [](EdgeId) { return 0.0; });
+  std::cout << "  serial critical path: "
+            << fmt(lv.critical_path_length(), 2) << " s (parallelism "
+            << fmt(g.total_serial_work() / lv.critical_path_length(), 2)
+            << "x)\n";
+
+  std::ofstream dot(name + ".dot");
+  dot << to_dot(g, name);
+  std::ofstream tg(name + ".tg");
+  write_text(tg, g);
+  std::cout << "  wrote " << name << ".dot and " << name << ".tg\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kind = argc > 1 ? argv[1] : "tce";
+  if (kind == "tce") {
+    TCEParams p;
+    if (argc > 2) p.occupied = std::atoi(argv[2]);
+    if (argc > 3) p.virt = std::atoi(argv[3]);
+    describe(make_ccsd_t1(p), "tce");
+  } else if (kind == "strassen") {
+    StrassenParams p;
+    if (argc > 2) p.n = std::atol(argv[2]);
+    if (argc > 3) p.levels = std::atoi(argv[3]);
+    describe(make_strassen(p), "strassen");
+  } else if (kind == "synthetic") {
+    SyntheticParams p;
+    p.ccr = 0.5;
+    Rng rng(argc > 2 ? std::atol(argv[2]) : 1);
+    describe(make_synthetic_dag(p, rng), "synthetic");
+  } else {
+    std::cerr << "usage: dag_explorer [tce|strassen|synthetic] [args...]\n";
+    return 1;
+  }
+  return 0;
+}

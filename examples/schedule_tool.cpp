@@ -1,0 +1,140 @@
+/// schedule_tool: command-line front end to the library — load (or
+/// generate) a task graph, schedule it with any registered scheme, and
+/// inspect the result.
+///
+///   $ ./schedule_tool --graph workflow.tg --scheme loc-mps --procs 32
+///   $ ./schedule_tool --workload tce --scheme cpa --procs 16 --no-overlap
+///   $ ./schedule_tool --workload strassen --procs 64 --gantt --metrics
+///
+/// Options:
+///   --graph FILE      load a task graph in the locmps text format
+///   --workload NAME   or generate one: tce | tce2 | strassen | synthetic
+///   --scheme NAME     scheduling scheme (default loc-mps); "all" compares
+///   --procs P         cluster size (default 16)
+///   --bandwidth MBps  link bandwidth in MB/s (default 12.5 = 100 Mbps)
+///   --no-overlap      platform cannot overlap compute and communication
+///   --seed S          seed for synthetic generation (default 1)
+///   --gantt           render the ASCII Gantt chart
+///   --metrics         print schedule diagnostics
+///   --trace FILE      export the schedule as Chrome-trace JSON
+///   --coarsen         merge linear chains before scheduling
+///   --save FILE       write the generated graph in text format
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/locmps.hpp"
+
+using namespace locmps;
+
+namespace {
+
+[[noreturn]] void usage(const char* why) {
+  std::cerr << "schedule_tool: " << why
+            << "\nsee the header of examples/schedule_tool.cpp for usage\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_file, workload, scheme = "loc-mps", save_file;
+  std::string trace_file;
+  std::size_t procs = 16;
+  double bandwidth = kFastEthernetBytesPerSec;
+  bool overlap = true, gantt = false, metrics = false, coarsen = false;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--graph") graph_file = next();
+    else if (a == "--workload") workload = next();
+    else if (a == "--scheme") scheme = next();
+    else if (a == "--procs") procs = std::stoul(next());
+    else if (a == "--bandwidth") bandwidth = std::stod(next()) * 1e6;
+    else if (a == "--no-overlap") overlap = false;
+    else if (a == "--seed") seed = std::stoull(next());
+    else if (a == "--gantt") gantt = true;
+    else if (a == "--metrics") metrics = true;
+    else if (a == "--trace") trace_file = next();
+    else if (a == "--coarsen") coarsen = true;
+    else if (a == "--save") save_file = next();
+    else usage(("unknown option " + a).c_str());
+  }
+  if (graph_file.empty() && workload.empty()) workload = "synthetic";
+
+  // --- Obtain the task graph. ---------------------------------------------
+  TaskGraph g;
+  if (!graph_file.empty()) {
+    std::ifstream in(graph_file);
+    if (!in) usage(("cannot open " + graph_file).c_str());
+    g = read_text(in);
+  } else if (workload == "tce") {
+    TCEParams p;
+    p.max_procs = procs;
+    g = make_ccsd_t1(p);
+  } else if (workload == "tce2") {
+    TCEParams p;
+    p.max_procs = procs;
+    g = make_ccsd_t2(p);
+  } else if (workload == "strassen") {
+    StrassenParams p;
+    p.max_procs = procs;
+    g = make_strassen(p);
+  } else if (workload == "synthetic") {
+    SyntheticParams p;
+    p.ccr = 0.5;
+    p.max_procs = procs;
+    Rng rng(seed);
+    g = make_synthetic_dag(p, rng);
+  } else {
+    usage(("unknown workload " + workload).c_str());
+  }
+  if (coarsen) {
+    const Coarsening c = coarsen_chains(g);
+    std::cout << "coarsened " << g.num_tasks() << " tasks into "
+              << c.graph.num_tasks() << " composites\n";
+    g = c.graph;
+  }
+  if (!save_file.empty()) {
+    std::ofstream out(save_file);
+    write_text(out, g);
+    std::cout << "wrote " << save_file << "\n";
+  }
+
+  const Cluster cluster(procs, bandwidth, overlap);
+  const CommModel comm(cluster);
+  std::cout << "graph: " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " edges; cluster: P=" << procs << ", "
+            << fmt(bandwidth / 1e6, 1) << " MB/s, "
+            << (overlap ? "overlap" : "no overlap") << "\n\n";
+
+  // --- Schedule. ------------------------------------------------------------
+  const std::vector<std::string> schemes =
+      scheme == "all" ? paper_schemes() : std::vector<std::string>{scheme};
+  for (const auto& s : schemes) {
+    const SchemeRun run = evaluate_scheme(s, g, cluster);
+    std::cout << run.scheme << ": makespan " << fmt(run.makespan, 4)
+              << " s (planned in " << fmt(run.scheduling_seconds * 1e3, 2)
+              << " ms)\n";
+    const std::string diag = run.schedule.validate(g, comm);
+    if (!diag.empty()) std::cout << "  VALIDATION FAILED: " << diag << "\n";
+    if (metrics)
+      std::cout << to_string(compute_metrics(g, run.schedule, comm));
+    if (gantt) std::cout << render_gantt(g, run.schedule);
+    if (!trace_file.empty()) {
+      std::ofstream tr(schemes.size() > 1 ? s + "_" + trace_file
+                                          : trace_file);
+      write_chrome_trace(tr, g, run.schedule);
+      std::cout << "  trace written\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

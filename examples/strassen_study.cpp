@@ -1,0 +1,57 @@
+/// Strassen study: how problem size and recursion depth change the best
+/// mix of task and data parallelism (the paper's second application,
+/// Fig 7b / Fig 9).
+///
+///   $ ./strassen_study [N] [levels] [P]
+///
+/// Defaults: N=1024, levels=1, P=16. Sweeps the schemes over the matrix
+/// size, then shows a two-level recursive decomposition.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/locmps.hpp"
+
+using namespace locmps;
+
+namespace {
+
+constexpr double kMyrinetBps = 2e9 / 8.0;
+
+void study(std::size_t n, std::size_t levels, std::size_t P) {
+  StrassenParams sp;
+  sp.n = n;
+  sp.levels = levels;
+  sp.max_procs = P;
+  const TaskGraph g = make_strassen(sp);
+  const Cluster cluster(P, kMyrinetBps);
+  std::cout << "\nStrassen " << n << "x" << n << ", " << levels
+            << " level(s): " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " edges, P=" << P << "\n";
+  Table t({"scheme", "makespan(s)", "vs loc-mps"});
+  double ref = 0.0;
+  for (const auto& scheme : paper_schemes()) {
+    const SchemeRun run = evaluate_scheme(scheme, g, cluster);
+    if (scheme == std::string("loc-mps")) ref = run.makespan;
+    t.add_row({run.scheme, fmt(run.makespan, 3), fmt(ref / run.makespan, 3)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::atol(argv[1]) : 1024;
+  const std::size_t levels = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::size_t P = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  std::cout << "Mixed-parallel Strassen matrix multiplication\n";
+  study(n, levels, P);
+  // The paper's 16x problem-size comparison (Fig 9a vs 9b).
+  if (argc <= 1) {
+    study(4096, 1, P);
+    // Deeper recursion exposes more task parallelism from the same flops.
+    study(1024, 2, P);
+  }
+  return 0;
+}

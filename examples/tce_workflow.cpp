@@ -1,0 +1,64 @@
+/// TCE workflow study: schedule the CCSD T1 tensor-contraction DAG (the
+/// paper's first application, Fig 7a) and examine how LoC-MPS mixes task
+/// and data parallelism.
+///
+///   $ ./tce_workflow [occupied] [virtual] [P]
+///
+/// Defaults: o=32, v=128, P=32. Prints the DAG inventory, the per-scheme
+/// makespans on an overlap and a no-overlap platform, and LoC-MPS's
+/// allocation decisions (which contractions it widens, which stay narrow).
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/locmps.hpp"
+
+using namespace locmps;
+
+int main(int argc, char** argv) {
+  TCEParams tp;
+  if (argc > 1) tp.occupied = std::atoi(argv[1]);
+  if (argc > 2) tp.virt = std::atoi(argv[2]);
+  const std::size_t P = argc > 3 ? std::atoi(argv[3]) : 32;
+  tp.max_procs = P;
+
+  const TaskGraph g = make_ccsd_t1(tp);
+  std::cout << "CCSD T1 task graph (o=" << tp.occupied << ", v=" << tp.virt
+            << "): " << g.num_tasks() << " tasks, " << g.num_edges()
+            << " edges, " << fmt(g.total_serial_work(), 1)
+            << " s of sequential work\n\n";
+
+  std::cout << "Contraction inventory (serial time / speedup on " << P
+            << " procs):\n";
+  for (TaskId t : g.task_ids()) {
+    const auto& prof = g.task(t).profile;
+    std::cout << "  " << g.task(t).name << ": " << fmt(prof.serial_time(), 3)
+              << " s, S(" << P << ")=" << fmt(prof.speedup(P), 1)
+              << ", Pbest=" << prof.pbest() << "\n";
+  }
+
+  constexpr double kMyrinetBps = 2e9 / 8.0;
+  for (const bool overlap : {true, false}) {
+    const Cluster cluster(P, kMyrinetBps, overlap);
+    std::cout << "\n--- " << (overlap ? "overlap" : "no-overlap")
+              << " platform, P=" << P << " ---\n";
+    Table t({"scheme", "makespan(s)", "sched(s)", "utilization"});
+    for (const auto& scheme : paper_schemes()) {
+      const SchemeRun run = evaluate_scheme(scheme, g, cluster);
+      t.add_row({run.scheme, fmt(run.makespan, 3),
+                 fmt(run.scheduling_seconds, 4),
+                 fmt(100.0 * run.schedule.utilization(), 1) + "%"});
+    }
+    t.print(std::cout);
+  }
+
+  const Cluster cluster(P, kMyrinetBps);
+  const SchemeRun best = evaluate_scheme("loc-mps", g, cluster);
+  std::cout << "\nLoC-MPS allocation (tasks widened beyond 1 processor):\n";
+  for (TaskId t : g.task_ids())
+    if (best.allocation[t] > 1)
+      std::cout << "  " << g.task(t).name << " -> " << best.allocation[t]
+                << " procs\n";
+  std::cout << "\n" << render_gantt(g, best.schedule);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+/// \file cluster.hpp
+/// The execution platform model: a homogeneous compute cluster.
+///
+/// The paper assumes a homogeneous cluster of single-processor nodes with
+/// local disks, connected by a switched network; each node obeys a
+/// single-port communication model, and communication may or may not be
+/// overlappable with computation depending on the system (Section II).
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "cluster/processor_set.hpp"
+
+namespace locmps {
+
+/// Default link bandwidth used by the paper's synthetic experiments:
+/// 100 Mbps fast ethernet, expressed in bytes/second.
+inline constexpr double kFastEthernetBytesPerSec = 100e6 / 8.0;
+
+/// Homogeneous cluster of \c processors identical nodes.
+struct Cluster {
+  /// Number of processors P.
+  std::size_t processors = 1;
+
+  /// Per-link point-to-point bandwidth in bytes/second. The aggregate
+  /// bandwidth between two processor groups is
+  /// min(|src|, |dst|) * bandwidth (Section III-B).
+  double bandwidth_Bps = kFastEthernetBytesPerSec;
+
+  /// True when the platform can overlap computation with communication
+  /// (asynchronous transfers). False models systems where transfers involve
+  /// blocking I/O at the endpoints (Section II / Fig 8b).
+  bool overlap_comm_compute = true;
+
+  /// Per-redistribution startup latency in seconds (the alpha of an
+  /// alpha-beta model). The paper's model is pure bandwidth (0); a
+  /// non-zero value penalizes many small transfers.
+  double latency_s = 0.0;
+
+  Cluster() = default;
+  Cluster(std::size_t P, double bandwidth = kFastEthernetBytesPerSec,
+          bool overlap = true, double latency = 0.0)
+      : processors(P),
+        bandwidth_Bps(bandwidth),
+        overlap_comm_compute(overlap),
+        latency_s(latency) {
+    if (P == 0) throw std::invalid_argument("Cluster: P must be >= 1");
+    if (bandwidth <= 0)
+      throw std::invalid_argument("Cluster: bandwidth must be > 0");
+    if (latency < 0)
+      throw std::invalid_argument("Cluster: latency must be >= 0");
+  }
+
+  /// The full processor set of this cluster.
+  ProcessorSet all() const { return ProcessorSet::all(processors); }
+};
+
+}  // namespace locmps

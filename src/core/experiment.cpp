@@ -1,0 +1,140 @@
+#include "core/experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "schedulers/registry.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace locmps {
+
+namespace {
+
+/// Worker count: explicit argument, else LOCMPS_THREADS, else 1.
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("LOCMPS_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 1) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+/// Runs fn(0..count) across `threads` workers (inline when threads <= 1).
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  const std::size_t workers = std::min(threads, count);
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1))
+        fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace
+
+SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
+                          const Cluster& cluster, const SimOptions& sim) {
+  const SchedulerPtr sched = make_scheduler(scheme);
+  Stopwatch sw;
+  SchedulerResult planned = sched->schedule(g, cluster);
+  const double plan_time = sw.seconds();
+
+  const CommModel comm(cluster);
+  // Schemes that do not orchestrate locality transfer full volumes
+  // between differing layouts (the paper's evaluation model).
+  SimOptions run_sim = sim;
+  run_sim.locality_volumes = scheme_exploits_locality(scheme);
+  SimResult executed = simulate_execution(g, planned.schedule, comm, run_sim);
+
+  SchemeRun run;
+  run.scheme = scheme;
+  run.makespan = executed.makespan;
+  run.estimated = planned.estimated_makespan;
+  run.scheduling_seconds = plan_time;
+  run.iterations = planned.iterations;
+  run.allocation = std::move(planned.allocation);
+  run.schedule = std::move(executed.executed);
+  return run;
+}
+
+Comparison compare_schemes(std::span<const TaskGraph> graphs,
+                           const std::vector<std::string>& schemes,
+                           const std::vector<std::size_t>& procs,
+                           double bandwidth_Bps, bool overlap,
+                           const SimOptions& sim, std::size_t threads) {
+  Comparison c;
+  c.schemes = schemes;
+  c.procs = procs;
+  c.relative.assign(procs.size(),
+                    std::vector<double>(schemes.size(), 0.0));
+  c.makespan = c.relative;
+  c.sched_seconds = c.relative;
+  const std::size_t workers = resolve_threads(threads);
+
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    const Cluster cluster(procs[pi], bandwidth_Bps, overlap);
+    // One slot per (graph, scheme); workers write disjoint cells.
+    const std::size_t ns = schemes.size();
+    std::vector<double> ms(graphs.size() * ns, 0.0);
+    std::vector<double> st(graphs.size() * ns, 0.0);
+    parallel_for(graphs.size() * ns, workers, [&](std::size_t idx) {
+      const std::size_t gi = idx / ns;
+      const std::size_t si = idx % ns;
+      const SchemeRun run =
+          evaluate_scheme(schemes[si], graphs[gi], cluster, sim);
+      ms[idx] = run.makespan;
+      st[idx] = run.scheduling_seconds;
+    });
+    for (std::size_t si = 0; si < ns; ++si) {
+      std::vector<double> rel(graphs.size()), m(graphs.size()),
+          t(graphs.size());
+      for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+        rel[gi] = ms[gi * ns] / ms[gi * ns + si];
+        m[gi] = ms[gi * ns + si];
+        t[gi] = st[gi * ns + si];
+      }
+      c.relative[pi][si] = mean(rel);
+      c.makespan[pi][si] = mean(m);
+      c.sched_seconds[pi][si] = mean(t);
+    }
+  }
+  return c;
+}
+
+namespace {
+
+Table grid_table(const Comparison& c,
+                 const std::vector<std::vector<double>>& cells,
+                 int precision) {
+  std::vector<std::string> header{"P"};
+  for (const auto& s : c.schemes) header.push_back(s);
+  Table t(std::move(header));
+  for (std::size_t pi = 0; pi < c.procs.size(); ++pi)
+    t.add_row_numeric(std::to_string(c.procs[pi]), cells[pi], precision);
+  return t;
+}
+
+}  // namespace
+
+Table relative_performance_table(const Comparison& c) {
+  return grid_table(c, c.relative, 3);
+}
+
+Table scheduling_time_table(const Comparison& c) {
+  return grid_table(c, c.sched_seconds, 4);
+}
+
+}  // namespace locmps

@@ -1,0 +1,75 @@
+#pragma once
+/// \file experiment.hpp
+/// Evaluation harness reproducing the paper's methodology (Section IV).
+///
+/// Every scheme is evaluated the same way: the scheduler plans a schedule
+/// (its wall-clock planning time is the "scheduling time" of Figs 6b/10),
+/// then the plan is re-timed by the discrete-event executor under the real
+/// communication model. The figures report *relative performance*: the
+/// ratio of the reference scheme's makespan (LoC-MPS) to the given
+/// scheme's makespan — below 1.0 means worse than LoC-MPS.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "graph/task_graph.hpp"
+#include "schedule/event_sim.hpp"
+#include "schedulers/scheduler.hpp"
+#include "util/table.hpp"
+
+namespace locmps {
+
+/// One scheme evaluated on one graph/cluster instance.
+struct SchemeRun {
+  std::string scheme;
+  double makespan = 0.0;         ///< event-simulated (realized) makespan
+  double estimated = 0.0;        ///< the scheduler's own estimate
+  double scheduling_seconds = 0.0;  ///< wall-clock planning overhead
+  std::size_t iterations = 0;
+  Allocation allocation;
+  Schedule schedule;
+};
+
+/// Plans and executes \p scheme (a registry name) on \p g / \p cluster.
+SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
+                          const Cluster& cluster, const SimOptions& sim = {});
+
+/// Aggregated scheme x processor-count comparison over a graph suite.
+struct Comparison {
+  std::vector<std::string> schemes;  ///< schemes[0] is the reference
+  std::vector<std::size_t> procs;
+  /// relative[pi][si] = mean over graphs of
+  /// makespan(reference) / makespan(schemes[si]) at procs[pi].
+  std::vector<std::vector<double>> relative;
+  /// Mean realized makespans [pi][si] (seconds).
+  std::vector<std::vector<double>> makespan;
+  /// Mean scheduling times [pi][si] (seconds).
+  std::vector<std::vector<double>> sched_seconds;
+};
+
+/// Runs every scheme on every graph for every processor count.
+/// \p schemes[0] is the reference scheme of the relative-performance
+/// ratios. \p bandwidth_Bps and \p overlap configure the platform.
+///
+/// The (graph x scheme) grid is embarrassingly parallel; set the
+/// LOCMPS_THREADS environment variable (or pass \p threads > 1) to fan the
+/// runs out over worker threads. Results are deterministic regardless of
+/// the thread count; per-run scheduling-time measurements become noisier
+/// under oversubscription.
+Comparison compare_schemes(std::span<const TaskGraph> graphs,
+                           const std::vector<std::string>& schemes,
+                           const std::vector<std::size_t>& procs,
+                           double bandwidth_Bps, bool overlap = true,
+                           const SimOptions& sim = {},
+                           std::size_t threads = 0);
+
+/// Renders a Comparison's relative performance as a paper-style table
+/// (rows = processor counts, columns = schemes).
+Table relative_performance_table(const Comparison& c);
+
+/// Renders the mean scheduling times (seconds).
+Table scheduling_time_table(const Comparison& c);
+
+}  // namespace locmps

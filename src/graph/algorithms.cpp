@@ -1,0 +1,90 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+
+namespace locmps {
+
+std::vector<TaskId> topological_order(const TaskGraph& g) {
+  std::vector<std::size_t> indeg(g.num_tasks());
+  for (TaskId t : g.task_ids()) indeg[t] = g.in_degree(t);
+  std::vector<TaskId> stack;
+  for (TaskId t : g.task_ids())
+    if (indeg[t] == 0) stack.push_back(t);
+  std::vector<TaskId> order;
+  order.reserve(g.num_tasks());
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    order.push_back(t);
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId d = g.edge(e).dst;
+      if (--indeg[d] == 0) stack.push_back(d);
+    }
+  }
+  if (order.size() != g.num_tasks())
+    throw std::invalid_argument("topological_order: graph has a cycle");
+  return order;
+}
+
+namespace {
+
+/// Iterative DFS marking every vertex reachable from t via \p next.
+template <typename NextFn>
+std::vector<char> reach(const TaskGraph& g, TaskId t, NextFn&& next) {
+  std::vector<char> seen(g.num_tasks(), 0);
+  std::vector<TaskId> stack{t};
+  seen[t] = 1;
+  while (!stack.empty()) {
+    const TaskId u = stack.back();
+    stack.pop_back();
+    next(u, [&](TaskId v) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+      }
+    });
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<char> descendants(const TaskGraph& g, TaskId t) {
+  return reach(g, t, [&](TaskId u, auto&& visit) {
+    for (EdgeId e : g.out_edges(u)) visit(g.edge(e).dst);
+  });
+}
+
+std::vector<char> ancestors(const TaskGraph& g, TaskId t) {
+  return reach(g, t, [&](TaskId u, auto&& visit) {
+    for (EdgeId e : g.in_edges(u)) visit(g.edge(e).src);
+  });
+}
+
+std::vector<TaskId> concurrent_set(const TaskGraph& g, TaskId t) {
+  const auto desc = descendants(g, t);
+  const auto anc = ancestors(g, t);
+  std::vector<TaskId> out;
+  for (TaskId u : g.task_ids())
+    if (!desc[u] && !anc[u]) out.push_back(u);
+  return out;
+}
+
+ConcurrencyAnalysis::ConcurrencyAnalysis(const TaskGraph& g) {
+  ratio_.assign(g.num_tasks(), 0.0);
+  for (TaskId t : g.task_ids()) {
+    double work = 0.0;
+    for (TaskId u : concurrent_set(g, t))
+      work += g.task(u).profile.serial_time();
+    ratio_[t] = work / g.task(t).profile.serial_time();
+  }
+}
+
+double Levels::critical_path_length() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < top.size(); ++i)
+    best = std::max(best, top[i] + bottom[i]);
+  return best;
+}
+
+}  // namespace locmps

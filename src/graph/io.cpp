@@ -1,0 +1,86 @@
+#include "graph/io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace locmps {
+
+void write_text(std::ostream& os, const TaskGraph& g) {
+  os << "taskgraph v1\n";
+  os << "tasks " << g.num_tasks() << "\n";
+  os << std::setprecision(17);
+  for (TaskId t : g.task_ids()) {
+    const Task& task = g.task(t);
+    os << "task " << task.name << " " << task.profile.max_procs();
+    for (double v : task.profile.table()) os << " " << v;
+    os << "\n";
+  }
+  os << "edges " << g.num_edges() << "\n";
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    os << "edge " << edge.src << " " << edge.dst << " " << edge.volume_bytes
+       << "\n";
+  }
+}
+
+namespace {
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("read_text: " + what);
+}
+}  // namespace
+
+TaskGraph read_text(std::istream& is) {
+  std::string word, version;
+  if (!(is >> word >> version) || word != "taskgraph" || version != "v1")
+    bad("missing 'taskgraph v1' header");
+  std::size_t n = 0;
+  if (!(is >> word >> n) || word != "tasks") bad("missing 'tasks <N>'");
+  TaskGraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name;
+    std::size_t len = 0;
+    if (!(is >> word >> name >> len) || word != "task")
+      bad("malformed task line");
+    std::vector<double> times(len);
+    for (auto& v : times)
+      if (!(is >> v)) bad("truncated profile");
+    g.add_task(std::move(name), ExecutionProfile(std::move(times)));
+  }
+  std::size_t m = 0;
+  if (!(is >> word >> m) || word != "edges") bad("missing 'edges <M>'");
+  for (std::size_t i = 0; i < m; ++i) {
+    TaskId src = 0, dst = 0;
+    double vol = 0.0;
+    if (!(is >> word >> src >> dst >> vol) || word != "edge")
+      bad("malformed edge line");
+    g.add_edge(src, dst, vol);
+  }
+  const std::string diag = g.validate();
+  if (!diag.empty()) bad("invalid graph: " + diag);
+  return g;
+}
+
+std::string to_dot(const TaskGraph& g, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  os << std::fixed << std::setprecision(2);
+  for (TaskId t : g.task_ids()) {
+    os << "  t" << t << " [label=\"" << g.task(t).name << "\\n"
+       << g.task(t).profile.serial_time() << "s\"];\n";
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    os << "  t" << edge.src << " -> t" << edge.dst;
+    if (edge.volume_bytes > 0)
+      os << " [label=\"" << edge.volume_bytes / 1e6 << "MB\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace locmps

@@ -1,0 +1,32 @@
+#pragma once
+/// \file io.hpp
+/// Serialization of task graphs: a stable line-oriented text format (for
+/// saving/reloading workloads) and Graphviz DOT export (for inspecting the
+/// application DAGs of Fig 7).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace locmps {
+
+/// Writes \p g in the locmps text format (see read_text for the grammar).
+void write_text(std::ostream& os, const TaskGraph& g);
+
+/// Reads a graph from the locmps text format:
+/// \code
+///   taskgraph v1
+///   tasks <N>
+///   task <name-without-spaces> <profile-len> <t(1)> ... <t(len)>   # xN
+///   edges <M>
+///   edge <src-id> <dst-id> <volume-bytes>                          # xM
+/// \endcode
+/// Throws std::runtime_error on malformed input.
+TaskGraph read_text(std::istream& is);
+
+/// Graphviz DOT rendering. Vertex labels show name and uniprocessor time;
+/// edge labels show megabytes transferred.
+std::string to_dot(const TaskGraph& g, const std::string& graph_name = "G");
+
+}  // namespace locmps

@@ -1,0 +1,74 @@
+#include "graph/task_graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace locmps {
+
+TaskId TaskGraph::add_task(std::string name, ExecutionProfile profile) {
+  tasks_.push_back(Task{std::move(name), std::move(profile)});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, double volume_bytes) {
+  if (src >= num_tasks() || dst >= num_tasks())
+    throw std::out_of_range("TaskGraph::add_edge: endpoint out of range");
+  if (src == dst)
+    throw std::invalid_argument("TaskGraph::add_edge: self loop");
+  if (volume_bytes < 0.0)
+    throw std::invalid_argument("TaskGraph::add_edge: negative volume");
+  edges_.push_back(Edge{src, dst, volume_bytes});
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> v;
+  for (TaskId t : task_ids())
+    if (in_degree(t) == 0) v.push_back(t);
+  return v;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> v;
+  for (TaskId t : task_ids())
+    if (out_degree(t) == 0) v.push_back(t);
+  return v;
+}
+
+double TaskGraph::total_serial_work() const {
+  double w = 0.0;
+  for (const auto& t : tasks_) w += t.profile.serial_time();
+  return w;
+}
+
+std::string TaskGraph::validate() const {
+  if (tasks_.empty()) return "graph has no tasks";
+  // Kahn's algorithm; any leftover vertex proves a cycle.
+  std::vector<std::size_t> indeg(num_tasks());
+  for (TaskId t : task_ids()) indeg[t] = in_degree(t);
+  std::vector<TaskId> stack = sources();
+  std::size_t seen = 0;
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (EdgeId e : out_edges(t)) {
+      const TaskId d = edge(e).dst;
+      if (--indeg[d] == 0) stack.push_back(d);
+    }
+  }
+  if (seen != num_tasks()) {
+    std::ostringstream ss;
+    ss << "graph contains a cycle (" << num_tasks() - seen
+       << " vertices unreachable by topological elimination)";
+    return ss.str();
+  }
+  return {};
+}
+
+}  // namespace locmps

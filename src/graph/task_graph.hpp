@@ -1,0 +1,105 @@
+#pragma once
+/// \file task_graph.hpp
+/// The macro data-flow graph: a weighted DAG of parallel tasks.
+///
+/// Vertices are coarse-grained data-parallel tasks carrying an execution
+/// profile et(t, p); edges carry the volume of data (bytes) communicated
+/// between the incident tasks (Section II of the paper). The class is a
+/// plain container: all graph algorithms live in graph/algorithms.hpp.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "speedup/profile.hpp"
+
+namespace locmps {
+
+/// Dense 0-based task (vertex) identifier.
+using TaskId = std::uint32_t;
+/// Dense 0-based edge identifier.
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no task".
+inline constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+/// A parallel task (vertex).
+struct Task {
+  std::string name;           ///< human-readable label
+  ExecutionProfile profile;   ///< et(t, p) table
+};
+
+/// A data dependence (edge) with its communication volume in bytes.
+struct Edge {
+  TaskId src = kNoTask;
+  TaskId dst = kNoTask;
+  double volume_bytes = 0.0;
+};
+
+/// Weighted DAG of parallel tasks.
+///
+/// Construction is incremental (add_task / add_edge); acyclicity is not
+/// enforced per insertion — call validate() (or topological_order() from
+/// algorithms.hpp, which throws on cycles) after building.
+class TaskGraph {
+ public:
+  /// Adds a task and returns its id.
+  TaskId add_task(std::string name, ExecutionProfile profile);
+
+  /// Adds a dependence edge src -> dst carrying \p volume_bytes.
+  /// Throws if either endpoint is out of range, on self-loops, or on
+  /// negative volume. Parallel edges are permitted (their volumes simply
+  /// both apply); generators avoid them.
+  EdgeId add_edge(TaskId src, TaskId dst, double volume_bytes);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Task& task(TaskId t) const { return tasks_[t]; }
+  Task& task(TaskId t) { return tasks_[t]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Outgoing / incoming edge ids of a task.
+  std::span<const EdgeId> out_edges(TaskId t) const { return out_[t]; }
+  std::span<const EdgeId> in_edges(TaskId t) const { return in_[t]; }
+
+  std::size_t out_degree(TaskId t) const { return out_[t].size(); }
+  std::size_t in_degree(TaskId t) const { return in_[t].size(); }
+
+  /// Tasks with no predecessors / successors.
+  std::vector<TaskId> sources() const;
+  std::vector<TaskId> sinks() const;
+
+  /// Sum over all tasks of the uniprocessor time — the sequential work W.
+  double total_serial_work() const;
+
+  /// Checks structural invariants: ids consistent, no self loop, acyclic.
+  /// Returns an empty string when valid, otherwise a diagnostic.
+  std::string validate() const;
+
+  /// Convenience iteration over all task ids [0, num_tasks).
+  class IdRange {
+   public:
+    explicit IdRange(TaskId n) : n_(n) {}
+    struct It {
+      TaskId v;
+      TaskId operator*() const { return v; }
+      It& operator++() { ++v; return *this; }
+      bool operator!=(const It& o) const { return v != o.v; }
+    };
+    It begin() const { return {0}; }
+    It end() const { return {n_}; }
+   private:
+    TaskId n_;
+  };
+  IdRange task_ids() const { return IdRange(static_cast<TaskId>(num_tasks())); }
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace locmps

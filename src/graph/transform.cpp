@@ -1,0 +1,119 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace locmps {
+
+TaskGraph transitive_reduction(const TaskGraph& g) {
+  // An edge u->v is redundant iff v is reachable from u with the edge
+  // removed. Checking per candidate edge is O(E (V + E)) — fine at the
+  // graph sizes this library targets (hundreds of tasks).
+  const std::size_t m = g.num_edges();
+  std::vector<char> drop(m, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    if (ed.volume_bytes > 0.0) continue;  // data edges are real transfers
+    // DFS from src avoiding edge e.
+    std::vector<char> seen(g.num_tasks(), 0);
+    std::vector<TaskId> stack{ed.src};
+    seen[ed.src] = 1;
+    bool reachable = false;
+    while (!stack.empty() && !reachable) {
+      const TaskId u = stack.back();
+      stack.pop_back();
+      for (EdgeId f : g.out_edges(u)) {
+        if (f == e || drop[f]) continue;
+        const TaskId w = g.edge(f).dst;
+        if (w == ed.dst) {
+          reachable = true;
+          break;
+        }
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    if (reachable) drop[e] = 1;
+  }
+  TaskGraph out;
+  for (TaskId t : g.task_ids()) out.add_task(g.task(t).name, g.task(t).profile);
+  for (EdgeId e = 0; e < m; ++e)
+    if (!drop[e])
+      out.add_edge(g.edge(e).src, g.edge(e).dst, g.edge(e).volume_bytes);
+  return out;
+}
+
+Coarsening coarsen_chains(const TaskGraph& g) {
+  const std::size_t n = g.num_tasks();
+  // An edge u->v is contractible iff it is u's only out-edge and v's only
+  // in-edge. Follow contractible edges to form maximal chains.
+  auto contractible_next = [&](TaskId u) -> TaskId {
+    if (g.out_degree(u) != 1) return kNoTask;
+    const Edge& ed = g.edge(g.out_edges(u)[0]);
+    return g.in_degree(ed.dst) == 1 ? ed.dst : kNoTask;
+  };
+  std::vector<char> has_contractible_pred(n, 0);
+  for (TaskId u : g.task_ids())
+    if (const TaskId v = contractible_next(u); v != kNoTask)
+      has_contractible_pred[v] = 1;
+
+  Coarsening c;
+  c.member_of.assign(n, kNoTask);
+  for (TaskId head : topological_order(g)) {
+    if (has_contractible_pred[head]) continue;  // interior of some chain
+    std::vector<TaskId> chain{head};
+    for (TaskId v = contractible_next(head); v != kNoTask;
+         v = contractible_next(v))
+      chain.push_back(v);
+    // Composite profile: member-wise sum (sequential execution).
+    const std::size_t width = g.task(head).profile.max_procs();
+    std::vector<double> table(width, 0.0);
+    std::string name;
+    for (TaskId t : chain) {
+      for (std::size_t p = 1; p <= width; ++p)
+        table[p - 1] += g.task(t).profile.time(p);
+      if (!name.empty()) name += '+';
+      name += g.task(t).name;
+    }
+    const TaskId comp =
+        c.graph.add_task(std::move(name), ExecutionProfile(std::move(table)));
+    for (TaskId t : chain) c.member_of[t] = comp;
+    c.members.push_back(std::move(chain));
+  }
+  // Inter-composite edges (intra-chain edges collapse).
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const TaskId a = c.member_of[ed.src];
+    const TaskId b = c.member_of[ed.dst];
+    if (a != b) c.graph.add_edge(a, b, ed.volume_bytes);
+  }
+  return c;
+}
+
+Schedule expand_schedule(const Coarsening& c, const TaskGraph& original,
+                         const Schedule& coarse) {
+  if (!coarse.complete())
+    throw std::invalid_argument("expand_schedule: incomplete coarse schedule");
+  Schedule out(original.num_tasks(), coarse.num_procs());
+  for (TaskId comp = 0; comp < c.members.size(); ++comp) {
+    const Placement& pl = coarse.at(comp);
+    double clock = pl.start;
+    for (std::size_t i = 0; i < c.members[comp].size(); ++i) {
+      const TaskId t = c.members[comp][i];
+      const double et = original.task(t).profile.time(pl.np());
+      // The composite's first member inherits the busy_from (it covers the
+      // incoming redistribution window on no-overlap platforms).
+      const double busy = i == 0 ? pl.busy_from : clock;
+      out.place(t, busy, clock, clock + et, pl.procs);
+      clock += et;
+    }
+  }
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,51 @@
+#pragma once
+/// \file transform.hpp
+/// Task-graph transformations used as scheduler preprocessing:
+///
+///  * transitive reduction of pure-precedence edges — generators (and
+///    hand-written workflows) often carry redundant zero-volume edges that
+///    inflate the edge count without constraining anything;
+///  * linear-chain coarsening — a maximal chain of tasks with no other
+///    fan-in/fan-out can only ever execute sequentially, so it can be
+///    scheduled as one composite task (classic clustering); the composite
+///    runs its members back-to-back on the same processor set, which also
+///    internalizes the chain's communication. A coarse schedule expands
+///    back to a valid schedule of the original graph.
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps {
+
+/// Returns a copy of \p g without redundant *zero-volume* edges: an edge
+/// u -> v is dropped iff it carries no data and v is reachable from u
+/// through some other path (its precedence is implied). Edges with data
+/// are never dropped — in this model they denote real transfers.
+TaskGraph transitive_reduction(const TaskGraph& g);
+
+/// Result of linear-chain coarsening.
+struct Coarsening {
+  TaskGraph graph;  ///< the coarse DAG of composite tasks
+  /// member_of[original task] = composite task in `graph`.
+  std::vector<TaskId> member_of;
+  /// members[composite task] = original tasks in execution order.
+  std::vector<std::vector<TaskId>> members;
+};
+
+/// Merges every maximal linear chain (consecutive tasks where the edge
+/// u -> v satisfies out_degree(u) == 1 and in_degree(v) == 1) into one
+/// composite task whose profile is the member-wise sum et_c(p) =
+/// sum_i et_i(p). Edges between different composites are preserved with
+/// their volumes; intra-chain edges are internalized.
+Coarsening coarsen_chains(const TaskGraph& g);
+
+/// Expands a schedule of the coarse graph back to the original graph:
+/// each composite's members run back-to-back on the composite's processor
+/// set inside its window. The result is a complete, valid schedule of the
+/// original graph with the same makespan.
+Schedule expand_schedule(const Coarsening& c, const TaskGraph& original,
+                         const Schedule& coarse);
+
+}  // namespace locmps

@@ -1,0 +1,51 @@
+#include "network/block_cyclic.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace locmps {
+
+double remote_fraction(const std::vector<ProcId>& src,
+                       const std::vector<ProcId>& dst) {
+  const std::size_t s = src.size();
+  const std::size_t d = dst.size();
+  if (s == 0 || d == 0)
+    throw std::invalid_argument("remote_fraction: empty processor list");
+  // Block index i maps to src[i mod s] and dst[i mod d]. Over one period of
+  // L = lcm(s, d) blocks the pair (i mod s, i mod d) takes each compatible
+  // value exactly once (CRT): positions a in [0,s) and c in [0,d) co-occur
+  // iff a == c (mod gcd(s, d)). A block stays local iff the physical owners
+  // coincide, so:
+  //   local blocks per period = #{(a, c) : src[a] == dst[c], a == c mod g}.
+  // We bucket source positions by (residue mod g, physical proc) and count
+  // in O(s + d).
+  const std::size_t g = std::gcd(s, d);
+  const double L = static_cast<double>(s / g) * static_cast<double>(d);
+  // Because each list holds distinct processors, a physical processor q
+  // contributes at most one (a, c) position pair; sorted inputs make the
+  // shared processors a two-pointer merge. This sits on the scheduler's
+  // hole-scan hot path, so no allocation and no hashing.
+  std::size_t local = 0;
+  std::size_t a = 0, c = 0;
+  while (a < s && c < d) {
+    if (src[a] < dst[c]) {
+      ++a;
+    } else if (src[a] > dst[c]) {
+      ++c;
+    } else {
+      if (a % g == c % g) ++local;  // compatible positions co-occur (CRT)
+      ++a;
+      ++c;
+    }
+  }
+  return 1.0 - static_cast<double>(local) / L;
+}
+
+double remote_volume(double volume_bytes, const ProcessorSet& src,
+                     const ProcessorSet& dst) {
+  if (volume_bytes <= 0.0) return 0.0;
+  if (src == dst) return 0.0;
+  return volume_bytes * remote_fraction(src.to_vector(), dst.to_vector());
+}
+
+}  // namespace locmps

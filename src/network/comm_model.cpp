@@ -1,0 +1,3 @@
+// comm_model is header-only; this translation unit exists to give the
+// header a home in the library and to catch ODR/self-containment issues.
+#include "network/comm_model.hpp"

@@ -1,0 +1,43 @@
+#include "schedule/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace locmps {
+
+std::string render_gantt(const TaskGraph& g, const Schedule& s,
+                         std::size_t width) {
+  const double span = s.makespan();
+  std::ostringstream os;
+  if (span <= 0.0 || width == 0) return "(empty schedule)\n";
+  const double per_col = span / static_cast<double>(width);
+
+  std::vector<std::string> rows(s.num_procs(), std::string(width, '.'));
+  for (TaskId t = 0; t < s.num_tasks(); ++t) {
+    const Placement& p = s.at(t);
+    if (!p.scheduled()) continue;
+    auto col = [&](double x) {
+      return std::min(width - 1,
+                      static_cast<std::size_t>(x / per_col));
+    };
+    const std::size_t c0 = col(p.start);
+    const std::size_t c1 = std::max(c0, col(std::nextafter(p.finish, 0.0)));
+    const std::string& name = g.task(t).name;
+    p.procs.for_each([&](ProcId q) {
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const std::size_t k = c - c0;
+        rows[q][c] = k < name.size() ? name[k] : '=';
+      }
+    });
+  }
+  os << "time 0.." << std::fixed << std::setprecision(2) << span << "  ("
+     << per_col << "/col), utilization " << std::setprecision(1)
+     << 100.0 * s.utilization() << "%\n";
+  for (ProcId q = 0; q < rows.size(); ++q)
+    os << "P" << std::setw(3) << std::left << q << " |" << rows[q] << "|\n";
+  return os.str();
+}
+
+}  // namespace locmps

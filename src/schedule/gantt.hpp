@@ -1,0 +1,19 @@
+#pragma once
+/// \file gantt.hpp
+/// ASCII Gantt-chart rendering of a schedule (the 2-D time x processor
+/// chart of Section III-F), for examples and debugging.
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps {
+
+/// Renders \p s as an ASCII Gantt chart, one row per processor, \p width
+/// character columns spanning [0, makespan]. Task cells show the last
+/// character(s) of the task name; '.' is idle time.
+std::string render_gantt(const TaskGraph& g, const Schedule& s,
+                         std::size_t width = 72);
+
+}  // namespace locmps

@@ -1,0 +1,85 @@
+#include "schedule/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "network/block_cyclic.hpp"
+#include "util/table.hpp"
+
+namespace locmps {
+
+double critical_path_lower_bound(const TaskGraph& g, std::size_t P) {
+  const Levels lv = compute_levels(
+      g,
+      [&](TaskId t) {
+        const auto& p = g.task(t).profile;
+        return p.time(std::min(P, p.pbest()));
+      },
+      [](EdgeId) { return 0.0; });
+  return lv.critical_path_length();
+}
+
+double area_lower_bound(const TaskGraph& g, std::size_t P) {
+  return g.total_serial_work() / static_cast<double>(P);
+}
+
+ScheduleMetrics compute_metrics(const TaskGraph& g, const Schedule& s,
+                                const CommModel& comm) {
+  if (!s.complete())
+    throw std::invalid_argument("compute_metrics: incomplete schedule");
+  ScheduleMetrics m;
+  const std::size_t P = s.num_procs();
+  m.makespan = s.makespan();
+  m.compute_area = s.busy_area();
+  m.idle_area = m.makespan * static_cast<double>(P) - m.compute_area;
+  m.utilization = s.utilization();
+
+  double np_sum = 0.0;
+  for (TaskId t : g.task_ids()) {
+    const std::size_t np = s.at(t).np();
+    np_sum += static_cast<double>(np);
+    if (np > 1) ++m.widened_tasks;
+    m.max_np = std::max(m.max_np, np);
+  }
+  m.mean_np = np_sum / static_cast<double>(g.num_tasks());
+
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(static_cast<EdgeId>(e));
+    m.total_edge_bytes += ed.volume_bytes;
+    const double rv =
+        remote_volume(ed.volume_bytes, s.at(ed.src).procs, s.at(ed.dst).procs);
+    m.remote_bytes += rv;
+    m.transfer_time_sum +=
+        comm.transfer_duration(rv, s.at(ed.src).np(), s.at(ed.dst).np());
+  }
+  m.locality_fraction = m.total_edge_bytes > 0.0
+                            ? 1.0 - m.remote_bytes / m.total_edge_bytes
+                            : 1.0;
+
+  m.critical_path_bound = critical_path_lower_bound(g, P);
+  m.area_bound = area_lower_bound(g, P);
+  const double lb = std::max(m.critical_path_bound, m.area_bound);
+  m.optimality_gap = lb > 0.0 ? m.makespan / lb : 0.0;
+  return m;
+}
+
+std::string to_string(const ScheduleMetrics& m) {
+  std::ostringstream os;
+  os << "makespan          " << fmt(m.makespan, 4) << " s (gap to lower bound "
+     << fmt(m.optimality_gap, 2) << "x)\n";
+  os << "utilization       " << fmt(100.0 * m.utilization, 1) << "% ("
+     << fmt(m.idle_area, 2) << " proc-seconds idle)\n";
+  os << "allocation        mean " << fmt(m.mean_np, 2) << " procs, max "
+     << m.max_np << ", " << m.widened_tasks << " task(s) widened\n";
+  os << "data volume       " << fmt(m.total_edge_bytes / 1e6, 1)
+     << " MB on edges, " << fmt(m.remote_bytes / 1e6, 1)
+     << " MB over the network (locality "
+     << fmt(100.0 * m.locality_fraction, 1) << "%)\n";
+  os << "bounds            CP " << fmt(m.critical_path_bound, 4) << " s, area "
+     << fmt(m.area_bound, 4) << " s\n";
+  return os.str();
+}
+
+}  // namespace locmps

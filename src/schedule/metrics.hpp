@@ -1,0 +1,55 @@
+#pragma once
+/// \file metrics.hpp
+/// Quantitative schedule diagnostics: where the time goes (computation,
+/// redistribution, idling), how much data moves, how far the schedule is
+/// from the fundamental lower bounds. Used by the benches and examples to
+/// explain *why* one scheme beats another, not just by how much.
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "network/comm_model.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps {
+
+/// Aggregate metrics of a complete schedule.
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  double compute_area = 0.0;   ///< sum np(t) * et window
+  double idle_area = 0.0;      ///< P * makespan - compute area
+  double utilization = 0.0;    ///< compute share of the machine rectangle
+
+  double total_edge_bytes = 0.0;    ///< bytes produced along all edges
+  double remote_bytes = 0.0;        ///< bytes that cross the network
+  double locality_fraction = 0.0;   ///< 1 - remote/total (1 if no data)
+  double transfer_time_sum = 0.0;   ///< summed transfer durations
+
+  std::size_t widened_tasks = 0;    ///< tasks with np > 1
+  double mean_np = 0.0;             ///< average allocation width
+  std::size_t max_np = 0;
+
+  double critical_path_bound = 0.0;  ///< CP lower bound (free comm)
+  double area_bound = 0.0;           ///< work / P lower bound
+  /// makespan / max(cp_bound, area_bound): 1.0 = provably optimal.
+  double optimality_gap = 0.0;
+};
+
+/// Computes metrics of \p s for \p g under \p comm. The schedule must be
+/// complete.
+ScheduleMetrics compute_metrics(const TaskGraph& g, const Schedule& s,
+                                const CommModel& comm);
+
+/// Multi-line human-readable rendering of the metrics.
+std::string to_string(const ScheduleMetrics& m);
+
+/// Lower bound on any makespan of \p g on \p P processors: the critical
+/// path with every task at its best width and free communication.
+double critical_path_lower_bound(const TaskGraph& g, std::size_t P);
+
+/// Lower bound on any makespan: total serial work / P (valid whenever no
+/// task's speedup exceeds its processor count, which all library models
+/// satisfy).
+double area_lower_bound(const TaskGraph& g, std::size_t P);
+
+}  // namespace locmps

@@ -1,0 +1,113 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace locmps {
+
+namespace {
+/// Tolerance for floating-point schedule comparisons: absolute slack scaled
+/// by the magnitude of the times involved.
+bool at_least(double lhs, double rhs) {
+  const double tol = 1e-9 * std::max({1.0, std::fabs(lhs), std::fabs(rhs)});
+  return lhs >= rhs - tol;
+}
+}  // namespace
+
+void Schedule::place(TaskId t, double busy_from, double start, double finish,
+                     ProcessorSet procs) {
+  if (t >= placements_.size())
+    throw std::out_of_range("Schedule::place: task out of range");
+  if (!(busy_from <= start && start <= finish) || busy_from < 0.0)
+    throw std::invalid_argument("Schedule::place: inconsistent times");
+  if (procs.empty())
+    throw std::invalid_argument("Schedule::place: empty processor set");
+  placements_[t] = Placement{busy_from, start, finish, std::move(procs)};
+}
+
+bool Schedule::complete() const {
+  return std::all_of(placements_.begin(), placements_.end(),
+                     [](const Placement& p) { return p.scheduled(); });
+}
+
+double Schedule::makespan() const {
+  double m = 0.0;
+  for (const auto& p : placements_)
+    if (p.scheduled()) m = std::max(m, p.finish);
+  return m;
+}
+
+double Schedule::busy_area() const {
+  double a = 0.0;
+  for (const auto& p : placements_)
+    if (p.scheduled())
+      a += static_cast<double>(p.np()) * (p.finish - p.start);
+  return a;
+}
+
+double Schedule::utilization() const {
+  const double m = makespan();
+  if (m <= 0.0 || num_procs_ == 0) return 0.0;
+  return busy_area() / (m * static_cast<double>(num_procs_));
+}
+
+std::string Schedule::validate(const TaskGraph& g,
+                               const CommModel& comm) const {
+  std::ostringstream err;
+  if (g.num_tasks() != num_tasks()) {
+    err << "schedule covers " << num_tasks() << " tasks, graph has "
+        << g.num_tasks();
+    return err.str();
+  }
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    const Placement& p = placements_[t];
+    if (!p.scheduled()) {
+      err << "task " << t << " (" << g.task(t).name << ") not placed";
+      return err.str();
+    }
+    const double et = g.task(t).profile.time(p.np());
+    if (!at_least(p.finish - p.start, et)) {
+      err << "task " << t << " window " << (p.finish - p.start)
+          << " shorter than et=" << et << " on " << p.np() << " procs";
+      return err.str();
+    }
+  }
+  // Processor exclusivity: sweep each processor's busy windows.
+  std::vector<std::vector<std::pair<double, double>>> busy(num_procs_);
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    const Placement& p = placements_[t];
+    p.procs.for_each([&](ProcId q) {
+      busy[q].emplace_back(p.busy_from, p.finish);
+    });
+  }
+  for (ProcId q = 0; q < num_procs_; ++q) {
+    auto& w = busy[q];
+    std::sort(w.begin(), w.end());
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      if (!at_least(w[i].first, w[i - 1].second)) {
+        err << "processor " << q << " double-booked: window starting at "
+            << w[i].first << " overlaps window ending at " << w[i - 1].second;
+        return err.str();
+      }
+    }
+  }
+  // Precedence + redistribution feasibility.
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(static_cast<EdgeId>(e));
+    const Placement& ps = placements_[ed.src];
+    const Placement& pd = placements_[ed.dst];
+    const double ct =
+        comm.transfer_time(ed.volume_bytes, ps.procs, pd.procs);
+    if (!at_least(pd.start, ps.finish + ct)) {
+      err << "edge " << ed.src << "->" << ed.dst << ": start " << pd.start
+          << " earlier than parent finish " << ps.finish << " + transfer "
+          << ct;
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace locmps

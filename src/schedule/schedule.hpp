@@ -1,0 +1,70 @@
+#pragma once
+/// \file schedule.hpp
+/// A complete schedule: for every task, a start time, finish time and the
+/// processor set it executes on, plus the time from which those processors
+/// are held (which precedes the start on no-overlap systems, where the
+/// incoming redistribution occupies the destination processors).
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "graph/task_graph.hpp"
+#include "network/comm_model.hpp"
+
+namespace locmps {
+
+/// Placement of one task.
+struct Placement {
+  double busy_from = -1.0;  ///< processors are held from this time
+  double start = -1.0;      ///< computation start time st(t)
+  double finish = -1.0;     ///< finish time ft(t)
+  ProcessorSet procs;       ///< executing processor set
+
+  bool scheduled() const { return start >= 0.0; }
+  std::size_t np() const { return procs.count(); }
+};
+
+/// A schedule of a task graph on a cluster.
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::size_t num_tasks, std::size_t num_procs)
+      : num_procs_(num_procs), placements_(num_tasks) {}
+
+  std::size_t num_tasks() const { return placements_.size(); }
+  std::size_t num_procs() const { return num_procs_; }
+
+  const Placement& at(TaskId t) const { return placements_[t]; }
+
+  /// Records the placement of \p t. \p busy_from <= start <= finish.
+  void place(TaskId t, double busy_from, double start, double finish,
+             ProcessorSet procs);
+
+  /// True when every task has been placed.
+  bool complete() const;
+
+  /// Makespan: latest finish time over all tasks (0 if nothing placed).
+  double makespan() const;
+
+  /// Sum over tasks of np(t) * et: the processor-time area consumed.
+  double busy_area() const;
+
+  /// Fraction of the P * makespan rectangle covered by task execution —
+  /// the effective utilization backfilling tries to raise.
+  double utilization() const;
+
+  /// Verifies the schedule against the task graph and communication model:
+  ///  * every task placed, with busy_from <= start < finish;
+  ///  * no processor executes two tasks at once (busy windows disjoint);
+  ///  * precedence + redistribution: st(t) >= ft(parent) + transfer time
+  ///    between the actual processor sets (within a small tolerance).
+  /// Returns an empty string if valid, else the first violation found.
+  std::string validate(const TaskGraph& g, const CommModel& comm) const;
+
+ private:
+  std::size_t num_procs_ = 0;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace locmps

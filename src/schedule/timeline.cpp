@@ -1,0 +1,74 @@
+#include "schedule/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace locmps {
+
+Timeline::Timeline(std::size_t num_procs) : busy_(num_procs) {}
+
+void Timeline::occupy(const ProcessorSet& procs, double start, double end) {
+  assert(start <= end);
+  if (end <= start) return;  // zero-length bookings are no-ops
+  procs.for_each([&](ProcId q) {
+    auto& v = busy_[q];
+    const Interval iv{start, end};
+    auto it = std::upper_bound(
+        v.begin(), v.end(), iv,
+        [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    assert((it == v.end() || iv.end <= it->start + 1e-9) &&
+           (it == v.begin() || std::prev(it)->end <= iv.start + 1e-9));
+    v.insert(it, iv);
+  });
+}
+
+bool Timeline::is_free(ProcId q, double start, double end) const {
+  const auto& v = busy_[q];
+  for (const Interval& iv : v) {
+    if (iv.start >= end) break;
+    if (iv.end > start) return false;
+  }
+  return true;
+}
+
+double Timeline::free_until(ProcId q, double t) const {
+  const auto& v = busy_[q];
+  // First interval with start > t; the previous one must have ended by t.
+  auto it = std::upper_bound(
+      v.begin(), v.end(), t,
+      [](double x, const Interval& iv) { return x < iv.start; });
+  if (it != v.begin() && std::prev(it)->end > t) return -1.0;  // busy at t
+  return it == v.end() ? kForever : it->start;
+}
+
+double Timeline::latest_free_time(ProcId q) const {
+  const auto& v = busy_[q];
+  return v.empty() ? 0.0 : v.back().end;
+}
+
+std::vector<double> Timeline::candidate_times(double from) const {
+  std::vector<double> times{from};
+  for (const auto& v : busy_)
+    for (const Interval& iv : v)
+      if (iv.end > from) times.push_back(iv.end);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+std::vector<Timeline::FreeProc> Timeline::available_at(double t) const {
+  std::vector<FreeProc> out;
+  available_at(t, out);
+  return out;
+}
+
+void Timeline::available_at(double t, std::vector<FreeProc>& out) const {
+  out.clear();
+  out.reserve(busy_.size());
+  for (ProcId q = 0; q < busy_.size(); ++q) {
+    const double until = free_until(q, t);
+    if (until >= 0.0) out.push_back(FreeProc{q, until});
+  }
+}
+
+}  // namespace locmps

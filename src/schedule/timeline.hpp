@@ -1,0 +1,72 @@
+#pragma once
+/// \file timeline.hpp
+/// Processor-availability bookkeeping for backfill scheduling.
+///
+/// Parallel job scheduling is a 2-D packing problem (time x processors,
+/// Section III-F). The Timeline records the busy intervals of every
+/// processor and answers the two queries backfilling needs:
+///  * which "holes" (idle windows) exist at or after a given time, and
+///  * which processors are free over a candidate window and until when.
+/// The no-backfill variant (Fig 6) only consults latest_free_time().
+
+#include <limits>
+#include <vector>
+
+#include "cluster/processor_set.hpp"
+
+namespace locmps {
+
+/// Positive infinity used for "free forever".
+inline constexpr double kForever = std::numeric_limits<double>::infinity();
+
+/// Busy-interval timetable over a fixed set of processors.
+class Timeline {
+ public:
+  explicit Timeline(std::size_t num_procs);
+
+  std::size_t num_procs() const { return busy_.size(); }
+
+  /// Marks \p procs busy during [start, end). Windows on one processor must
+  /// not overlap (the scheduler only books verified-free windows; checked
+  /// by assertion in debug builds).
+  void occupy(const ProcessorSet& procs, double start, double end);
+
+  /// True when \p q is idle throughout [start, end).
+  bool is_free(ProcId q, double start, double end) const;
+
+  /// If \p q is idle at time \p t: the time at which it next becomes busy
+  /// (kForever if never). If busy at \p t: returns a negative value.
+  double free_until(ProcId q, double t) const;
+
+  /// Latest time at which \p q ceases to be busy (0 if never booked). The
+  /// processor is guaranteed free from this time on.
+  double latest_free_time(ProcId q) const;
+
+  /// Candidate hole-start times at or after \p from: \p from itself plus
+  /// every busy-interval end time > from, sorted ascending and deduplicated.
+  /// Availability only changes at these instants, so backfill need only
+  /// probe them.
+  std::vector<double> candidate_times(double from) const;
+
+  /// A processor available at some probe time, with its free-until horizon.
+  struct FreeProc {
+    ProcId proc;
+    double until;  ///< next busy start, or kForever
+  };
+
+  /// All processors idle at time \p t, each with its free-until horizon.
+  std::vector<FreeProc> available_at(double t) const;
+
+  /// Allocation-free variant for hot loops: fills \p out.
+  void available_at(double t, std::vector<FreeProc>& out) const;
+
+ private:
+  struct Interval {
+    double start;
+    double end;
+  };
+  // Per-processor busy intervals kept sorted by start.
+  std::vector<std::vector<Interval>> busy_;
+};
+
+}  // namespace locmps

@@ -1,0 +1,79 @@
+#include "schedule/trace_export.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace locmps {
+
+namespace {
+
+/// Minimal JSON string escaping (names are library-generated but may
+/// contain arbitrary characters when graphs are loaded from files).
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 4);
+  for (const char ch : in) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s, double time_scale) {
+  if (!s.complete())
+    throw std::invalid_argument("write_chrome_trace: incomplete schedule");
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto slice = [&](const std::string& name, ProcId proc, double from,
+                   double to, TaskId t, std::size_t np) {
+    if (to <= from) return;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(name)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << proc
+       << ",\"ts\":" << from * time_scale
+       << ",\"dur\":" << (to - from) * time_scale
+       << ",\"args\":{\"task\":" << t << ",\"np\":" << np << "}}";
+  };
+  for (TaskId t = 0; t < s.num_tasks(); ++t) {
+    const Placement& p = s.at(t);
+    const std::string& name = g.task(t).name;
+    p.procs.for_each([&](ProcId q) {
+      slice("recv:" + name, q, p.busy_from, p.start, t, p.np());
+      slice(name, q, p.start, p.finish, t, p.np());
+    });
+  }
+  // Name the processor rows.
+  for (ProcId q = 0; q < s.num_procs(); ++q) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << q
+       << ",\"args\":{\"name\":\"P" << q << "\"}}";
+  }
+  os << "]}";
+}
+
+std::string chrome_trace(const TaskGraph& g, const Schedule& s,
+                         double time_scale) {
+  std::ostringstream os;
+  write_chrome_trace(os, g, s, time_scale);
+  return os.str();
+}
+
+}  // namespace locmps

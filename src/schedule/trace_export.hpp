@@ -1,0 +1,29 @@
+#pragma once
+/// \file trace_export.hpp
+/// Chrome-trace export of schedules: writes the Trace Event Format JSON
+/// that chrome://tracing (or Perfetto UI) renders as an interactive
+/// timeline — one row per processor, one slice per task occupancy, with
+/// allocation details in the slice arguments. A practical complement to
+/// the ASCII Gantt for large schedules.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps {
+
+/// Writes \p s as Trace Event Format JSON. Times are exported in
+/// microseconds (the format's unit); \p time_scale converts schedule
+/// seconds to exported microseconds (default 1e6 = real seconds).
+/// A leading busy window (busy_from < start, no-overlap redistributions)
+/// is emitted as a separate "recv:" slice.
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s, double time_scale = 1e6);
+
+/// Convenience: returns the JSON as a string.
+std::string chrome_trace(const TaskGraph& g, const Schedule& s,
+                         double time_scale = 1e6);
+
+}  // namespace locmps

@@ -1,0 +1,86 @@
+#include "schedulers/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace locmps {
+
+SchedulerResult AnnealingScheduler::schedule(const TaskGraph& g,
+                                             const Cluster& cluster) const {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  const CommModel comm(cluster);
+
+  std::vector<std::size_t> cap(n);
+  for (TaskId t = 0; t < n; ++t)
+    cap[t] = std::min(P, g.task(t).profile.pbest());
+
+  Allocation best_alloc(n, 1);
+  double best = locbs(g, best_alloc, comm, opt_.locbs).makespan;
+  std::size_t evals = 1;
+
+  Rng rng(opt_.seed);
+  const std::size_t per_chain =
+      std::max<std::size_t>(1, opt_.iterations /
+                                   std::max<std::size_t>(1, opt_.restarts));
+  const double cool = std::pow(opt_.final_temp / opt_.initial_temp,
+                               1.0 / static_cast<double>(per_chain));
+
+  for (std::size_t chain = 0; chain < std::max<std::size_t>(1, opt_.restarts);
+       ++chain) {
+    // Chains start from diverse corners: task-parallel, data-parallel,
+    // then random allocations.
+    Allocation cur(n, 1);
+    if (chain == 1) {
+      for (TaskId t = 0; t < n; ++t) cur[t] = cap[t];
+    } else if (chain >= 2) {
+      for (TaskId t = 0; t < n; ++t)
+        cur[t] = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(cap[t])));
+    }
+    double cur_mk = locbs(g, cur, comm, opt_.locbs).makespan;
+    ++evals;
+    if (cur_mk < best) {
+      best = cur_mk;
+      best_alloc = cur;
+    }
+
+    double temp = opt_.initial_temp;
+    for (std::size_t it = 0; it < per_chain; ++it, temp *= cool) {
+      const TaskId t = static_cast<TaskId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const bool up = rng.bernoulli(0.5);
+      const std::size_t old = cur[t];
+      if (up && cur[t] < cap[t])
+        ++cur[t];
+      else if (!up && cur[t] > 1)
+        --cur[t];
+      else
+        continue;
+      const double mk = locbs(g, cur, comm, opt_.locbs).makespan;
+      ++evals;
+      const double rel = (mk - cur_mk) / std::max(cur_mk, 1e-12);
+      if (rel <= 0.0 || rng.uniform() < std::exp(-rel / temp)) {
+        cur_mk = mk;  // accept
+        if (mk < best) {
+          best = mk;
+          best_alloc = cur;
+        }
+      } else {
+        cur[t] = old;  // reject
+      }
+    }
+  }
+
+  LocBSResult run = locbs(g, best_alloc, comm, opt_.locbs);
+  SchedulerResult out;
+  out.schedule = std::move(run.schedule);
+  out.allocation = std::move(best_alloc);
+  out.estimated_makespan = run.makespan;
+  out.iterations = evals;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,41 @@
+#pragma once
+/// \file annealing.hpp
+/// Simulated-annealing reference optimizer over the allocation space.
+///
+/// Not a practical scheduler (it spends orders of magnitude more time
+/// than LoC-MPS) but a quality yardstick: it searches allocations
+/// np(t) in [1, min(P, Pbest)] with single +/-1 moves, realizing each
+/// candidate with LoCBS, and keeps the best schedule ever seen. On small
+/// instances it closely approaches the best LoCBS-realizable makespan,
+/// bounding how much of LoC-MPS's gap is search (vs model) error.
+
+#include "schedulers/locbs.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// Annealing-search knobs.
+struct AnnealingOptions {
+  std::size_t iterations = 4000;   ///< total proposal count
+  double initial_temp = 0.20;     ///< relative makespan acceptance scale
+  double final_temp = 0.002;      ///< geometric cooling target
+  std::uint64_t seed = 1;
+  std::size_t restarts = 2;       ///< independent chains (best kept)
+  LocBSOptions locbs;             ///< realization options
+};
+
+/// The annealing reference scheduler.
+class AnnealingScheduler final : public Scheduler {
+ public:
+  explicit AnnealingScheduler(AnnealingOptions opt = {}) : opt_(opt) {}
+
+  std::string name() const override { return "SA"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+
+ private:
+  AnnealingOptions opt_;
+};
+
+}  // namespace locmps

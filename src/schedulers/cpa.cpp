@@ -1,0 +1,64 @@
+#include "schedulers/cpa.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "schedulers/list_scheduler.hpp"
+
+namespace locmps {
+
+SchedulerResult CPAScheduler::schedule(const TaskGraph& g,
+                                       const Cluster& cluster) const {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  const CommModel comm(cluster);
+
+  Allocation np(n, 1);
+  auto vw = [&](TaskId t) { return g.task(t).profile.time(np[t]); };
+  auto ew = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    return comm.edge_cost(ed.volume_bytes, np[ed.src], np[ed.dst]);
+  };
+
+  std::size_t iterations = 0;
+  const std::size_t hard_cap = n * P + 16;
+  while (iterations < hard_cap) {
+    ++iterations;
+    const Levels lv = compute_levels(g, vw, ew);
+    const double L = lv.critical_path_length();
+    double area = 0.0;
+    for (TaskId t : g.task_ids())
+      area += static_cast<double>(np[t]) * g.task(t).profile.time(np[t]);
+    const double TA = area / static_cast<double>(P);
+    if (L <= TA) break;  // balance reached
+
+    // Critical-path task with the best reduction of et/np.
+    const double tol = 1e-9 * std::max(1.0, L);
+    TaskId best = kNoTask;
+    double best_gain = 0.0;
+    for (TaskId t : g.task_ids()) {
+      if (lv.top[t] + lv.bottom[t] < L - tol || np[t] >= P) continue;
+      const double cur = g.task(t).profile.time(np[t]) /
+                         static_cast<double>(np[t]);
+      const double nxt = g.task(t).profile.time(np[t] + 1) /
+                         static_cast<double>(np[t] + 1);
+      const double gain = cur - nxt;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    if (best == kNoTask) break;  // no critical task benefits from widening
+    np[best] += 1;
+  }
+
+  ListScheduleResult ls = list_schedule(g, np, comm);
+  SchedulerResult out;
+  out.schedule = std::move(ls.schedule);
+  out.allocation = std::move(np);
+  out.estimated_makespan = ls.makespan;
+  out.iterations = iterations;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,26 @@
+#pragma once
+/// \file cpa.hpp
+/// CPA — Critical Path and Allocation (Radulescu & van Gemund, ICPP 2001,
+/// ref [6]).
+///
+/// A low-cost two-phase scheme. Phase 1 decides allocations only: while the
+/// critical-path length exceeds the average processor-area bound
+/// TA = (1/P) * sum_t np(t) * et(t, np(t)), the critical-path task whose
+/// widening most reduces its area contribution et/np gains one processor.
+/// Phase 2 maps tasks to concrete processors with plain list scheduling.
+/// The decoupling of the phases is what limits CPA's schedule quality.
+
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The CPA baseline.
+class CPAScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "CPA"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+};
+
+}  // namespace locmps

@@ -1,0 +1,85 @@
+#include "schedulers/cpr.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "schedulers/list_scheduler.hpp"
+
+namespace locmps {
+
+namespace {
+
+/// Tasks lying on a critical path of g under the allocation-dependent
+/// weights: those with topL + bottomL equal to the CP length.
+std::vector<TaskId> critical_tasks(const TaskGraph& g,
+                                   const Allocation& np,
+                                   const CommModel& comm) {
+  auto vw = [&](TaskId t) { return g.task(t).profile.time(np[t]); };
+  auto ew = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    return comm.edge_cost(ed.volume_bytes, np[ed.src], np[ed.dst]);
+  };
+  const Levels lv = compute_levels(g, vw, ew);
+  const double L = lv.critical_path_length();
+  const double tol = 1e-9 * std::max(1.0, L);
+  std::vector<TaskId> out;
+  for (TaskId t : g.task_ids())
+    if (lv.top[t] + lv.bottom[t] >= L - tol) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
+SchedulerResult CPRScheduler::schedule(const TaskGraph& g,
+                                       const Cluster& cluster) const {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  const CommModel comm(cluster);
+
+  std::vector<std::size_t> cap(n);
+  for (TaskId t = 0; t < n; ++t)
+    cap[t] = std::min(P, g.task(t).profile.pbest());
+
+  Allocation np(n, 1);
+  ListScheduleResult best = list_schedule(g, np, comm);
+  std::vector<char> blocked(n, 0);
+  std::size_t iterations = 0;
+
+  // Each pass either commits one improving widening (and unblocks nothing —
+  // CPR never retries rejected tasks) or blocks one candidate; the loop is
+  // bounded by n * P widenings plus n blockings.
+  const std::size_t hard_cap = n * P + n + 16;
+  while (iterations < hard_cap) {
+    ++iterations;
+    std::vector<TaskId> cand = critical_tasks(g, np, comm);
+    std::erase_if(cand, [&](TaskId t) {
+      return blocked[t] || np[t] >= cap[t];
+    });
+    if (cand.empty()) break;
+    // Highest execution-time gain first.
+    auto gain = [&](TaskId t) {
+      return g.task(t).profile.time(np[t]) - g.task(t).profile.time(np[t] + 1);
+    };
+    TaskId t = cand[0];
+    for (TaskId c : cand)
+      if (gain(c) > gain(t)) t = c;
+
+    np[t] += 1;
+    ListScheduleResult trial = list_schedule(g, np, comm);
+    if (trial.makespan < best.makespan) {
+      best = std::move(trial);
+    } else {
+      np[t] -= 1;
+      blocked[t] = 1;
+    }
+  }
+
+  SchedulerResult out;
+  out.schedule = std::move(best.schedule);
+  out.allocation = std::move(np);
+  out.estimated_makespan = best.makespan;
+  out.iterations = iterations;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,25 @@
+#pragma once
+/// \file cpr.hpp
+/// CPR — Critical Path Reduction (Radulescu et al., IPDPS 2001, ref [5]).
+///
+/// A one-step mixed-parallel scheme: starting from one processor per task,
+/// CPR repeatedly tries to widen a critical-path task by one processor,
+/// re-schedules with plain list scheduling, commits the change only when
+/// the makespan improves, and stops when no critical-path task improves
+/// the schedule. It models communication with the aggregate-bandwidth
+/// estimate but is neither locality conscious nor backfilling.
+
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The CPR baseline.
+class CPRScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "CPR"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+};
+
+}  // namespace locmps

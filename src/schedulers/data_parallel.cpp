@@ -1,0 +1,25 @@
+#include "schedulers/data_parallel.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace locmps {
+
+SchedulerResult DataParallelScheduler::schedule(
+    const TaskGraph& g, const Cluster& cluster) const {
+  const std::size_t P = cluster.processors;
+  SchedulerResult out;
+  out.schedule = Schedule(g.num_tasks(), P);
+  out.allocation.assign(g.num_tasks(), P);
+  const ProcessorSet everyone = ProcessorSet::all(P);
+  double clock = 0.0;
+  for (TaskId t : topological_order(g)) {
+    const double et = g.task(t).profile.time(P);
+    out.schedule.place(t, clock, clock, clock + et, everyone);
+    clock += et;
+  }
+  out.estimated_makespan = clock;
+  out.iterations = 1;
+  return out;
+}
+
+}  // namespace locmps

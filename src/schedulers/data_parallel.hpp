@@ -1,0 +1,21 @@
+#pragma once
+/// \file data_parallel.hpp
+/// DATA — the pure data-parallel baseline: every task runs on all P
+/// processors, tasks execute in topological sequence. With a block-cyclic
+/// distribution over the full machine the producer and consumer layouts
+/// coincide, so DATA incurs no redistribution cost (Section IV).
+
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The pure data-parallel scheme.
+class DataParallelScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "DATA"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+};
+
+}  // namespace locmps

@@ -1,0 +1,34 @@
+#pragma once
+/// \file icaslb.hpp
+/// iCASLB — the authors' prior integrated allocation-and-scheduling scheme
+/// (ref [4]), which assumes inter-task communication and redistribution
+/// costs are negligible.
+///
+/// Reproduced here as LoC-MPS run communication-blind: allocation decisions
+/// never see edge weights, the backfill scheduler neither charges
+/// redistribution time nor favours data locality. The resulting placements
+/// and per-processor order are then re-timed under the *real* communication
+/// model, which is how the scheme's makespan degrades as CCR grows (Fig 5).
+
+#include "schedulers/loc_mps.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The iCASLB baseline.
+class ICASLBScheduler final : public Scheduler {
+ public:
+  explicit ICASLBScheduler(LocMPSOptions opt = {}) : opt_(opt) {
+    opt_.locbs.comm_blind = true;
+  }
+
+  std::string name() const override { return "iCASLB"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+
+ private:
+  LocMPSOptions opt_;
+};
+
+}  // namespace locmps

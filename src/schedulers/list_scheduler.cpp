@@ -1,0 +1,78 @@
+#include "schedulers/list_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace locmps {
+
+ListScheduleResult list_schedule(const TaskGraph& g, const Allocation& np,
+                                 const CommModel& comm) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = comm.cluster().processors;
+  if (np.size() != n)
+    throw std::invalid_argument("list_schedule: allocation size mismatch");
+
+  std::vector<double> et(n);
+  for (TaskId t = 0; t < n; ++t) et[t] = g.task(t).profile.time(np[t]);
+  auto ecost = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    return comm.edge_cost(ed.volume_bytes, np[ed.src], np[ed.dst]);
+  };
+  const Levels lv =
+      compute_levels(g, [&](TaskId t) { return et[t]; }, ecost);
+
+  ListScheduleResult res{Schedule(n, P), 0.0};
+  std::vector<double> free_at(P, 0.0);
+  std::vector<double> ft(n, 0.0);
+
+  std::vector<std::size_t> waiting(n);
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < n; ++t) {
+    waiting[t] = g.in_degree(t);
+    if (waiting[t] == 0) ready.push_back(t);
+  }
+
+  std::vector<ProcId> by_avail(P);
+  while (!ready.empty()) {
+    // Strict priority order: highest bottom level first.
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i)
+      if (lv.bottom[ready[i]] > lv.bottom[ready[pick]] ||
+          (lv.bottom[ready[i]] == lv.bottom[ready[pick]] &&
+           ready[i] < ready[pick]))
+        pick = i;
+    const TaskId t = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+
+    double est = 0.0;
+    for (EdgeId e : g.in_edges(t))
+      est = std::max(est, ft[g.edge(e).src] + ecost(e));
+
+    // Earliest-available np[t] processors.
+    for (ProcId q = 0; q < P; ++q) by_avail[q] = q;
+    std::sort(by_avail.begin(), by_avail.end(), [&](ProcId a, ProcId b) {
+      if (free_at[a] != free_at[b]) return free_at[a] < free_at[b];
+      return a < b;
+    });
+    ProcessorSet procs(P);
+    double start = est;
+    for (std::size_t i = 0; i < np[t]; ++i) {
+      procs.insert(by_avail[i]);
+      start = std::max(start, free_at[by_avail[i]]);
+    }
+    const double finish = start + et[t];
+    procs.for_each([&](ProcId q) { free_at[q] = finish; });
+    res.schedule.place(t, start, start, finish, procs);
+    ft[t] = finish;
+
+    for (EdgeId e : g.out_edges(t))
+      if (--waiting[g.edge(e).dst] == 0) ready.push_back(g.edge(e).dst);
+  }
+  res.makespan = res.schedule.makespan();
+  return res;
+}
+
+}  // namespace locmps

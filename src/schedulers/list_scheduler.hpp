@@ -1,0 +1,28 @@
+#pragma once
+/// \file list_scheduler.hpp
+/// Plain priority-based list scheduling of parallel tasks — the scheduling
+/// substrate used by the CPR and CPA baselines (refs [5], [6]).
+///
+/// Unlike LoCBS it is neither locality conscious nor backfilling: each
+/// processor's latest free time is tracked, tasks are placed in strict
+/// bottom-level priority order on the earliest-available processors, and
+/// communication is charged with the placement-independent aggregate-
+/// bandwidth estimate wt(e) = D / (min(np_src, np_dst) * bandwidth).
+
+#include "network/comm_model.hpp"
+#include "schedule/schedule.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// Result of a list-scheduling pass.
+struct ListScheduleResult {
+  Schedule schedule;
+  double makespan = 0.0;
+};
+
+/// Schedules \p g under allocation \p np with plain list scheduling.
+ListScheduleResult list_schedule(const TaskGraph& g, const Allocation& np,
+                                 const CommModel& comm);
+
+}  // namespace locmps

@@ -1,0 +1,242 @@
+#include "schedulers/loc_mps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "graph/algorithms.hpp"
+
+namespace locmps {
+
+namespace {
+
+/// The look-ahead entry point: the task or edge whose widening started the
+/// current search (Alg. 1 steps 16-17 / 28-29).
+struct EntryPoint {
+  bool is_task = true;
+  TaskId task = kNoTask;
+  EdgeId edge = kNoEdge;
+};
+
+}  // namespace
+
+SchedulerResult LocMPSScheduler::schedule(const TaskGraph& g,
+                                          const Cluster& cluster) const {
+  return run(g, cluster, nullptr);
+}
+
+SchedulerResult LocMPSScheduler::schedule_with_fixed(
+    const TaskGraph& g, const Cluster& cluster,
+    const FixedPrefix& fixed) const {
+  return run(g, cluster, &fixed);
+}
+
+SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
+                                     const Cluster& cluster,
+                                     const FixedPrefix* fixed) const {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  const CommModel comm(cluster);
+  const ConcurrencyAnalysis conc(g);
+
+  // Saturation bound per task: min(P, Pbest) (Alg. 1 step 14); frozen
+  // tasks keep their committed processor count.
+  Allocation best_alloc(n, 1);
+  std::vector<std::size_t> cap(n);
+  for (TaskId t = 0; t < n; ++t) {
+    cap[t] = std::min(P, g.task(t).profile.pbest());
+    if (fixed != nullptr && fixed->is_frozen(t)) {
+      best_alloc[t] = fixed->placements->at(t).np();
+      cap[t] = best_alloc[t];
+    }
+  }
+  // Widening bound for communication edges: P unless frozen.
+  auto ecap = [&](TaskId t) {
+    return (fixed != nullptr && fixed->is_frozen(t)) ? cap[t] : P;
+  };
+
+  LocBSResult best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed);
+  double best_sl = best_run.makespan;
+  std::size_t calls = 1;
+
+  std::vector<char> marked_task(n, 0);
+  std::vector<char> marked_edge(g.num_edges(), 0);
+
+  // Chooses the best candidate task on the critical path: among the
+  // top fraction by execution-time gain, the one with the lowest
+  // concurrency ratio (Section III-C).
+  auto pick_task = [&](const CriticalPathInfo& cp, const Allocation& np,
+                       bool respect_marks) -> TaskId {
+    std::vector<TaskId> cand;
+    for (TaskId t : cp.tasks) {
+      if (np[t] >= cap[t]) continue;
+      if (respect_marks && marked_task[t]) continue;
+      cand.push_back(t);
+    }
+    if (cand.empty()) return kNoTask;
+    auto gain = [&](TaskId t) {
+      return g.task(t).profile.time(np[t]) -
+             g.task(t).profile.time(np[t] + 1);
+    };
+    std::sort(cand.begin(), cand.end(), [&](TaskId a, TaskId b) {
+      const double ga = gain(a), gb = gain(b);
+      if (ga != gb) return ga > gb;
+      return a < b;
+    });
+    const std::size_t k = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(opt_.candidate_top_fraction *
+                         static_cast<double>(cand.size()))));
+    TaskId best = cand[0];
+    for (std::size_t i = 1; i < k; ++i)
+      if (conc.ratio(cand[i]) < conc.ratio(best)) best = cand[i];
+    return best;
+  };
+
+  // Chooses the heaviest refinable communication edge on the critical path
+  // (Section III-D). Returns kNoEdge if none qualifies.
+  auto pick_edge = [&](const CriticalPathInfo& cp, const ScheduleDag& dag,
+                       const Allocation& np, bool respect_marks) -> EdgeId {
+    EdgeId best = kNoEdge;
+    double best_w = 0.0;
+    for (EdgeId e : cp.edges) {
+      if (e == kNoEdge) continue;  // pseudo-edge
+      if (respect_marks && marked_edge[e]) continue;
+      const Edge& ed = g.edge(e);
+      if (np[ed.src] >= ecap(ed.src) && np[ed.dst] >= ecap(ed.dst)) continue;
+      const double w = dag.edge_time(e);
+      if (w > best_w) {
+        best_w = w;
+        best = e;
+      }
+    }
+    return best;
+  };
+
+  // Widens the thinner endpoint of edge e (both when tied), respecting
+  // each endpoint's widening bound.
+  auto widen_edge = [&](EdgeId e, Allocation& np) {
+    const Edge& ed = g.edge(e);
+    const bool src_ok = np[ed.src] < ecap(ed.src);
+    const bool dst_ok = np[ed.dst] < ecap(ed.dst);
+    if (np[ed.src] > np[ed.dst] && dst_ok) {
+      np[ed.dst] += 1;
+    } else if (np[ed.src] < np[ed.dst] && src_ok) {
+      np[ed.src] += 1;
+    } else {
+      if (dst_ok) np[ed.dst] += 1;
+      if (src_ok) np[ed.src] += 1;
+    }
+  };
+
+  const bool comm_aware = !opt_.locbs.comm_blind;
+
+  // Main repeat-until loop (Alg. 1 steps 5-40).
+  while (calls < opt_.max_locbs_calls) {
+    Allocation np = best_alloc;
+    const double old_sl = best_sl;
+    LocBSResult cur = best_run;
+    std::optional<EntryPoint> entry;
+
+    for (std::size_t iter = 0; iter < opt_.look_ahead_depth; ++iter) {
+      const CriticalPathInfo cp = cur.dag.critical_path();
+      const bool comp_dominates = !comm_aware || cp.comp_cost >= cp.comm_cost;
+      const bool respect_marks = iter == 0 || opt_.marks_bind_lookahead;
+
+      bool refined = false;
+      EntryPoint ep;
+      // Try the dominating-cost branch first, the other as a fallback, so a
+      // look-ahead step is only abandoned when nothing is refinable.
+      for (int attempt = 0; attempt < 2 && !refined; ++attempt) {
+        const bool task_branch = (attempt == 0) == comp_dominates;
+        if (task_branch) {
+          const TaskId t = pick_task(cp, np, respect_marks);
+          if (t != kNoTask) {
+            np[t] += 1;
+            ep = EntryPoint{true, t, kNoEdge};
+            refined = true;
+          }
+        } else if (comm_aware) {
+          const EdgeId e = pick_edge(cp, cur.dag, np, respect_marks);
+          if (e != kNoEdge) {
+            widen_edge(e, np);
+            ep = EntryPoint{false, kNoTask, e};
+            refined = true;
+          }
+        }
+      }
+      if (!refined) break;
+      if (iter == 0) entry = ep;
+
+      cur = locbs(g, np, comm, opt_.locbs, fixed);
+      ++calls;
+      if (cur.makespan < best_sl) {
+        best_alloc = np;
+        best_sl = cur.makespan;
+      }
+      if (calls >= opt_.max_locbs_calls) break;
+    }
+
+    if (!entry.has_value()) break;  // nothing on the CP is refinable
+
+    const bool improved = best_sl < old_sl;
+    // Search tracing for development; enable with LOCMPS_DEBUG=1.
+    static const bool debug = std::getenv("LOCMPS_DEBUG") != nullptr;
+    if (debug)
+      std::fprintf(stderr,
+                   "loc-mps: old=%.6f best=%.6f %s entry=%s%u calls=%zu\n",
+                   old_sl, best_sl, improved ? "commit" : "mark",
+                   entry->is_task ? "t" : "e",
+                   entry->is_task ? entry->task : entry->edge, calls);
+    if (!improved) {
+      // Failed look-ahead: remember the entry point as a bad start.
+      if (entry->is_task)
+        marked_task[entry->task] = 1;
+      else
+        marked_edge[entry->edge] = 1;
+    } else {
+      // Commit: the improved allocation is in best_alloc; clear all marks.
+      std::fill(marked_task.begin(), marked_task.end(), 0);
+      std::fill(marked_edge.begin(), marked_edge.end(), 0);
+    }
+
+    // Re-realize the best allocation (unchanged allocations keep their
+    // schedule); its critical path drives termination.
+    {
+      best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed);
+      ++calls;
+    }
+
+    const CriticalPathInfo cp = best_run.dag.critical_path();
+    bool exhausted = true;
+    for (TaskId t : cp.tasks) {
+      if (best_alloc[t] < cap[t] && !marked_task[t]) {
+        exhausted = false;
+        break;
+      }
+    }
+    if (exhausted && comm_aware) {
+      for (EdgeId e : cp.edges) {
+        if (e == kNoEdge) continue;
+        const Edge& ed = g.edge(e);
+        if (marked_edge[e] || best_run.dag.edge_time(e) <= 0.0) continue;
+        if (best_alloc[ed.src] < P || best_alloc[ed.dst] < P) {
+          exhausted = false;
+          break;
+        }
+      }
+    }
+    if (exhausted) break;
+  }
+
+  SchedulerResult out;
+  out.schedule = std::move(best_run.schedule);
+  out.allocation = std::move(best_alloc);
+  out.estimated_makespan = best_sl;
+  out.iterations = calls;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,398 @@
+#include "schedulers/locbs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "network/block_cyclic.hpp"
+#include "schedule/timeline.hpp"
+
+namespace locmps {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Relative tolerance for "same instant" comparisons.
+bool about(double a, double b) {
+  return std::fabs(a - b) <= 1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+bool later_than(double a, double b) {
+  return a > b + 1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// A candidate placement found during the hole scan.
+struct Candidate {
+  double finish = kInf;
+  double start = 0.0;
+  double busy_from = 0.0;
+  bool resource_induced = false;  ///< start delayed by processor contention
+  double touch = 0.0;             ///< instant whose finishers blocked us
+  std::vector<ProcId> procs;      ///< ascending
+};
+
+}  // namespace
+
+LocBSResult locbs(const TaskGraph& g, const Allocation& np,
+                  const CommModel& comm, const LocBSOptions& opt,
+                  const FixedPrefix* fixed) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = comm.cluster().processors;
+  if (np.size() != n)
+    throw std::invalid_argument("locbs: allocation size mismatch");
+  for (std::size_t t = 0; t < n; ++t)
+    if (np[t] < 1 || np[t] > P)
+      throw std::invalid_argument("locbs: np out of range");
+
+  const bool overlap = comm.overlap();
+
+  // Execution times under this allocation, and allocation-stage edge costs.
+  std::vector<double> et(n);
+  for (TaskId t = 0; t < n; ++t) et[t] = g.task(t).profile.time(np[t]);
+  std::vector<double> west(g.num_edges(), 0.0);
+  if (!opt.comm_blind)
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      west[e] = comm.edge_cost(g.edge(e).volume_bytes, np[g.edge(e).src],
+                               np[g.edge(e).dst]);
+
+  // Static priority: bottomL(t) + max incoming edge weight (Alg. 2 step 4).
+  const Levels lv = compute_levels(
+      g, [&](TaskId t) { return et[t]; }, [&](EdgeId e) { return west[e]; });
+  std::vector<double> prio(n);
+  for (TaskId t = 0; t < n; ++t) {
+    double max_in = 0.0;
+    for (EdgeId e : g.in_edges(t)) max_in = std::max(max_in, west[e]);
+    prio[t] = lv.bottom[t] + max_in;
+  }
+
+  Timeline timeline(P);
+  LocBSResult res{Schedule(n, P), ScheduleDag(g), 0.0};
+  std::vector<double> ft(n, 0.0);
+  std::vector<std::vector<ProcId>> placed(n);  // ascending proc lists
+  std::vector<char> done(n, 0);
+
+  // Sorted, deduplicated finish times of placed tasks: the only instants at
+  // which processor availability changes (every busy window ends at a task
+  // finish), hence the complete set of hole-start candidates.
+  std::vector<double> finish_events;
+  finish_events.reserve(n);
+
+  // Import the frozen prefix (tasks already executing at replan time).
+  std::size_t n_frozen = 0;
+  if (fixed != nullptr) {
+    if (fixed->placements == nullptr)
+      throw std::invalid_argument("locbs: FixedPrefix without placements");
+    for (TaskId t = 0; t < n; ++t) {
+      if (!fixed->is_frozen(t)) continue;
+      const Placement& pl = fixed->placements->at(t);
+      if (!pl.scheduled())
+        throw std::invalid_argument("locbs: frozen task not placed");
+      res.schedule.place(t, pl.busy_from, pl.start, pl.finish, pl.procs);
+      timeline.occupy(pl.procs, pl.busy_from, pl.finish);
+      finish_events.push_back(pl.finish);
+      ft[t] = pl.finish;
+      placed[t] = pl.procs.to_vector();
+      done[t] = 1;
+      res.dag.set_vertex_time(t, pl.finish - pl.start);
+      ++n_frozen;
+    }
+    std::sort(finish_events.begin(), finish_events.end());
+    finish_events.erase(
+        std::unique(finish_events.begin(), finish_events.end()),
+        finish_events.end());
+  }
+
+  std::vector<std::size_t> waiting(n);
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < n; ++t) {
+    if (done[t]) continue;
+    std::size_t open = 0;
+    for (EdgeId e : g.in_edges(t)) open += done[g.edge(e).src] ? 0 : 1;
+    waiting[t] = open;
+    if (open == 0) ready.push_back(t);
+  }
+
+  // Scratch buffers shared across task placements (hot loop: no per-task
+  // heap churn).
+  struct DursCache {
+    std::vector<ProcId> procs;
+    std::vector<double> durs;
+  };
+  DursCache durs_cache[3];
+  std::vector<double> score(P);
+  std::vector<EdgeId> comm_edges;
+  std::vector<double> until_of(P);
+  std::vector<ProcId> eligible;
+  eligible.reserve(P);
+  std::vector<ProcId> sel;
+  sel.reserve(P);
+  std::vector<double> times;
+  times.reserve(n + 1);
+  std::vector<Timeline::FreeProc> avail_scratch;
+
+  for (std::size_t scheduled = n_frozen; scheduled < n; ++scheduled) {
+    // Highest-priority ready task.
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      if (prio[ready[i]] > prio[ready[pick]] ||
+          (prio[ready[i]] == prio[ready[pick]] && ready[i] < ready[pick]))
+        pick = i;
+    }
+    const TaskId tp = ready[pick];
+    ready[pick] = ready.back();
+    ready.pop_back();
+
+    const std::size_t need = np[tp];
+    const double exec = et[tp];
+
+    // Ready time and per-processor locality score (bytes of input resident).
+    double est0 = fixed != nullptr ? fixed->not_before : 0.0;
+    for (EdgeId e : g.in_edges(tp)) est0 = std::max(est0, ft[g.edge(e).src]);
+    std::fill(score.begin(), score.end(), 0.0);
+    // In-edges that actually carry data (the only ones that cost anything).
+    comm_edges.clear();
+    if (!opt.comm_blind) {
+      for (EdgeId e : g.in_edges(tp))
+        if (g.edge(e).volume_bytes > 0.0) comm_edges.push_back(e);
+    }
+    if (opt.locality) {
+      for (EdgeId e : comm_edges) {
+        const Edge& ed = g.edge(e);
+        const double share =
+            ed.volume_bytes / static_cast<double>(placed[ed.src].size());
+        for (ProcId q : placed[ed.src]) score[q] += share;
+      }
+    }
+
+    // Redistribution durations of each comm edge onto a given subset.
+    // Candidate subsets repeat heavily across probe instants, so small
+    // keyed caches (one per subset flavour: locality-first, horizon-first,
+    // commit) remove most remote_fraction work. Invalidate for this task.
+    for (auto& c : durs_cache) c.procs.clear();
+    auto durs_for = [&](const std::vector<ProcId>& procs,
+                        int slot) -> const std::vector<double>& {
+      DursCache& c = durs_cache[slot];
+      if (procs == c.procs) return c.durs;
+      c.procs = procs;
+      c.durs.resize(comm_edges.size());
+      for (std::size_t k = 0; k < comm_edges.size(); ++k) {
+        const Edge& ed = g.edge(comm_edges[k]);
+        const double rv =
+            opt.locality
+                ? ed.volume_bytes * remote_fraction(placed[ed.src], procs)
+                : ed.volume_bytes;
+        c.durs[k] =
+            comm.transfer_duration(rv, placed[ed.src].size(), need);
+      }
+      return c.durs;
+    };
+
+    // Timing of a chosen processor subset: start / finish / busy-from.
+    auto time_on = [&](double tau, const std::vector<ProcId>& procs, int slot,
+                       Candidate& c) {
+      c.procs = procs;
+      if (opt.comm_blind || comm_edges.empty()) {
+        c.start = std::max(tau, est0);
+        c.busy_from = c.start;
+        c.resource_induced = later_than(tau, est0);
+        c.touch = c.start;
+        c.finish = c.start + exec;
+        return;
+      }
+      const std::vector<double>& durs = durs_for(procs, slot);
+      double arrive = est0;  // latest input arrival (overlap mode)
+      double comm_total = 0.0;
+      for (std::size_t k = 0; k < comm_edges.size(); ++k) {
+        comm_total += durs[k];
+        arrive =
+            std::max(arrive, ft[g.edge(comm_edges[k]).src] + durs[k]);
+      }
+      if (overlap) {
+        c.start = std::max(tau, arrive);
+        c.busy_from = c.start;
+        c.resource_induced = later_than(tau, arrive);
+        c.touch = c.start;
+      } else {
+        // Transfers occupy the destination processors and serialize.
+        const double base = std::max(tau, est0);
+        c.start = base + comm_total;
+        c.busy_from = base;
+        c.resource_induced = later_than(tau, est0);
+        c.touch = base;
+      }
+      c.finish = c.start + exec;
+    };
+
+    Candidate best;
+
+    // Lower bounds on data arrival / total transfer time over *any*
+    // processor subset of size `need`: at best min(s, need) of a parent's s
+    // blocks-per-period can stay local (lcm-period argument), so at least
+    // the remaining fraction must cross the network. Used to prune the
+    // hole scan.
+    double arrive_lb = est0;
+    double comm_lb = 0.0;
+    for (std::size_t k = 0; k < comm_edges.size(); ++k) {
+      const Edge& ed = g.edge(comm_edges[k]);
+      const std::size_t s = placed[ed.src].size();
+      double frac_min = 1.0;
+      if (opt.locality) {
+        const std::size_t gg = std::gcd(s, need);
+        const double L =
+            static_cast<double>(s / gg) * static_cast<double>(need);
+        frac_min = 1.0 - static_cast<double>(std::min(s, need)) / L;
+      }
+      const double dur_min =
+          comm.transfer_duration(ed.volume_bytes * frac_min, s, need);
+      arrive_lb = std::max(arrive_lb, ft[ed.src] + dur_min);
+      comm_lb += dur_min;
+    }
+    // Earliest conceivable finish when acquiring processors at time tau.
+    auto finish_lb = [&](double tau) {
+      return overlap ? std::max(tau, arrive_lb) + exec
+                     : std::max(tau, est0) + comm_lb + exec;
+    };
+
+    // Scans one probe instant: tries two subsets of the processors idle at
+    // tau — the locality-maximal one (Alg. 2 step 9) and the widest-horizon
+    // one (whose windows survive redistribution-delayed starts) — and keeps
+    // whichever yields the earliest feasible finish.
+    auto probe = [&](double tau, const std::vector<Timeline::FreeProc>& avail) {
+      std::fill(until_of.begin(), until_of.end(), -1.0);
+      eligible.clear();
+      for (const auto& f : avail) {
+        // Necessary condition: the processor must stay free at least until
+        // tau + exec (the busy window can only end later than that).
+        if (f.until >= tau + exec) {
+          until_of[f.proc] = f.until;
+          eligible.push_back(f.proc);
+        }
+      }
+      if (eligible.size() < need) return;
+      auto feasible = [&](const Candidate& c) {
+        for (ProcId q : c.procs)
+          if (until_of[q] < c.finish) return false;
+        return true;
+      };
+      auto consider = [&](std::vector<ProcId>& procs, int slot) {
+        std::sort(procs.begin(), procs.end());
+        Candidate c;
+        time_on(tau, procs, slot, c);
+        if (feasible(c) && c.finish < best.finish) best = std::move(c);
+      };
+      // Locality-first subset (ties broken towards longer idle windows).
+      sel.assign(eligible.begin(), eligible.end());
+      std::nth_element(sel.begin(), sel.begin() + need - 1, sel.end(),
+                       [&](ProcId a, ProcId b) {
+                         if (score[a] != score[b]) return score[a] > score[b];
+                         if (until_of[a] != until_of[b])
+                           return until_of[a] > until_of[b];
+                         return a < b;
+                       });
+      sel.resize(need);
+      consider(sel, 0);
+      // Horizon-first subset (widest windows).
+      sel.assign(eligible.begin(), eligible.end());
+      std::nth_element(sel.begin(), sel.begin() + need - 1, sel.end(),
+                       [&](ProcId a, ProcId b) {
+                         if (until_of[a] != until_of[b])
+                           return until_of[a] > until_of[b];
+                         if (score[a] != score[b]) return score[a] > score[b];
+                         return a < b;
+                       });
+      sel.resize(need);
+      consider(sel, 1);
+    };
+
+    if (opt.backfill) {
+      times.clear();
+      times.push_back(est0);
+      for (auto it = std::upper_bound(finish_events.begin(),
+                                      finish_events.end(), est0);
+           it != finish_events.end(); ++it)
+        times.push_back(*it);
+      for (std::size_t i = 0; i < times.size(); ++i) {
+        timeline.available_at(times[i], avail_scratch);
+        probe(times[i], avail_scratch);
+        // Monotone pruning: any later hole acquires processors at
+        // >= times[i+1], and no subset beats the arrival lower bound.
+        if (best.finish < kInf && i + 1 < times.size() &&
+            best.finish <= finish_lb(times[i + 1]))
+          break;
+      }
+    } else {
+      // No-backfill variant (Fig 6): only the latest free time of each
+      // processor is consulted; holes earlier in the chart are ignored.
+      std::vector<double> taus;
+      taus.reserve(P);
+      for (ProcId q = 0; q < P; ++q)
+        taus.push_back(std::max(est0, timeline.latest_free_time(q)));
+      std::sort(taus.begin(), taus.end());
+      taus.erase(std::unique(taus.begin(), taus.end()), taus.end());
+      for (std::size_t i = 0; i < taus.size(); ++i) {
+        const double tau = taus[i];
+        std::vector<Timeline::FreeProc> avail;
+        for (ProcId q = 0; q < P; ++q)
+          if (timeline.latest_free_time(q) <= tau)
+            avail.push_back(Timeline::FreeProc{q, kForever});
+        probe(tau, avail);
+        if (best.finish < kInf && i + 1 < taus.size() &&
+            best.finish <= finish_lb(taus[i + 1]))
+          break;
+      }
+    }
+
+    if (!(best.finish < kInf))
+      throw std::logic_error("locbs: no feasible slot found");
+
+    // Commit the placement.
+    ProcessorSet pset(P);
+    for (ProcId q : best.procs) pset.insert(q);
+    timeline.occupy(pset, best.busy_from, best.finish);
+    {
+      const auto it = std::lower_bound(finish_events.begin(),
+                                       finish_events.end(), best.finish);
+      if (it == finish_events.end() || *it != best.finish)
+        finish_events.insert(it, best.finish);
+    }
+    res.schedule.place(tp, best.busy_from, best.start, best.finish, pset);
+    placed[tp] = best.procs;
+    ft[tp] = best.finish;
+    done[tp] = 1;
+
+    // Realized weights for the schedule-DAG.
+    res.dag.set_vertex_time(tp, exec);
+    if (!comm_edges.empty()) {
+      const std::vector<double>& durs = durs_for(best.procs, 2);
+      for (std::size_t k = 0; k < comm_edges.size(); ++k)
+        res.dag.set_edge_time(comm_edges[k], durs[k]);
+    }
+
+    // Pseudo-edges for resource-induced waiting (Alg. 2 steps 17-18): link
+    // every task finishing exactly when we could finally proceed and
+    // sharing a processor with us.
+    if (best.resource_induced) {
+      // Direct parents already impose the dependence; skip them.
+      std::vector<char> is_parent(n, 0);
+      for (EdgeId e : g.in_edges(tp)) is_parent[g.edge(e).src] = 1;
+      for (TaskId ti = 0; ti < n; ++ti) {
+        if (ti == tp || !done[ti] || is_parent[ti]) continue;
+        if (about(ft[ti], best.touch) &&
+            res.schedule.at(ti).procs.intersection_count(pset) > 0)
+          res.dag.add_pseudo_edge(ti, tp);
+      }
+    }
+
+    for (EdgeId e : g.out_edges(tp))
+      if (--waiting[g.edge(e).dst] == 0) ready.push_back(g.edge(e).dst);
+  }
+
+  res.makespan = res.schedule.makespan();
+  return res;
+}
+
+}  // namespace locmps

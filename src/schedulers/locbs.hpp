@@ -1,0 +1,74 @@
+#pragma once
+/// \file locbs.hpp
+/// LoCBS — Locality Conscious Backfill Scheduling (Algorithm 2).
+///
+/// Given a processor allocation np(t), LoCBS maps every task onto a concrete
+/// processor set and start time. It is a priority-based backfill scheduler:
+/// the 2-D (time x processor) chart is packed by placing each ready task in
+/// the idle slot ("hole") that minimizes its finish time, choosing within a
+/// hole the processor subset with maximum data locality so that part of the
+/// input data needs no redistribution. Tasks delayed by resource limits get
+/// pseudo-edges in the schedule-DAG G', which LoC-MPS uses to find the
+/// schedule's true critical path.
+
+#include "network/comm_model.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/schedule_dag.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// Behavioural switches of LoCBS (used for the paper's ablations).
+struct LocBSOptions {
+  /// Backfill into idle slots. When false, only the latest free time of
+  /// each processor is tracked (the cheaper scheme of Fig 6).
+  bool backfill = true;
+
+  /// Prefer processor subsets that already hold input data and charge only
+  /// the remote block-cyclic volume. When false, processors are picked by
+  /// availability and the full edge volume is charged.
+  bool locality = true;
+
+  /// Treat all communication as free (the iCASLB assumption). Implies that
+  /// edge weights, redistribution times and priorities ignore data volumes.
+  bool comm_blind = false;
+};
+
+/// Result of one LoCBS run.
+struct LocBSResult {
+  Schedule schedule;
+  ScheduleDag dag;  ///< G' with realized vertex/edge times + pseudo-edges
+  double makespan = 0.0;
+};
+
+/// A fixed prefix of the schedule: tasks that have already started (or
+/// finished) executing when a plan is recomputed at run time. Their
+/// placements and time windows are taken verbatim from \p placements and
+/// the scheduler packs the remaining tasks around them. Used by the online
+/// rescheduling extension (schedulers/online.hpp).
+struct FixedPrefix {
+  /// Per-task flag; true = this task's placement is frozen.
+  std::vector<char> frozen;
+  /// Source of the frozen placements (every frozen task must be placed).
+  const Schedule* placements = nullptr;
+  /// Wall-clock instant of the replan: no non-frozen task may acquire
+  /// processors earlier than this (the past cannot be scheduled into).
+  double not_before = 0.0;
+
+  bool is_frozen(TaskId t) const {
+    return t < frozen.size() && frozen[t] != 0;
+  }
+};
+
+/// Schedules \p g under allocation \p np on comm.cluster().
+///
+/// \p np must contain one entry per task with 1 <= np[t] <= P. The
+/// no-overlap platform model (comm.overlap() == false) makes incoming
+/// redistributions occupy the destination processors and serializes them.
+/// When \p fixed is given, its frozen tasks are copied into the result
+/// unchanged and only the remaining tasks are scheduled.
+LocBSResult locbs(const TaskGraph& g, const Allocation& np,
+                  const CommModel& comm, const LocBSOptions& opt = {},
+                  const FixedPrefix* fixed = nullptr);
+
+}  // namespace locmps

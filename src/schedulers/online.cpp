@@ -1,0 +1,111 @@
+#include "schedulers/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "schedule/event_sim.hpp"
+
+namespace locmps {
+
+OnlineResult run_online(const TaskGraph& g, const Cluster& cluster,
+                        const OnlineOptions& opt) {
+  const std::size_t n = g.num_tasks();
+  const CommModel comm(cluster);
+  const LocMPSScheduler planner(opt.planner);
+
+  SimOptions sim;
+  sim.runtime_noise = opt.runtime_noise;
+  sim.seed = opt.seed;
+  sim.single_port = false;
+
+  OnlineResult out;
+  SchedulerResult plan = planner.schedule(g, cluster);
+  out.planned_makespan = plan.estimated_makespan;
+  out.static_makespan =
+      simulate_execution(g, plan.schedule, comm, sim).makespan;
+
+  // Tasks whose (actual) duration the runtime has already accepted —
+  // either they triggered a replan or were frozen by one.
+  std::vector<char> acknowledged(n, 0);
+  // Earliest admissible start of each task: raised to the replan instant
+  // whenever the task is re-planned (the past cannot be rescheduled).
+  std::vector<double> release(n, 0.0);
+  sim.release_times = &release;
+
+  Schedule current = std::move(plan.schedule);
+  std::size_t replans = 0;
+  while (true) {
+    const SimResult run = simulate_execution(g, current, comm, sim);
+
+    // Earliest finish whose runtime deviated beyond the threshold.
+    TaskId trigger = kNoTask;
+    double trigger_ft = std::numeric_limits<double>::infinity();
+    for (TaskId t = 0; t < n; ++t) {
+      if (acknowledged[t]) continue;
+      const Placement& pl = run.executed.at(t);
+      const double est = g.task(t).profile.time(pl.np());
+      // Only adverse deviations warrant replanning: a replan synchronizes
+      // the not-yet-started tasks at the trigger instant, which is pure
+      // overhead when the task merely finished early.
+      const double dev = ((pl.finish - pl.start) - est) / est;
+      if (dev > opt.replan_threshold && pl.finish < trigger_ft) {
+        trigger = t;
+        trigger_ft = pl.finish;
+      }
+    }
+    if (trigger == kNoTask || replans >= opt.max_replans) {
+      out.executed = run.executed;
+      out.makespan = run.makespan;
+      break;
+    }
+
+    // Freeze the history: everything that had started by the replan
+    // instant keeps its processors and realized window.
+    FixedPrefix fixed;
+    fixed.frozen.assign(n, 0);
+    fixed.placements = &run.executed;
+    fixed.not_before = trigger_ft;
+    for (TaskId t = 0; t < n; ++t) {
+      if (run.executed.at(t).start <= trigger_ft) {
+        fixed.frozen[t] = 1;
+        acknowledged[t] = 1;
+      }
+    }
+
+    SchedulerResult replanned = planner.schedule_with_fixed(g, cluster, fixed);
+
+    // Plan stability: adopt the replan only if, under what the runtime
+    // knows (realized durations for acknowledged tasks, estimates for the
+    // rest), it completes earlier than continuing with the current plan.
+    std::vector<double> known(n, 1.0);
+    const std::vector<double> truth =
+        make_noise_factors(n, opt.runtime_noise, opt.seed);
+    for (TaskId t = 0; t < n; ++t)
+      if (acknowledged[t]) known[t] = truth[t];
+    SimOptions probe = sim;
+    probe.noise_factors = &known;
+    const double keep_est =
+        simulate_execution(g, current, comm, probe).makespan;
+    // Adopting a new plan synchronizes: nothing not yet started may start
+    // before the replan instant. Charge that in the comparison.
+    std::vector<double> release_if = release;
+    for (TaskId t = 0; t < n; ++t)
+      if (!fixed.frozen[t])
+        release_if[t] = std::max(release_if[t], trigger_ft);
+    SimOptions probe_switch = probe;
+    probe_switch.release_times = &release_if;
+    const double switch_est =
+        simulate_execution(g, replanned.schedule, comm, probe_switch)
+            .makespan;
+    if (switch_est < keep_est) {
+      current = std::move(replanned.schedule);
+      release = std::move(release_if);
+    }
+    ++replans;
+  }
+  out.replans = replans;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,52 @@
+#pragma once
+/// \file online.hpp
+/// Online rescheduling — the paper's stated future work ("incorporation of
+/// the scheduling strategy into a run-time framework for the on-line
+/// scheduling of mixed parallel applications", Section VI).
+///
+/// The static LoC-MPS plan is executed under multiplicative runtime-
+/// estimate noise. Whenever a task finishes far enough from its estimate,
+/// the runtime replans: every task that had already started keeps its
+/// committed processors and (now known) time window, and LoC-MPS
+/// re-optimizes allocation and placement of everything still waiting,
+/// packing around the frozen prefix (FixedPrefix support in LoCBS).
+/// The result is compared against executing the static plan unchanged.
+
+#include "schedulers/loc_mps.hpp"
+
+namespace locmps {
+
+/// Knobs of the online executor.
+struct OnlineOptions {
+  /// Replan when |actual - estimated| / estimated of a finished task
+  /// exceeds this (0.15 = 15% deviation).
+  double replan_threshold = 0.15;
+
+  /// Runtime-estimate error injected into execution (uniform +/- fraction).
+  double runtime_noise = 0.3;
+
+  /// Noise seed (the same task always misbehaves the same way).
+  std::uint64_t seed = 42;
+
+  /// Planner used for the initial plan and every replan.
+  LocMPSOptions planner;
+
+  /// Safety valve on the number of replans.
+  std::size_t max_replans = 64;
+};
+
+/// Outcome of one online execution.
+struct OnlineResult {
+  Schedule executed;            ///< realized windows (with noise)
+  double makespan = 0.0;        ///< realized makespan with replanning
+  double static_makespan = 0.0; ///< realized makespan of the static plan
+  double planned_makespan = 0.0;  ///< the initial plan's estimate
+  std::size_t replans = 0;      ///< replanning rounds triggered
+};
+
+/// Plans with LoC-MPS, executes with noise, and replans online whenever a
+/// task's runtime deviates beyond the threshold.
+OnlineResult run_online(const TaskGraph& g, const Cluster& cluster,
+                        const OnlineOptions& opt = {});
+
+}  // namespace locmps

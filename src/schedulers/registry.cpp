@@ -1,0 +1,53 @@
+#include "schedulers/registry.hpp"
+
+#include <stdexcept>
+
+#include "schedulers/annealing.hpp"
+#include "schedulers/cpa.hpp"
+#include "schedulers/cpr.hpp"
+#include "schedulers/data_parallel.hpp"
+#include "schedulers/icaslb.hpp"
+#include "schedulers/loc_mps.hpp"
+#include "schedulers/task_parallel.hpp"
+#include "schedulers/tsas.hpp"
+#include "schedulers/twol.hpp"
+
+namespace locmps {
+
+SchedulerPtr make_scheduler(const std::string& name) {
+  if (name == "loc-mps") return std::make_unique<LocMPSScheduler>();
+  if (name == "loc-mps-nbf") {
+    LocMPSOptions opt;
+    opt.locbs.backfill = false;
+    return std::make_unique<LocMPSScheduler>(opt);
+  }
+  if (name == "loc-mps-noloc") {
+    LocMPSOptions opt;
+    opt.locbs.locality = false;
+    return std::make_unique<LocMPSScheduler>(opt);
+  }
+  if (name == "icaslb") return std::make_unique<ICASLBScheduler>();
+  if (name == "cpr") return std::make_unique<CPRScheduler>();
+  if (name == "cpa") return std::make_unique<CPAScheduler>();
+  if (name == "tsas") return std::make_unique<TSASScheduler>();
+  if (name == "sa") return std::make_unique<AnnealingScheduler>();
+  if (name == "twol") return std::make_unique<TwoLScheduler>();
+  if (name == "task") return std::make_unique<TaskParallelScheduler>();
+  if (name == "data") return std::make_unique<DataParallelScheduler>();
+  throw std::invalid_argument("make_scheduler: unknown scheme '" + name +
+                              "'");
+}
+
+std::vector<std::string> paper_schemes() {
+  return {"loc-mps", "icaslb", "cpr", "cpa", "task", "data"};
+}
+
+bool scheme_exploits_locality(const std::string& name) {
+  // TwoL keeps block-cyclic groups aligned deterministically, so its
+  // transfers realize the exact remote volumes; TSAS/CPR/CPA/iCASLB and
+  // the locality-blind ablation do not orchestrate placement.
+  return name == "loc-mps" || name == "loc-mps-nbf" || name == "task" ||
+         name == "data" || name == "twol" || name == "sa";
+}
+
+}  // namespace locmps

@@ -1,0 +1,43 @@
+#pragma once
+/// \file scheduler.hpp
+/// Common interface of all allocation-and-scheduling schemes evaluated in
+/// the paper (LoC-MPS, iCASLB, CPR, CPA, TASK, DATA).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "graph/task_graph.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps {
+
+/// Processor allocation: np(t) for every task.
+using Allocation = std::vector<std::size_t>;
+
+/// Output of a scheduling scheme.
+struct SchedulerResult {
+  Schedule schedule;           ///< complete placement of every task
+  Allocation allocation;       ///< np(t) chosen by the scheme
+  double estimated_makespan = 0.0;  ///< the scheme's own makespan estimate
+  std::size_t iterations = 0;  ///< refinement iterations (0 for one-shot)
+};
+
+/// A mixed-parallel allocation-and-scheduling algorithm.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short identifier used in tables ("LoC-MPS", "CPA", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes a complete schedule of \p g on \p cluster.
+  virtual SchedulerResult schedule(const TaskGraph& g,
+                                   const Cluster& cluster) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+}  // namespace locmps

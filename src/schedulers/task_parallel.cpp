@@ -1,0 +1,18 @@
+#include "schedulers/task_parallel.hpp"
+
+namespace locmps {
+
+SchedulerResult TaskParallelScheduler::schedule(
+    const TaskGraph& g, const Cluster& cluster) const {
+  const CommModel comm(cluster);
+  Allocation np(g.num_tasks(), 1);
+  LocBSResult run = locbs(g, np, comm, opt_);
+  SchedulerResult out;
+  out.schedule = std::move(run.schedule);
+  out.allocation = std::move(np);
+  out.estimated_makespan = run.makespan;
+  out.iterations = 1;
+  return out;
+}
+
+}  // namespace locmps

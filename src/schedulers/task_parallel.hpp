@@ -1,0 +1,25 @@
+#pragma once
+/// \file task_parallel.hpp
+/// TASK — the pure task-parallel baseline: one processor per task, placed
+/// with the locality conscious backfill scheduler (Section IV).
+
+#include "schedulers/locbs.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The pure task-parallel scheme.
+class TaskParallelScheduler final : public Scheduler {
+ public:
+  explicit TaskParallelScheduler(LocBSOptions opt = {}) : opt_(opt) {}
+
+  std::string name() const override { return "TASK"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+
+ private:
+  LocBSOptions opt_;
+};
+
+}  // namespace locmps

@@ -1,0 +1,83 @@
+#include "schedulers/tsas.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "schedulers/list_scheduler.hpp"
+
+namespace locmps {
+
+SchedulerResult TSASScheduler::schedule(const TaskGraph& g,
+                                        const Cluster& cluster) const {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  const CommModel comm(cluster);
+
+  Allocation np(n, 1);
+  auto vw = [&](TaskId t) { return g.task(t).profile.time(np[t]); };
+  auto ew = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    return comm.edge_cost(ed.volume_bytes, np[ed.src], np[ed.dst]);
+  };
+  auto area = [&]() {
+    double a = 0.0;
+    for (TaskId t : g.task_ids())
+      a += static_cast<double>(np[t]) * g.task(t).profile.time(np[t]);
+    return a / static_cast<double>(P);
+  };
+
+  // Step 1: monotone descent on max(L, TA). Each move widens the
+  // critical-path task with the best execution-time gain per unit of
+  // added processor area; accepted only if the objective improves.
+  std::size_t iterations = 0;
+  const std::size_t hard_cap = n * P + 16;
+  double obj = std::max(compute_levels(g, vw, ew).critical_path_length(),
+                        area());
+  while (iterations < hard_cap) {
+    ++iterations;
+    const Levels lv = compute_levels(g, vw, ew);
+    const double L = lv.critical_path_length();
+    const double TA = area();
+    if (L <= TA) break;  // widening anything only raises the area term
+
+    const double tol = 1e-9 * std::max(1.0, L);
+    TaskId best = kNoTask;
+    double best_score = 0.0;
+    for (TaskId t : g.task_ids()) {
+      if (lv.top[t] + lv.bottom[t] < L - tol || np[t] >= P) continue;
+      const double gain =
+          g.task(t).profile.time(np[t]) - g.task(t).profile.time(np[t] + 1);
+      if (gain <= 0.0) continue;
+      const double darea = static_cast<double>(np[t] + 1) *
+                               g.task(t).profile.time(np[t] + 1) -
+                           static_cast<double>(np[t]) *
+                               g.task(t).profile.time(np[t]);
+      const double score = gain / std::max(darea, 1e-12);
+      if (best == kNoTask || score > best_score) {
+        best = t;
+        best_score = score;
+      }
+    }
+    if (best == kNoTask) break;
+
+    np[best] += 1;
+    const double new_obj = std::max(
+        compute_levels(g, vw, ew).critical_path_length(), area());
+    if (new_obj >= obj) {  // balance point passed; undo and stop
+      np[best] -= 1;
+      break;
+    }
+    obj = new_obj;
+  }
+
+  // Step 2: prioritized list scheduling of the rounded allocation.
+  ListScheduleResult ls = list_schedule(g, np, comm);
+  SchedulerResult out;
+  out.schedule = std::move(ls.schedule);
+  out.allocation = std::move(np);
+  out.estimated_makespan = ls.makespan;
+  out.iterations = iterations;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,31 @@
+#pragma once
+/// \file tsas.hpp
+/// TSAS — Two Step Allocation and Scheduling (Ramaswamy, Sapatnekar,
+/// Banerjee, IEEE TPDS 1997, ref [3]).
+///
+/// The earliest of the mixed-parallel baselines. Step 1 solves a
+/// continuous relaxation of the allocation problem: choose fractional
+/// processor shares x(t) minimizing
+///     max( critical-path length, average processor area )
+/// where both terms are convex in x under posynomial speedups (the
+/// original uses convex programming; we minimize the same objective with
+/// a monotone descent on the discretized shares, which converges to the
+/// same balance point for the non-increasing profiles used here).
+/// Step 2 rounds the shares to integers and runs a prioritized list
+/// schedule. The decoupling of the two steps — allocation never sees the
+/// packing — is what CPR/CPA (and LoC-MPS) improve upon.
+
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The TSAS baseline.
+class TSASScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "TSAS"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+};
+
+}  // namespace locmps

@@ -1,0 +1,109 @@
+#include "schedulers/twol.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "network/block_cyclic.hpp"
+
+namespace locmps {
+
+SchedulerResult TwoLScheduler::schedule(const TaskGraph& g,
+                                        const Cluster& cluster) const {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  const CommModel comm(cluster);
+
+  // Topological layering: layer(t) = 1 + max layer of predecessors.
+  std::vector<std::size_t> layer(n, 0);
+  std::size_t num_layers = 0;
+  for (TaskId t : topological_order(g)) {
+    for (EdgeId e : g.in_edges(t))
+      layer[t] = std::max(layer[t], layer[g.edge(e).src] + 1);
+    num_layers = std::max(num_layers, layer[t] + 1);
+  }
+  std::vector<std::vector<TaskId>> layers(num_layers);
+  for (TaskId t : g.task_ids()) layers[layer[t]].push_back(t);
+
+  SchedulerResult out;
+  out.schedule = Schedule(n, P);
+  out.allocation.assign(n, 1);
+  std::vector<double> ft(n, 0.0);
+  std::vector<ProcessorSet> procs_of(n, ProcessorSet(P));
+
+  double clock = 0.0;
+  for (const auto& tasks : layers) {
+    // Split P among the layer's tasks proportionally to their serial work
+    // (at least one processor each; surplus to the heaviest tasks first,
+    // capped at each task's Pbest). Wide layers fall back to batches of P
+    // tasks.
+    std::vector<TaskId> batch_pool = tasks;
+    std::sort(batch_pool.begin(), batch_pool.end(), [&](TaskId a, TaskId b) {
+      return g.task(a).profile.serial_time() >
+             g.task(b).profile.serial_time();
+    });
+    for (std::size_t begin = 0; begin < batch_pool.size(); begin += P) {
+      const std::size_t end = std::min(begin + P, batch_pool.size());
+      std::vector<TaskId> batch(batch_pool.begin() + begin,
+                                batch_pool.begin() + end);
+      const double total_work = std::accumulate(
+          batch.begin(), batch.end(), 0.0, [&](double acc, TaskId t) {
+            return acc + g.task(t).profile.serial_time();
+          });
+      // Proportional shares, floor 1, then distribute the remainder.
+      std::vector<std::size_t> share(batch.size(), 1);
+      std::size_t used = batch.size();
+      for (std::size_t i = 0; i < batch.size() && used < P; ++i) {
+        const double frac =
+            g.task(batch[i]).profile.serial_time() / total_work;
+        const std::size_t want = std::min(
+            {static_cast<std::size_t>(frac * static_cast<double>(P)),
+             g.task(batch[i]).profile.pbest(), P});
+        const std::size_t extra =
+            std::min(want > share[i] ? want - share[i] : 0, P - used);
+        share[i] += extra;
+        used += extra;
+      }
+      // Leftover processors to the heaviest tasks still below Pbest.
+      for (std::size_t i = 0; i < batch.size() && used < P; ++i) {
+        while (share[i] < std::min(P, g.task(batch[i]).profile.pbest()) &&
+               used < P) {
+          ++share[i];
+          ++used;
+        }
+      }
+
+      // Contiguous processor groups, tasks start together after the layer
+      // barrier plus their own input redistribution.
+      ProcId next = 0;
+      double layer_end = clock;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const TaskId t = batch[i];
+        const ProcessorSet grp = ProcessorSet::range(
+            P, next, share[i]);
+        next = static_cast<ProcId>(next + share[i]);
+        double start = clock;
+        for (EdgeId e : g.in_edges(t)) {
+          const Edge& ed = g.edge(e);
+          const double rv =
+              remote_volume(ed.volume_bytes, procs_of[ed.src], grp);
+          const double ct = comm.transfer_duration(
+              rv, procs_of[ed.src].count(), share[i]);
+          start = std::max(start, ft[ed.src] + ct);
+        }
+        const double finish = start + g.task(t).profile.time(share[i]);
+        out.schedule.place(t, clock, start, finish, grp);
+        out.allocation[t] = share[i];
+        procs_of[t] = grp;
+        ft[t] = finish;
+        layer_end = std::max(layer_end, finish);
+      }
+      clock = layer_end;  // barrier between batches/layers
+    }
+  }
+  out.estimated_makespan = out.schedule.makespan();
+  out.iterations = num_layers;
+  return out;
+}
+
+}  // namespace locmps

@@ -1,0 +1,27 @@
+#pragma once
+/// \file twol.hpp
+/// TwoL — two-level layer-based mixed-parallel scheduling in the style of
+/// Rauber & Ruenger (J. Systems Architecture 1999, ref [7]).
+///
+/// The DAG is partitioned into topological layers of independent tasks;
+/// each layer is executed to completion before the next starts (an upper
+/// synchronization level of task parallelism within a layer, data
+/// parallelism inside each task). Processors are split within a layer
+/// proportionally to the tasks' work, biased by scalability. The global
+/// layer barriers are exactly what the integrated single-step schemes
+/// remove, which makes TwoL a useful structural baseline.
+
+#include "schedulers/scheduler.hpp"
+
+namespace locmps {
+
+/// The TwoL-style layered baseline.
+class TwoLScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "TwoL"; }
+
+  SchedulerResult schedule(const TaskGraph& g,
+                           const Cluster& cluster) const override;
+};
+
+}  // namespace locmps

@@ -1,0 +1,20 @@
+#include "speedup/amdahl.hpp"
+
+#include <stdexcept>
+
+namespace locmps {
+
+AmdahlModel::AmdahlModel(double serial_fraction, double overhead)
+    : f_(serial_fraction), o_(overhead) {
+  if (f_ < 0.0 || f_ > 1.0)
+    throw std::invalid_argument("AmdahlModel: serial fraction in [0,1]");
+  if (o_ < 0.0) throw std::invalid_argument("AmdahlModel: overhead >= 0");
+}
+
+double AmdahlModel::speedup(std::size_t n_procs) const {
+  const double n = static_cast<double>(n_procs);
+  if (n <= 1.0) return 1.0;
+  return 1.0 / (f_ + (1.0 - f_) / n + o_ * (n - 1.0));
+}
+
+}  // namespace locmps

@@ -1,0 +1,35 @@
+#pragma once
+/// \file amdahl.hpp
+/// Amdahl-law speedup with an optional per-processor overhead term.
+///
+/// Used to synthesize execution profiles for the application task graphs
+/// (TCE contractions and Strassen kernels), substituting for the paper's
+/// measured Itanium-2 profiles: S(n) = 1 / (f + (1-f)/n + o*(n-1)), where f
+/// is the serial fraction and o models per-processor coordination overhead
+/// (causing the profile to flatten and eventually turn, which defines a
+/// finite Pbest as observed in real profiles).
+
+#include <cstddef>
+
+#include "speedup/model.hpp"
+
+namespace locmps {
+
+/// Amdahl speedup curve with overhead.
+class AmdahlModel final : public SpeedupModel {
+ public:
+  /// \param serial_fraction fraction f in [0, 1] of inherently serial work.
+  /// \param overhead        per-extra-processor relative overhead o >= 0.
+  explicit AmdahlModel(double serial_fraction, double overhead = 0.0);
+
+  double speedup(std::size_t n) const override;
+
+  double serial_fraction() const { return f_; }
+  double overhead() const { return o_; }
+
+ private:
+  double f_;
+  double o_;
+};
+
+}  // namespace locmps

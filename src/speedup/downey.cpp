@@ -1,0 +1,41 @@
+#include "speedup/downey.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace locmps {
+
+DowneyModel::DowneyModel(double A, double sigma) : A_(A), sigma_(sigma) {
+  if (A < 1.0) throw std::invalid_argument("DowneyModel: A must be >= 1");
+  if (sigma < 0.0)
+    throw std::invalid_argument("DowneyModel: sigma must be >= 0");
+}
+
+double DowneyModel::speedup(std::size_t n_procs) const {
+  const double n = static_cast<double>(n_procs);
+  const double A = A_;
+  const double s = sigma_;
+  if (n <= 1.0) return 1.0;
+  double sp;
+  if (s <= 1.0) {
+    // Low-variance regime: linear ramp, then saturation at n = 2A-1.
+    if (n <= A) {
+      sp = (A * n) / (A + s * (n - 1.0) / 2.0);
+    } else if (n <= 2.0 * A - 1.0) {
+      sp = (A * n) / (s * (A - 0.5) + n * (1.0 - s / 2.0));
+    } else {
+      sp = A;
+    }
+  } else {
+    // High-variance regime: saturation at n = A + A*sigma - sigma.
+    if (n <= A + A * s - s) {
+      sp = (n * A * (s + 1.0)) / (s * (n + A - 1.0) + A);
+    } else {
+      sp = A;
+    }
+  }
+  // Guard against tiny numeric dips below 1 for degenerate parameters.
+  return std::max(sp, 1.0);
+}
+
+}  // namespace locmps

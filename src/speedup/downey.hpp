@@ -1,0 +1,36 @@
+#pragma once
+/// \file downey.hpp
+/// Downey's model of parallel program speedup (A. B. Downey, "A model for
+/// speedup of parallel programs", UC Berkeley CSD-97-933), the model the
+/// paper uses to synthesize task scalability (Section IV-A).
+///
+/// The model has two parameters:
+///  * A      — the average parallelism of the task, and
+///  * sigma  — the coefficient of variation of parallelism; sigma = 0 means
+///             perfectly scalable up to A processors, larger values mean
+///             poorer scalability.
+
+#include <cstddef>
+
+#include "speedup/model.hpp"
+
+namespace locmps {
+
+/// Downey speedup curve.
+class DowneyModel final : public SpeedupModel {
+ public:
+  /// \param A     average parallelism, A >= 1.
+  /// \param sigma variance of parallelism, sigma >= 0.
+  DowneyModel(double A, double sigma);
+
+  double speedup(std::size_t n) const override;
+
+  double A() const { return A_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double A_;
+  double sigma_;
+};
+
+}  // namespace locmps

@@ -1,0 +1,30 @@
+#pragma once
+/// \file model.hpp
+/// Interface for parallel-task speedup models.
+///
+/// A speedup model maps a processor count n >= 1 to a speedup S(n) >= ~1.
+/// Models are used to *generate* tabulated execution-time profiles
+/// (speedup/profile.hpp); schedulers only ever consume profiles, keeping the
+/// hot paths free of virtual dispatch.
+
+#include <cstddef>
+
+namespace locmps {
+
+/// Abstract speedup curve S(n).
+class SpeedupModel {
+ public:
+  virtual ~SpeedupModel() = default;
+
+  /// Speedup on \p n processors; must satisfy speedup(1) == 1 and be
+  /// non-decreasing in n for well-formed models.
+  virtual double speedup(std::size_t n) const = 0;
+
+  /// Execution time on \p n processors of a task whose uniprocessor time is
+  /// \p t1.
+  double exec_time(double t1, std::size_t n) const {
+    return t1 / speedup(n);
+  }
+};
+
+}  // namespace locmps

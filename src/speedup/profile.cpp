@@ -1,0 +1,50 @@
+#include "speedup/profile.hpp"
+
+#include <stdexcept>
+
+namespace locmps {
+
+ExecutionProfile::ExecutionProfile(std::vector<double> times)
+    : times_(std::move(times)) {
+  if (times_.empty())
+    throw std::invalid_argument("ExecutionProfile: empty table");
+  for (double t : times_)
+    if (t <= 0.0)
+      throw std::invalid_argument("ExecutionProfile: times must be > 0");
+  compute_pbest();
+}
+
+ExecutionProfile::ExecutionProfile(const SpeedupModel& model, double t1,
+                                   std::size_t max_procs) {
+  if (max_procs == 0)
+    throw std::invalid_argument("ExecutionProfile: max_procs must be >= 1");
+  if (t1 <= 0.0)
+    throw std::invalid_argument("ExecutionProfile: t1 must be > 0");
+  times_.reserve(max_procs);
+  for (std::size_t p = 1; p <= max_procs; ++p)
+    times_.push_back(model.exec_time(t1, p));
+  compute_pbest();
+}
+
+ExecutionProfile ExecutionProfile::constant(double t, std::size_t max_procs) {
+  return ExecutionProfile(std::vector<double>(max_procs, t));
+}
+
+double ExecutionProfile::time(std::size_t p) const {
+  if (p == 0) throw std::invalid_argument("ExecutionProfile: p must be >= 1");
+  if (p > times_.size()) p = times_.size();
+  return times_[p - 1];
+}
+
+void ExecutionProfile::compute_pbest() {
+  pbest_ = 1;
+  double best = times_[0];
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < best) {
+      best = times_[i];
+      pbest_ = i + 1;
+    }
+  }
+}
+
+}  // namespace locmps

@@ -1,0 +1,66 @@
+#pragma once
+/// \file profile.hpp
+/// Tabulated execution-time profile et(t, p) of a parallel task.
+///
+/// The paper obtains execution times either from a developer-supplied
+/// function or by profiling the task on 1..P processors (Section II). We
+/// materialize the profile as a table for p = 1..P at graph-construction
+/// time; all schedulers consume only this table, so speedup models never
+/// appear on scheduling hot paths.
+
+#include <cstddef>
+#include <vector>
+
+#include "speedup/model.hpp"
+
+namespace locmps {
+
+/// Execution-time table for one task, indexed by processor count.
+class ExecutionProfile {
+ public:
+  ExecutionProfile() = default;
+
+  /// Builds a profile from explicit times; \p times[i] is the execution
+  /// time on i+1 processors. Must be non-empty with positive entries.
+  explicit ExecutionProfile(std::vector<double> times);
+
+  /// Tabulates \p model for p = 1..max_procs with uniprocessor time \p t1.
+  ExecutionProfile(const SpeedupModel& model, double t1,
+                   std::size_t max_procs);
+
+  /// Serial profile: the same time for every processor count (a task that
+  /// does not benefit from more processors).
+  static ExecutionProfile constant(double t, std::size_t max_procs);
+
+  /// Largest tabulated processor count.
+  std::size_t max_procs() const { return times_.size(); }
+
+  /// Execution time on \p p processors. For p beyond the table the last
+  /// entry is returned (a task never uses more processors than profiled);
+  /// p must be >= 1.
+  double time(std::size_t p) const;
+
+  /// Uniprocessor execution time et(t, 1).
+  double serial_time() const { return times_.front(); }
+
+  /// Reduction in execution time from adding one processor to \p p
+  /// (may be negative for profiles that worsen past their sweet spot).
+  double gain(std::size_t p) const { return time(p) - time(p + 1); }
+
+  /// Pbest: the least processor count at which the execution time attains
+  /// its minimum over the table (Algorithm 1, step 14).
+  std::size_t pbest() const { return pbest_; }
+
+  /// Speedup on p processors relative to the uniprocessor time.
+  double speedup(std::size_t p) const { return serial_time() / time(p); }
+
+  const std::vector<double>& table() const { return times_; }
+
+ private:
+  void compute_pbest();
+
+  std::vector<double> times_;  ///< times_[i] = et on i+1 processors
+  std::size_t pbest_ = 1;
+};
+
+}  // namespace locmps

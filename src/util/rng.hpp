@@ -1,0 +1,54 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation for workload synthesis.
+///
+/// All stochastic components of the library (synthetic DAG generation,
+/// Downey-parameter sampling, runtime-noise injection) draw from Rng so that
+/// every experiment is reproducible from a single 64-bit seed.
+
+#include <cstdint>
+#include <limits>
+
+namespace locmps {
+
+/// Small, fast, deterministic PRNG (xoshiro256**).
+///
+/// We implement the generator ourselves (rather than using std::mt19937)
+/// so that sequences are identical across standard-library implementations;
+/// benchmark tables must be reproducible bit-for-bit from a seed.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from \p seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability \p p.
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child generator (stable function of state+salt).
+  Rng split(std::uint64_t salt) noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace locmps

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locmps {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0, logsum = 0.0;
+  bool geo_ok = true;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    if (x > 0)
+      logsum += std::log(x);
+    else
+      geo_ok = false;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  s.geomean =
+      geo_ok ? std::exp(logsum / static_cast<double>(xs.size())) : 0.0;
+  return s;
+}
+
+double mean(std::span<const double> xs) { return summarize(xs).mean; }
+
+double geomean(std::span<const double> xs) { return summarize(xs).geomean; }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace locmps

@@ -1,0 +1,33 @@
+#pragma once
+/// \file stats.hpp
+/// Lightweight descriptive statistics used by the experiment harness.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace locmps {
+
+/// Summary of a sample: count, mean, stddev, min/max and geometric mean.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double geomean = 0.0;  ///< geometric mean; 0 if any sample <= 0
+};
+
+/// Computes a Summary over \p xs. An empty span yields a zero Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; 0 for an empty span or any non-positive sample.
+double geomean(std::span<const double> xs);
+
+/// \p q-quantile (0 <= q <= 1) by linear interpolation on the sorted copy.
+double quantile(std::span<const double> xs, double q);
+
+}  // namespace locmps

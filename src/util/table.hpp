@@ -1,0 +1,52 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table and CSV emission for the benchmark harness. Every figure
+/// bench prints a paper-style table with these helpers and can mirror it to
+/// CSV (for replotting) when the LOCMPS_CSV environment variable is set.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace locmps {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+/// \code
+///   Table t({"P", "CPR", "CPA"});
+///   t.add_row({"8", "0.91", "0.87"});
+///   t.print(std::cout);
+/// \endcode
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with \p precision digits after the point.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table, column-aligned, with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV.
+  void write_csv(std::ostream& os) const;
+
+  /// Writes CSV to \p path if the LOCMPS_CSV environment variable is set to
+  /// a non-empty, non-"0" value. Returns true when a file was written.
+  bool maybe_write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed \p precision (no trailing spaces).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace locmps

@@ -1,0 +1,35 @@
+#pragma once
+/// \file strassen.hpp
+/// Task graph of Strassen's matrix multiplication (Section IV-B, Fig 7b).
+///
+/// One Strassen level on an N x N product spawns ten block pre-additions
+/// (S matrices), seven half-size block multiplications (M1..M7) and four
+/// post-combinations forming the C quadrants. Multiplications carry
+/// O((N/2)^3) work and scale well; additions are memory bound and scale
+/// poorly, which is why the pure data-parallel schedule only becomes
+/// competitive at large N (Fig 9). The generator recurses: each block
+/// multiply can itself be expanded into a Strassen sub-DAG.
+///
+/// The paper's Itanium-2 execution profiles are substituted with analytic
+/// Downey profiles derived from the block sizes (see DESIGN.md).
+
+#include "graph/task_graph.hpp"
+
+namespace locmps {
+
+/// Parameters of the Strassen task graph.
+struct StrassenParams {
+  std::size_t n = 1024;         ///< matrix dimension N
+  std::size_t levels = 1;       ///< Strassen recursion depth (>= 1)
+  double flops_per_sec = 2e9;   ///< per-processor multiply throughput
+  double mem_factor = 10.0;     ///< slowdown of memory-bound additions
+  double element_bytes = 8.0;   ///< matrix element size
+  std::size_t max_procs = 128;  ///< profile table length
+};
+
+/// Builds the Strassen DAG. The operand matrices are pre-distributed
+/// inputs, so the pre-addition tasks are the DAG sources; a single
+/// assemble task producing the product is the sink.
+TaskGraph make_strassen(const StrassenParams& p = {});
+
+}  // namespace locmps

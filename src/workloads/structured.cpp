@@ -1,0 +1,109 @@
+#include "workloads/structured.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "speedup/downey.hpp"
+
+namespace locmps {
+
+namespace {
+
+/// One task with the family's cost model.
+TaskId add_task(TaskGraph& g, const std::string& name,
+                const StructuredParams& p, Rng& rng) {
+  const double t1 = std::max(1e-3, rng.uniform(0.0, 2.0 * p.mean_serial_time));
+  const DowneyModel m(rng.uniform(1.0, p.amax), p.sigma);
+  return g.add_task(name, ExecutionProfile(m, t1, p.max_procs));
+}
+
+/// Edge volume drawn as in the TGFF-style generator.
+double volume(const StructuredParams& p, Rng& rng) {
+  if (p.ccr <= 0.0) return 0.0;
+  return rng.uniform(0.0, 2.0 * p.mean_serial_time * p.ccr) * p.bandwidth_Bps;
+}
+
+}  // namespace
+
+TaskGraph make_fork_join(std::size_t stages, std::size_t width,
+                         const StructuredParams& p, Rng& rng) {
+  TaskGraph g;
+  TaskId join = add_task(g, "start", p, rng);
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<TaskId> forked;
+    for (std::size_t w = 0; w < width; ++w) {
+      const TaskId t = add_task(
+          g, "s" + std::to_string(s) + "w" + std::to_string(w), p, rng);
+      g.add_edge(join, t, volume(p, rng));
+      forked.push_back(t);
+    }
+    const TaskId next = add_task(g, "join" + std::to_string(s), p, rng);
+    for (TaskId t : forked) g.add_edge(t, next, volume(p, rng));
+    join = next;
+  }
+  return g;
+}
+
+TaskGraph make_pipeline(std::size_t length, const StructuredParams& p,
+                        Rng& rng) {
+  TaskGraph g;
+  TaskId prev = kNoTask;
+  for (std::size_t i = 0; i < length; ++i) {
+    const TaskId t = add_task(g, "stage" + std::to_string(i), p, rng);
+    if (prev != kNoTask) g.add_edge(prev, t, volume(p, rng));
+    prev = t;
+  }
+  return g;
+}
+
+TaskGraph make_layered(std::size_t layers, std::size_t width,
+                       const StructuredParams& p, Rng& rng) {
+  TaskGraph g;
+  std::vector<TaskId> prev;
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::vector<TaskId> cur;
+    for (std::size_t w = 0; w < width; ++w) {
+      const TaskId t = add_task(
+          g, "l" + std::to_string(l) + "t" + std::to_string(w), p, rng);
+      for (TaskId s : prev) g.add_edge(s, t, volume(p, rng));
+      cur.push_back(t);
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph make_series_parallel(std::size_t ops, const StructuredParams& p,
+                               Rng& rng) {
+  // Grow the shape first on abstract vertices, then realize costs.
+  struct AbstractEdge {
+    std::size_t src, dst;
+  };
+  std::size_t num_vertices = 2;  // 0 = source, 1 = sink
+  std::vector<AbstractEdge> edges{{0, 1}};
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(edges.size()) - 1));
+    const AbstractEdge e = edges[pick];
+    const std::size_t w = num_vertices++;
+    if (rng.bernoulli(0.5)) {
+      // Series: subdivide the edge with a new vertex.
+      edges[pick] = AbstractEdge{e.src, w};
+      edges.push_back(AbstractEdge{w, e.dst});
+    } else {
+      // Parallel: add a disjoint path of length 2 next to the edge.
+      edges.push_back(AbstractEdge{e.src, w});
+      edges.push_back(AbstractEdge{w, e.dst});
+    }
+  }
+  TaskGraph g;
+  for (std::size_t v = 0; v < num_vertices; ++v)
+    add_task(g, "v" + std::to_string(v), p, rng);
+  for (const AbstractEdge& e : edges)
+    g.add_edge(static_cast<TaskId>(e.src), static_cast<TaskId>(e.dst),
+               volume(p, rng));
+  return g;
+}
+
+}  // namespace locmps

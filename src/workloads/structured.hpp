@@ -1,0 +1,51 @@
+#pragma once
+/// \file structured.hpp
+/// Structured task-graph families complementing the random TGFF-style
+/// generator: the canonical shapes mixed-parallel applications take
+/// (fork-join phases, pipelines, wide layers, series-parallel nests).
+/// TGFF itself generates series-parallel-ish graphs; these generators pin
+/// the structure down exactly so DAG-shape sensitivity can be studied in
+/// isolation (bench ext_dag_shapes).
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "graph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace locmps {
+
+/// Common cost parameters of the structured families (same semantics as
+/// SyntheticParams: Downey scalability, CCR-scaled communication).
+struct StructuredParams {
+  double mean_serial_time = 30.0;
+  double ccr = 0.1;
+  double amax = 64.0;
+  double sigma = 1.0;
+  std::size_t max_procs = 128;
+  double bandwidth_Bps = kFastEthernetBytesPerSec;
+};
+
+/// Fork-join: `stages` sequential phases; each phase forks `width`
+/// independent tasks from a coordinator task and joins into the next.
+TaskGraph make_fork_join(std::size_t stages, std::size_t width,
+                         const StructuredParams& p, Rng& rng);
+
+/// Linear pipeline of `length` tasks (the structure of Subhlok & Vondran's
+/// chains, ref [26]): precedence is a single path.
+TaskGraph make_pipeline(std::size_t length, const StructuredParams& p,
+                        Rng& rng);
+
+/// `layers` fully connected layers of `width` tasks each: every task
+/// depends on every task of the previous layer (dense redistribution).
+TaskGraph make_layered(std::size_t layers, std::size_t width,
+                       const StructuredParams& p, Rng& rng);
+
+/// Random series-parallel DAG with `ops` composition steps: starting from
+/// a single edge, repeatedly duplicate a random edge in parallel or
+/// subdivide it in series (the class Prasanna's optimal results cover,
+/// ref [27]).
+TaskGraph make_series_parallel(std::size_t ops, const StructuredParams& p,
+                               Rng& rng);
+
+}  // namespace locmps

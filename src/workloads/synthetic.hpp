@@ -1,0 +1,51 @@
+#pragma once
+/// \file synthetic.hpp
+/// Synthetic task-graph generation following Section IV-A of the paper.
+///
+/// The paper uses the TGFF tool to generate 30 random DAGs with 10-50 tasks
+/// and average in/out-degree 4; uniprocessor times are uniform with mean 30,
+/// edge communication costs uniform with mean 30*CCR (data volume = cost x
+/// network bandwidth, 100 Mbps fast ethernet), and task scalability follows
+/// Downey's model with A uniform in [1, Amax] and a fixed sigma. This module
+/// is our TGFF substitute: a seeded layered random-DAG generator with the
+/// same knobs (substitution documented in DESIGN.md).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "graph/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace locmps {
+
+/// Knobs of the synthetic workload generator (paper defaults).
+struct SyntheticParams {
+  std::size_t min_tasks = 10;
+  std::size_t max_tasks = 50;
+  /// Target average in/out degree: each non-root draws its in-degree
+  /// uniformly from [1, 2*avg_degree - 1].
+  double avg_degree = 4.0;
+  /// Uniprocessor times are uniform in (0, 2*mean_serial_time).
+  double mean_serial_time = 30.0;
+  /// Communication-to-computation ratio; edge costs (at np=1) are uniform
+  /// with mean mean_serial_time * ccr.
+  double ccr = 0.0;
+  /// Downey scalability: A uniform in [1, amax], fixed sigma.
+  double amax = 64.0;
+  double sigma = 1.0;
+  /// Length of the tabulated execution profiles (>= largest cluster).
+  std::size_t max_procs = 128;
+  /// Link bandwidth used to convert edge costs to data volumes.
+  double bandwidth_Bps = kFastEthernetBytesPerSec;
+};
+
+/// Generates one random DAG. Deterministic in (params, rng state).
+TaskGraph make_synthetic_dag(const SyntheticParams& p, Rng& rng);
+
+/// Generates the paper's suite of \p count independent DAGs from \p seed.
+std::vector<TaskGraph> make_synthetic_suite(const SyntheticParams& p,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+}  // namespace locmps

@@ -1,0 +1,198 @@
+#include "workloads/tce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "speedup/downey.hpp"
+
+namespace locmps {
+
+namespace {
+
+/// Average parallelism heuristic: contraction parallelism grows with the
+/// amount of work (more independent output tiles), so large contractions
+/// scale to many processors while small ones saturate almost immediately.
+double contraction_parallelism(double flops) {
+  return std::clamp(flops / 5e7, 1.5, 256.0);
+}
+
+}  // namespace
+
+TaskGraph make_ccsd_t1(const TCEParams& p) {
+  const double o = static_cast<double>(p.occupied);
+  const double v = static_cast<double>(p.virt);
+  const double eb = p.element_bytes;
+  TaskGraph g;
+
+  // Result/intermediate tensor sizes (bytes). Input tensors (Fock blocks,
+  // two-electron integrals, the t1/t2 amplitudes) are pre-distributed
+  // before the computation starts — as in the paper's Fig 7a DAG, only
+  // *inter-task* tensors flow along edges and may need redistribution.
+  const double sz_ov = o * v * eb;  // t1-shaped results, residual
+
+  auto contraction = [&](const std::string& name, double flops,
+                         double sigma = 0.8) {
+    const double t1 = std::max(1e-4, flops / p.flops_per_sec);
+    const DowneyModel m(contraction_parallelism(flops), sigma);
+    return g.add_task(name, ExecutionProfile(m, t1, p.max_procs));
+  };
+  // Accumulations are memory bound: tiny work, almost no scaling.
+  auto accumulation = [&](const std::string& name, double terms) {
+    const double t1 =
+        std::max(1e-4, terms * o * v * 20.0 / p.flops_per_sec);
+    const DowneyModel m(2.0, 2.0);
+    return g.add_task(name, ExecutionProfile(m, t1, p.max_procs));
+  };
+
+  // --- Independent contractions of the T1 residual -----------------------
+  // Contractions over pre-distributed inputs are the DAG's source vertices
+  // ("many of the vertices have a single incident edge", Fig 7a).
+  // r1 = f_vv * t1                  (v^2 o work)
+  const TaskId c1 = contraction("f_vv*t1", 2 * o * v * v);
+  // r2 = f_oo * t1                  (o^2 v)
+  const TaskId c2 = contraction("f_oo*t1", 2 * o * o * v);
+  // r3 = f_ov * t2                  (o^2 v^2)
+  const TaskId c3 = contraction("f_ov*t2", 2 * o * o * v * v);
+  // I1 = f_ov * t1 (oo intermediate), then r4 = I1 * t1
+  const TaskId c4 = contraction("f_ov*t1", 2 * o * o * v);
+  const TaskId c5 = contraction("I1*t1", 2 * o * o * v);
+  g.add_edge(c4, c5, o * o * eb);
+  // r5 = W_ovov * t1                (o^2 v^2)
+  const TaskId c6 = contraction("W_ovov*t1", 2 * o * o * v * v);
+  // r6 = W_ovvv * t2                (o^2 v^3) — the heavyweight
+  const TaskId c7 = contraction("W_ovvv*t2", 2 * o * o * v * v * v);
+  // r7 = W_ooov * t2                (o^3 v^2)
+  const TaskId c8 = contraction("W_ooov*t2", 2 * o * o * o * v * v);
+  // I2 = W_oovv * t1 (ooov intermediate), then r8 = I2 * t2
+  const TaskId c9 = contraction("W_oovv*t1", 2 * o * o * v * v);
+  const TaskId c10 = contraction("I2*t2", 2 * o * o * o * v * v);
+  g.add_edge(c9, c10, o * o * o * v * eb);
+  // I3 = W_oovv * t2 (ov intermediate), then r9 = I3 * t1
+  const TaskId c11 = contraction("W_oovv*t2", 2 * o * o * v * v);
+  const TaskId c12 = contraction("I3*t1", 2 * o * o * v);
+  g.add_edge(c11, c12, sz_ov);
+
+  // --- Accumulation chain into the residual (partial products) -----------
+  const TaskId a1 = accumulation("acc1", 3);
+  g.add_edge(c1, a1, sz_ov);
+  g.add_edge(c2, a1, sz_ov);
+  const TaskId a2 = accumulation("acc2", 3);
+  g.add_edge(a1, a2, sz_ov);
+  g.add_edge(c3, a2, sz_ov);
+  g.add_edge(c5, a2, sz_ov);
+  const TaskId a3 = accumulation("acc3", 3);
+  g.add_edge(a2, a3, sz_ov);
+  g.add_edge(c6, a3, sz_ov);
+  g.add_edge(c7, a3, sz_ov);
+  const TaskId a4 = accumulation("acc4", 3);
+  g.add_edge(a3, a4, sz_ov);
+  g.add_edge(c8, a4, sz_ov);
+  g.add_edge(c10, a4, sz_ov);
+  const TaskId a5 = accumulation("residual", 2);
+  g.add_edge(a4, a5, sz_ov);
+  g.add_edge(c12, a5, sz_ov);
+
+  return g;
+}
+
+TaskGraph make_ccsd_t2(const TCEParams& p) {
+  const double o = static_cast<double>(p.occupied);
+  const double v = static_cast<double>(p.virt);
+  const double eb = p.element_bytes;
+  TaskGraph g;
+
+  const double sz_ov = o * v * eb;
+  const double sz_oo = o * o * eb;
+  const double sz_vv = v * v * eb;
+  const double sz_oovv = o * o * v * v * eb;  // t2-shaped results
+  const double sz_ooov = o * o * o * v * eb;
+  const double sz_oooo = o * o * o * o * eb;
+
+  auto contraction = [&](const std::string& name, double flops,
+                         double sigma = 0.8) {
+    const double t1 = std::max(1e-4, flops / p.flops_per_sec);
+    const DowneyModel m(contraction_parallelism(flops), sigma);
+    return g.add_task(name, ExecutionProfile(m, t1, p.max_procs));
+  };
+  auto accumulation = [&](const std::string& name, double terms) {
+    const double t1 =
+        std::max(1e-4, terms * o * o * v * v * 4.0 / p.flops_per_sec);
+    const DowneyModel m(3.0, 2.0);
+    return g.add_task(name, ExecutionProfile(m, t1, p.max_procs));
+  };
+
+  // --- Direct (linear-in-t2) contractions --------------------------------
+  // Particle-particle ladder: r += W_vvvv * t2       (o^2 v^4, the giant)
+  const TaskId pp = contraction("W_vvvv*t2", 2 * o * o * v * v * v * v);
+  // Hole-hole ladder: I_oooo = W_oooo + W_oovv*t2, then r += I_oooo * tau
+  const TaskId hh1 = contraction("W_oovv*t2(oooo)", 2 * o * o * o * o * v * v);
+  const TaskId hh2 = contraction("Ioooo*tau", 2 * o * o * o * o * v * v);
+  g.add_edge(hh1, hh2, sz_oooo);
+  // Ring / particle-hole terms: I_ovov intermediates then contraction.
+  const TaskId ph1 = contraction("W_ovov+W_oovv*t2", 2 * o * o * o * v * v * v);
+  const TaskId ph2 = contraction("Iovov*t2", 2 * o * o * o * v * v * v);
+  g.add_edge(ph1, ph2, o * v * o * v * eb);
+  // Fock-dressed one-particle pieces.
+  const TaskId fvv = contraction("F_vv*t2", 2 * o * o * v * v * v);
+  const TaskId foo = contraction("F_oo*t2", 2 * o * o * o * v * v);
+  // t1-dressed integral intermediates feeding the residual.
+  const TaskId d1 = contraction("W_ovvv*t1(vv)", 2 * o * v * v * v);
+  const TaskId d2 = contraction("Ivv*t2", 2 * o * o * v * v * v);
+  g.add_edge(d1, d2, sz_vv);
+  const TaskId d3 = contraction("W_ooov*t1(oo)", 2 * o * o * o * v);
+  const TaskId d4 = contraction("Ioo*t2", 2 * o * o * o * v * v);
+  g.add_edge(d3, d4, sz_oo);
+  // Direct integral terms.
+  const TaskId w1 = contraction("W_ovvv*t1", 2 * o * o * v * v * v);
+  const TaskId w2 = contraction("W_ooov*t1", 2 * o * o * o * v * v);
+  // Quadratic terms via the tau intermediate (t2 + t1*t1).
+  const TaskId q1 = contraction("tau_build", o * o * v * v, 2.0);
+  const TaskId q2 = contraction("W_oovv*tau(vvvv)", 2 * o * o * v * v * v * v);
+  g.add_edge(q1, q2, sz_oovv);
+  const TaskId q3 = contraction("Ivvvv*tau", 2 * o * o * v * v * v * v);
+  g.add_edge(q2, q3, v * v * v * v * eb / std::max(1.0, o));  // screened
+  g.add_edge(q1, q3, sz_oovv);
+  const TaskId q4 = contraction("W_oovv*tau(oo)", 2 * o * o * o * v * v);
+  g.add_edge(q1, q4, sz_oovv);
+  const TaskId q5 = contraction("Ioo2*t2", 2 * o * o * o * v * v);
+  g.add_edge(q4, q5, sz_oo);
+  // Three-index mixed pieces.
+  const TaskId m1 = contraction("W_ovoo*t1", 2 * o * o * o * v * v);
+  const TaskId m2 = contraction("W_vvvo*t1", 2 * o * v * v * v);
+  const TaskId m3 = contraction("Ivvvo*t1", 2 * o * o * v * v * v);
+  g.add_edge(m2, m3, o * v * v * eb);
+
+  // --- Accumulation spine into the doubles residual ----------------------
+  const TaskId a1 = accumulation("t2acc1", 3);
+  g.add_edge(pp, a1, sz_oovv);
+  g.add_edge(hh2, a1, sz_oovv);
+  const TaskId a2 = accumulation("t2acc2", 3);
+  g.add_edge(a1, a2, sz_oovv);
+  g.add_edge(ph2, a2, sz_oovv);
+  g.add_edge(fvv, a2, sz_oovv);
+  const TaskId a3 = accumulation("t2acc3", 3);
+  g.add_edge(a2, a3, sz_oovv);
+  g.add_edge(foo, a3, sz_oovv);
+  g.add_edge(d2, a3, sz_oovv);
+  const TaskId a4 = accumulation("t2acc4", 3);
+  g.add_edge(a3, a4, sz_oovv);
+  g.add_edge(d4, a4, sz_oovv);
+  g.add_edge(w1, a4, sz_oovv);
+  const TaskId a5 = accumulation("t2acc5", 3);
+  g.add_edge(a4, a5, sz_oovv);
+  g.add_edge(w2, a5, sz_oovv);
+  g.add_edge(q3, a5, sz_oovv);
+  const TaskId a6 = accumulation("t2acc6", 3);
+  g.add_edge(a5, a6, sz_oovv);
+  g.add_edge(q5, a6, sz_oovv);
+  g.add_edge(m1, a6, sz_oovv);
+  const TaskId a7 = accumulation("t2residual", 2);
+  g.add_edge(a6, a7, sz_oovv);
+  g.add_edge(m3, a7, sz_oovv);
+
+  (void)sz_ov;
+  (void)sz_ooov;
+  return g;
+}
+
+}  // namespace locmps

@@ -1,0 +1,43 @@
+#pragma once
+/// \file tce.hpp
+/// Task graph of the CCSD T1 amplitude computation from the Tensor
+/// Contraction Engine (Section IV-B, Fig 7a).
+///
+/// Each vertex is a tensor contraction (a generalized matrix multiply) or
+/// an accumulation into the running partial product; edges carry the
+/// produced tensor. The paper's DAG comes from the coupled-cluster singles
+/// and doubles (CCSD) T1 residual equation: a few large contractions
+/// (O(o^2 v^3) work) among many small, poorly scaling ones — exactly the
+/// structure that defeats the pure data-parallel schedule.
+///
+/// The paper's execution profiles were measured on an Itanium-2 cluster; we
+/// substitute analytic profiles derived from the contraction flop counts
+/// (Downey curves whose average parallelism grows with task size), as
+/// documented in DESIGN.md.
+
+#include "graph/task_graph.hpp"
+
+namespace locmps {
+
+/// Problem-size parameters of the CCSD T1 graph.
+struct TCEParams {
+  std::size_t occupied = 32;    ///< number of occupied orbitals (o)
+  std::size_t virt = 128;       ///< number of virtual orbitals (v)
+  double flops_per_sec = 2e9;   ///< per-processor contraction throughput
+  double element_bytes = 8.0;   ///< tensor element size
+  std::size_t max_procs = 128;  ///< profile table length
+};
+
+/// Builds the CCSD T1 task graph: twelve contractions (those over
+/// pre-distributed input tensors are the DAG sources) feeding a chain of
+/// partial-product accumulations that ends in the residual sink.
+TaskGraph make_ccsd_t1(const TCEParams& p = {});
+
+/// Builds the (larger) CCSD T2 doubles-residual task graph: ~24
+/// contractions including the O(o^2 v^4) particle-particle and O(o^4 v^2)
+/// hole-hole ladder terms, intermediate chains, and the accumulation spine
+/// into the doubles residual. Roughly an order of magnitude more work than
+/// T1 at the same (o, v).
+TaskGraph make_ccsd_t2(const TCEParams& p = {});
+
+}  // namespace locmps

@@ -1,0 +1,49 @@
+#include "speedup/amdahl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "speedup/profile.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(Amdahl, OneProcessorIsUnity) {
+  EXPECT_DOUBLE_EQ(AmdahlModel(0.1).speedup(1), 1.0);
+}
+
+TEST(Amdahl, ClassicFormulaWithoutOverhead) {
+  const AmdahlModel m(0.25);
+  EXPECT_NEAR(m.speedup(4), 1.0 / (0.25 + 0.75 / 4), 1e-12);
+  // Asymptote 1/f.
+  EXPECT_NEAR(m.speedup(1000000), 4.0, 1e-3);
+}
+
+TEST(Amdahl, PerfectWhenFullyParallel) {
+  const AmdahlModel m(0.0);
+  EXPECT_NEAR(m.speedup(16), 16.0, 1e-12);
+}
+
+TEST(Amdahl, OverheadCreatesFinitePbest) {
+  // With per-processor overhead the profile worsens past a sweet spot.
+  const AmdahlModel m(0.01, 0.01);
+  const ExecutionProfile p(m, 100.0, 64);
+  EXPECT_GT(p.pbest(), 1u);
+  EXPECT_LT(p.pbest(), 64u);
+  // Times increase after pbest.
+  EXPECT_GT(p.time(64), p.time(p.pbest()));
+}
+
+TEST(Amdahl, RejectsInvalidParameters) {
+  EXPECT_THROW(AmdahlModel(-0.1), std::invalid_argument);
+  EXPECT_THROW(AmdahlModel(1.1), std::invalid_argument);
+  EXPECT_THROW(AmdahlModel(0.5, -1.0), std::invalid_argument);
+}
+
+TEST(Amdahl, Accessors) {
+  const AmdahlModel m(0.3, 0.02);
+  EXPECT_DOUBLE_EQ(m.serial_fraction(), 0.3);
+  EXPECT_DOUBLE_EQ(m.overhead(), 0.02);
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,117 @@
+#include "network/block_cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(BlockCyclic, IdenticalLayoutsMoveNothing) {
+  const std::vector<ProcId> p{0, 3, 5};
+  EXPECT_DOUBLE_EQ(remote_fraction(p, p), 0.0);
+}
+
+TEST(BlockCyclic, DisjointSetsMoveEverything) {
+  EXPECT_DOUBLE_EQ(remote_fraction({0, 1}, {2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(remote_fraction({0}, {1}), 1.0);
+}
+
+TEST(BlockCyclic, SingleSharedProcessor) {
+  // src {0}, dst {0,1}: blocks alternate 0,1 on dst, all on 0 at src;
+  // g = 1, L = 2; position pair (0,0) compatible -> half stays local.
+  EXPECT_DOUBLE_EQ(remote_fraction({0}, {0, 1}), 0.5);
+}
+
+TEST(BlockCyclic, GrowingWithinSupersetKeepsShare) {
+  // src {0,1}, dst {0,1,2,3}: g=2, L=4; both procs compatible -> 1/2 local.
+  EXPECT_DOUBLE_EQ(remote_fraction({0, 1}, {0, 1, 2, 3}), 0.5);
+}
+
+TEST(BlockCyclic, SameSetDifferentAlignment) {
+  // Same physical procs but different positions: {0,1} -> {1,0} is not
+  // representable with ascending lists; use {0,1,2} vs {0,2,1}-equivalent
+  // via the sorted contract instead: {0,1,2} to {1,2} keeps the blocks on
+  // procs 1 and 2 only where positions are compatible mod gcd(3,2)=1.
+  // L = 6; shared procs 1 (pos 1 vs 0) and 2 (pos 2 vs 1): all positions
+  // compatible mod 1 -> local = 2, fraction = 1 - 2/6.
+  EXPECT_NEAR(remote_fraction({0, 1, 2}, {1, 2}), 1.0 - 2.0 / 6.0, 1e-12);
+}
+
+TEST(BlockCyclic, ThrowsOnEmptyList) {
+  EXPECT_THROW(remote_fraction({}, {0}), std::invalid_argument);
+  EXPECT_THROW(remote_fraction({0}, {}), std::invalid_argument);
+}
+
+TEST(BlockCyclic, RemoteVolumeScalesFraction) {
+  const auto src = ProcessorSet::of(8, {0, 1});
+  const auto dst = ProcessorSet::of(8, {2, 3});
+  EXPECT_DOUBLE_EQ(remote_volume(1000.0, src, dst), 1000.0);
+  EXPECT_DOUBLE_EQ(remote_volume(1000.0, src, src), 0.0);
+  EXPECT_DOUBLE_EQ(remote_volume(0.0, src, dst), 0.0);
+  EXPECT_DOUBLE_EQ(remote_volume(-5.0, src, dst), 0.0);
+}
+
+/// Brute force over one lcm period of the block-index mapping.
+double brute_fraction(const std::vector<ProcId>& s,
+                      const std::vector<ProcId>& d) {
+  const std::size_t L = std::lcm(s.size(), d.size());
+  std::size_t local = 0;
+  for (std::size_t i = 0; i < L; ++i)
+    if (s[i % s.size()] == d[i % d.size()]) ++local;
+  return 1.0 - static_cast<double>(local) / static_cast<double>(L);
+}
+
+class BlockCyclicProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlockCyclicProperty, MatchesBruteForceMapping) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t P = 1 + rng.uniform_int(0, 63);
+    std::vector<ProcId> all(P);
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t s = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> src(all.begin(), all.begin() + s);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t d = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> dst(all.begin(), all.begin() + d);
+    std::sort(src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    const double fast = remote_fraction(src, dst);
+    const double slow = brute_fraction(src, dst);
+    ASSERT_NEAR(fast, slow, 1e-12)
+        << "s=" << s << " d=" << d << " P=" << P;
+    ASSERT_GE(fast, 0.0);
+    ASSERT_LE(fast, 1.0);
+  }
+}
+
+TEST_P(BlockCyclicProperty, SymmetricInSourceAndDestination) {
+  // Moving data A->B strands the same share as B->A (the mapping argument
+  // is symmetric in the two layouts).
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t P = 2 + rng.uniform_int(0, 30);
+    std::vector<ProcId> all(P);
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t s = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> src(all.begin(), all.begin() + s);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t d = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> dst(all.begin(), all.begin() + d);
+    std::sort(src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    ASSERT_DOUBLE_EQ(remote_fraction(src, dst), remote_fraction(dst, src));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockCyclicProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace locmps

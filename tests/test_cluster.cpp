@@ -1,0 +1,32 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locmps {
+namespace {
+
+TEST(Cluster, DefaultsMatchPaperModel) {
+  const Cluster c;
+  EXPECT_EQ(c.processors, 1u);
+  EXPECT_DOUBLE_EQ(c.bandwidth_Bps, kFastEthernetBytesPerSec);
+  EXPECT_TRUE(c.overlap_comm_compute);
+}
+
+TEST(Cluster, FastEthernetIs12point5MBps) {
+  EXPECT_DOUBLE_EQ(kFastEthernetBytesPerSec, 12.5e6);
+}
+
+TEST(Cluster, ConstructorValidatesArguments) {
+  EXPECT_THROW(Cluster(0), std::invalid_argument);
+  EXPECT_THROW(Cluster(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(Cluster(4, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(Cluster(4, 1.0, false));
+}
+
+TEST(Cluster, AllReturnsFullSet) {
+  const Cluster c(5);
+  EXPECT_EQ(c.all().count(), 5u);
+}
+
+}  // namespace
+}  // namespace locmps

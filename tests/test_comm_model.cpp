@@ -1,0 +1,81 @@
+#include "network/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locmps {
+namespace {
+
+TEST(CommModel, AggregateBandwidthIsMinTimesLink) {
+  const Cluster c(16, 100.0);
+  const CommModel m(c);
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth(4, 2), 200.0);
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth(2, 4), 200.0);
+  EXPECT_DOUBLE_EQ(m.aggregate_bandwidth(3, 3), 300.0);
+}
+
+TEST(CommModel, EdgeCostIsVolumeOverAggregate) {
+  const Cluster c(16, 100.0);
+  const CommModel m(c);
+  // Paper formula: wt = d / (min(np_i, np_j) * bandwidth).
+  EXPECT_DOUBLE_EQ(m.edge_cost(1000.0, 1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.edge_cost(1000.0, 5, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.edge_cost(0.0, 1, 1), 0.0);
+}
+
+TEST(CommModel, WideningBothEndpointsReducesCost) {
+  const Cluster c(16, 100.0);
+  const CommModel m(c);
+  const double narrow = m.edge_cost(1000.0, 1, 1);
+  const double wide = m.edge_cost(1000.0, 4, 4);
+  EXPECT_LT(wide, narrow);
+  EXPECT_DOUBLE_EQ(wide * 4, narrow);
+}
+
+TEST(CommModel, TransferTimeExploitsLocality) {
+  const Cluster c(8, 100.0);
+  const CommModel m(c);
+  const auto a = ProcessorSet::of(8, {0, 1});
+  const auto b = ProcessorSet::of(8, {2, 3});
+  // Fully remote: 1000 bytes over 2 streams of 100 B/s.
+  EXPECT_DOUBLE_EQ(m.transfer_time(1000.0, a, b), 5.0);
+  // Same layout: free.
+  EXPECT_DOUBLE_EQ(m.transfer_time(1000.0, a, a), 0.0);
+  // Aligned partial overlap is cheaper than fully remote: {0,1} -> {0,2}
+  // keeps processor 0's share (positions 0 and 0 are compatible).
+  const auto ab = ProcessorSet::of(8, {0, 2});
+  EXPECT_DOUBLE_EQ(m.transfer_time(1000.0, a, ab), 2.5);
+  // Misaligned overlap moves everything: {0,1} -> {1,2} places processor
+  // 1 at position 1 (source) vs 0 (destination), incompatible mod 2.
+  const auto mis = ProcessorSet::of(8, {1, 2});
+  EXPECT_DOUBLE_EQ(m.transfer_time(1000.0, a, mis), 5.0);
+}
+
+TEST(CommModel, LatencyAddsPerTransferStartup) {
+  const CommModel m{Cluster(8, 100.0, true, 0.5)};
+  // 1000 B over 2 streams of 100 B/s + 0.5 s startup.
+  EXPECT_DOUBLE_EQ(m.transfer_duration(1000.0, 2, 4), 5.5);
+  // No bytes, no transfer, no latency.
+  EXPECT_DOUBLE_EQ(m.transfer_duration(0.0, 2, 4), 0.0);
+  const auto a = ProcessorSet::of(8, {0});
+  EXPECT_DOUBLE_EQ(m.transfer_time(100.0, a, a), 0.0);  // local stays free
+}
+
+TEST(CommModel, LatencyDefaultsToPaperModel) {
+  const CommModel m{Cluster(8, 100.0)};
+  EXPECT_DOUBLE_EQ(m.cluster().latency_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.transfer_duration(1000.0, 1, 1), 10.0);
+}
+
+TEST(CommModel, ClusterRejectsNegativeLatency) {
+  EXPECT_THROW(Cluster(4, 100.0, true, -0.1), std::invalid_argument);
+}
+
+TEST(CommModel, ExposesClusterAndOverlap) {
+  const CommModel m{Cluster(4, 100.0, false)};  // temporary is safe: copied
+  EXPECT_FALSE(m.overlap());
+  EXPECT_EQ(m.cluster().processors, 4u);
+  EXPECT_DOUBLE_EQ(m.cluster().bandwidth_Bps, 100.0);
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,101 @@
+#include "speedup/downey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace locmps {
+namespace {
+
+TEST(Downey, SpeedupOfOneProcessorIsOne) {
+  EXPECT_DOUBLE_EQ(DowneyModel(16.0, 0.5).speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(DowneyModel(1.0, 2.0).speedup(1), 1.0);
+}
+
+TEST(Downey, PerfectScalabilityAtSigmaZero) {
+  const DowneyModel m(8.0, 0.0);
+  // sigma = 0: linear up to A processors, then flat at A.
+  for (std::size_t n = 1; n <= 8; ++n)
+    EXPECT_DOUBLE_EQ(m.speedup(n), static_cast<double>(n)) << n;
+  EXPECT_DOUBLE_EQ(m.speedup(16), 8.0);
+  EXPECT_DOUBLE_EQ(m.speedup(100), 8.0);
+}
+
+TEST(Downey, LowVarianceBranchValues) {
+  // sigma <= 1, n <= A: S = A n / (A + sigma (n-1)/2).
+  const DowneyModel m(10.0, 1.0);
+  EXPECT_NEAR(m.speedup(5), 10.0 * 5 / (10.0 + 0.5 * 4), 1e-12);
+  // A <= n <= 2A-1: S = A n / (sigma (A - 1/2) + n (1 - sigma/2)).
+  EXPECT_NEAR(m.speedup(15), 10.0 * 15 / (9.5 + 15 * 0.5), 1e-12);
+  // n >= 2A-1: saturation.
+  EXPECT_DOUBLE_EQ(m.speedup(19), 10.0);
+  EXPECT_DOUBLE_EQ(m.speedup(64), 10.0);
+}
+
+TEST(Downey, HighVarianceBranchValues) {
+  // sigma >= 1, n <= A + A sigma - sigma: S = n A (sigma+1) /
+  // (sigma (n + A - 1) + A).
+  const DowneyModel m(8.0, 2.0);
+  const double expect4 = 4 * 8.0 * 3.0 / (2.0 * (4 + 8 - 1) + 8.0);
+  EXPECT_NEAR(m.speedup(4), expect4, 1e-12);
+  // Saturation at n >= A + A*sigma - sigma = 8 + 16 - 2 = 22.
+  EXPECT_DOUBLE_EQ(m.speedup(22), 8.0);
+  EXPECT_DOUBLE_EQ(m.speedup(128), 8.0);
+}
+
+TEST(Downey, RejectsInvalidParameters) {
+  EXPECT_THROW(DowneyModel(0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(DowneyModel(4.0, -0.1), std::invalid_argument);
+}
+
+TEST(Downey, ExecTimeScalesInversely) {
+  const DowneyModel m(8.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.exec_time(40.0, 4), 10.0);
+}
+
+TEST(Downey, AccessorsRoundTrip) {
+  const DowneyModel m(12.0, 1.5);
+  EXPECT_DOUBLE_EQ(m.A(), 12.0);
+  EXPECT_DOUBLE_EQ(m.sigma(), 1.5);
+}
+
+// Property sweep: for every (A, sigma) the curve is non-decreasing, bounded
+// by min(n, A), and saturates exactly at A.
+class DowneyProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DowneyProperty, MonotoneNonDecreasing) {
+  const auto [A, sigma] = GetParam();
+  const DowneyModel m(A, sigma);
+  double prev = 0.0;
+  for (std::size_t n = 1; n <= 256; ++n) {
+    const double s = m.speedup(n);
+    EXPECT_GE(s, prev - 1e-12) << "A=" << A << " sigma=" << sigma << " n=" << n;
+    prev = s;
+  }
+}
+
+TEST_P(DowneyProperty, BoundedByIdealAndAverageParallelism) {
+  const auto [A, sigma] = GetParam();
+  const DowneyModel m(A, sigma);
+  for (std::size_t n = 1; n <= 256; ++n) {
+    const double s = m.speedup(n);
+    EXPECT_LE(s, static_cast<double>(n) + 1e-9);
+    EXPECT_LE(s, A + 1e-9);
+    EXPECT_GE(s, 1.0 - 1e-12);
+  }
+}
+
+TEST_P(DowneyProperty, SaturatesAtAverageParallelism) {
+  const auto [A, sigma] = GetParam();
+  const DowneyModel m(A, sigma);
+  EXPECT_NEAR(m.speedup(100000), A, A * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, DowneyProperty,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 8.0, 48.0, 64.0, 200.0),
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0)));
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,233 @@
+#include "schedule/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schedulers/locbs.hpp"
+#include "schedulers/registry.hpp"
+#include "test_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(EventSim, ReproducesCommFreeChain) {
+  const TaskGraph g = test::chain(3, 5.0, 2, 0.0);
+  const Cluster c(2);
+  const CommModel m(c);
+  Schedule s(3, 2);
+  const auto p0 = ProcessorSet::of(2, {0});
+  s.place(0, 0, 0, 5, p0);
+  s.place(1, 5, 5, 10, p0);
+  s.place(2, 10, 10, 15, p0);
+  const SimResult r = simulate_execution(g, s, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 15.0);
+  EXPECT_DOUBLE_EQ(r.total_transfer_bytes, 0.0);
+}
+
+TEST(EventSim, ChargesRemoteTransfers) {
+  // 1000 B from proc 0 to proc 1 at 100 B/s = 10 s.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const Cluster c(2, 100.0);
+  const CommModel m(c);
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 15, 15, 20, ProcessorSet::of(2, {1}));
+  const SimResult r = simulate_execution(g, s, m);
+  EXPECT_DOUBLE_EQ(r.executed.at(1).start, 15.0);  // 5 + 10 transfer
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+  EXPECT_DOUBLE_EQ(r.total_transfer_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(r.total_transfer_time, 10.0);
+}
+
+TEST(EventSim, LocalDataNeedsNoTransfer) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const Cluster c(2, 100.0);
+  const CommModel m(c);
+  Schedule s(2, 2);
+  const auto p0 = ProcessorSet::of(2, {0});
+  s.place(0, 0, 0, 5, p0);
+  s.place(1, 5, 5, 10, p0);
+  const SimResult r = simulate_execution(g, s, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(r.total_transfer_bytes, 0.0);
+}
+
+TEST(EventSim, CompactsUnneededGaps) {
+  // A schedule with slack is re-timed to remove it (placements fixed).
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 50, 50, 55, ProcessorSet::of(2, {0}));
+  const SimResult r = simulate_execution(g, s, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(EventSim, RejectsIncompleteSchedule) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  EXPECT_THROW(simulate_execution(g, s, m), std::invalid_argument);
+}
+
+TEST(EventSim, NoiseIsDeterministicInSeed) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 8;
+  Rng rng(5);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  const CommModel m(c);
+  const LocBSResult plan = locbs(g, Allocation(g.num_tasks(), 1), m);
+  SimOptions noisy;
+  noisy.runtime_noise = 0.2;
+  noisy.seed = 99;
+  const double m1 = simulate_execution(g, plan.schedule, m, noisy).makespan;
+  const double m2 = simulate_execution(g, plan.schedule, m, noisy).makespan;
+  EXPECT_DOUBLE_EQ(m1, m2);
+  noisy.seed = 100;
+  const double m3 = simulate_execution(g, plan.schedule, m, noisy).makespan;
+  EXPECT_NE(m1, m3);
+}
+
+TEST(EventSim, SinglePortNeverFasterThanParallel) {
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 8;
+  Rng rng(6);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  const CommModel m(c);
+  const LocBSResult plan = locbs(g, Allocation(g.num_tasks(), 2), m);
+  SimOptions par, sp;
+  par.single_port = false;
+  sp.single_port = true;
+  const double mk_par = simulate_execution(g, plan.schedule, m, par).makespan;
+  const double mk_sp = simulate_execution(g, plan.schedule, m, sp).makespan;
+  EXPECT_GE(mk_sp, mk_par - 1e-9);
+}
+
+TEST(EventSim, NoOverlapNeverFasterThanOverlap) {
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 8;
+  Rng rng(7);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster ov(8, kFastEthernetBytesPerSec, true);
+  const Cluster nov(8, kFastEthernetBytesPerSec, false);
+  const LocBSResult plan = locbs(g, Allocation(g.num_tasks(), 2),
+                                 CommModel(ov));
+  const double mk_ov =
+      simulate_execution(g, plan.schedule, CommModel(ov)).makespan;
+  const double mk_nov =
+      simulate_execution(g, plan.schedule, CommModel(nov)).makespan;
+  EXPECT_GE(mk_nov, mk_ov - 1e-9);
+}
+
+TEST(EventSim, NoOverlapStallsTheSender) {
+  // a -> b with a transfer, plus an independent task c sharing a's
+  // processor: on a no-overlap platform the transfer holds a's processor,
+  // delaying c.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", test::serial(5.0, 2));
+  const TaskId b = g.add_task("b", test::serial(5.0, 2));
+  const TaskId c = g.add_task("c", test::serial(5.0, 2));
+  g.add_edge(a, b, 1000.0);  // 10 s at 100 B/s
+  (void)c;
+  Schedule s(3, 2);
+  s.place(a, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(b, 5, 15, 20, ProcessorSet::of(2, {1}));
+  s.place(c, 20, 20, 25, ProcessorSet::of(2, {0}));
+  const CommModel nov{Cluster(2, 100.0, false)};
+  const SimResult r = simulate_execution(g, s, nov);
+  // The transfer occupies proc 0 during [5, 15): c cannot start before 15.
+  EXPECT_GE(r.executed.at(c).start, 15.0 - 1e-9);
+  const CommModel ov{Cluster(2, 100.0, true)};
+  const SimResult r2 = simulate_execution(g, s, ov);
+  EXPECT_DOUBLE_EQ(r2.executed.at(c).start, 5.0);  // overlap frees the CPU
+}
+
+TEST(EventSim, ReleaseTimesDelayTasks) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  std::vector<double> release{0.0, 42.0};
+  SimOptions opt;
+  opt.release_times = &release;
+  const SimResult r = simulate_execution(g, s, m, opt);
+  EXPECT_DOUBLE_EQ(r.executed.at(1).start, 42.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 47.0);
+}
+
+TEST(EventSim, ExplicitNoiseFactorsOverrideSeed) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  std::vector<double> factors{2.0, 1.0};  // first task takes twice as long
+  SimOptions opt;
+  opt.noise_factors = &factors;
+  opt.runtime_noise = 0.9;  // would otherwise randomize
+  const SimResult r = simulate_execution(g, s, m, opt);
+  EXPECT_DOUBLE_EQ(r.executed.at(0).finish, 10.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 15.0);
+  std::vector<double> wrong_size{1.0};
+  opt.noise_factors = &wrong_size;
+  EXPECT_THROW(simulate_execution(g, s, m, opt), std::invalid_argument);
+}
+
+TEST(EventSim, MakeNoiseFactorsIsDeterministicAndBounded) {
+  const auto a = make_noise_factors(64, 0.3, 7);
+  const auto b = make_noise_factors(64, 0.3, 7);
+  EXPECT_EQ(a, b);
+  for (double f : a) {
+    EXPECT_GE(f, 0.7 - 1e-12);
+    EXPECT_LE(f, 1.3 + 1e-12);
+  }
+  const auto none = make_noise_factors(8, 0.0, 7);
+  for (double f : none) EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(EventSim, NonLocalityVolumesChargeFullTransfers) {
+  // Overlapping but non-identical sets: locality accounting moves only
+  // the remote share; the non-locality model moves everything.
+  const TaskGraph g = test::chain(2, 5.0, 4, 1000.0);
+  const CommModel m{Cluster(4, 100.0)};
+  Schedule s(2, 4);
+  s.place(0, 0, 0, 5, ProcessorSet::of(4, {0, 1}));
+  s.place(1, 50, 50, 55, ProcessorSet::of(4, {0, 2}));
+  SimOptions exact;
+  const SimResult r1 = simulate_execution(g, s, m, exact);
+  SimOptions full;
+  full.locality_volumes = false;
+  const SimResult r2 = simulate_execution(g, s, m, full);
+  EXPECT_LT(r1.total_transfer_bytes, r2.total_transfer_bytes);
+  EXPECT_DOUBLE_EQ(r2.total_transfer_bytes, 1000.0);
+  // Identical layouts stay free in both models.
+  Schedule same(2, 4);
+  same.place(0, 0, 0, 5, ProcessorSet::of(4, {0, 1}));
+  same.place(1, 5, 5, 10, ProcessorSet::of(4, {0, 1}));
+  EXPECT_DOUBLE_EQ(
+      simulate_execution(g, same, m, full).total_transfer_bytes, 0.0);
+}
+
+TEST(EventSim, ReTimingIsIdempotent) {
+  // Executing an executed schedule changes nothing.
+  SyntheticParams p;
+  p.ccr = 0.1;
+  p.max_procs = 8;
+  Rng rng(8);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const CommModel m{Cluster(8)};
+  const LocBSResult plan = locbs(g, Allocation(g.num_tasks(), 1), m);
+  const SimResult once = simulate_execution(g, plan.schedule, m);
+  const SimResult twice = simulate_execution(g, once.executed, m);
+  EXPECT_NEAR(once.makespan, twice.makespan, 1e-9);
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,54 @@
+#include "schedule/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(Gantt, EmptyScheduleRendersPlaceholder) {
+  const TaskGraph g = test::chain(1);
+  const Schedule s(1, 2);
+  EXPECT_EQ(render_gantt(g, s), "(empty schedule)\n");
+}
+
+TEST(Gantt, RendersOneRowPerProcessor) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  Schedule s(2, 3);
+  s.place(0, 0, 0, 5, ProcessorSet::of(3, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(3, {1, 2}));
+  const std::string out = render_gantt(g, s, 20);
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P2"), std::string::npos);
+  // Task names appear in their cells.
+  EXPECT_NE(out.find("t0"), std::string::npos);
+  EXPECT_NE(out.find("t1"), std::string::npos);
+}
+
+TEST(Gantt, IdleTimeShownAsDots) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  const std::string out = render_gantt(g, s, 10);
+  // Processor 1 never runs anything.
+  EXPECT_NE(out.find("P1   |.........."), std::string::npos);
+}
+
+TEST(Gantt, ReportsUtilization) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0, 1}));
+  const std::string out = render_gantt(g, s, 10);
+  EXPECT_NE(out.find("utilization 100.0%"), std::string::npos);
+}
+
+TEST(Gantt, WidthZeroIsSafe) {
+  const TaskGraph g = test::chain(1);
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 5, ProcessorSet::of(1, {0}));
+  EXPECT_EQ(render_gantt(g, s, 0), "(empty schedule)\n");
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,102 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+#include "workloads/strassen.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/tce.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(GraphIO, RoundTripPreservesStructure) {
+  const TaskGraph g = test::diamond(10.0, 4, 1234.5);
+  std::stringstream ss;
+  write_text(ss, g);
+  const TaskGraph h = read_text(ss);
+  ASSERT_EQ(h.num_tasks(), g.num_tasks());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (TaskId t : g.task_ids()) {
+    EXPECT_EQ(h.task(t).name, g.task(t).name);
+    EXPECT_EQ(h.task(t).profile.table(), g.task(t).profile.table());
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge(e).src, g.edge(e).src);
+    EXPECT_EQ(h.edge(e).dst, g.edge(e).dst);
+    EXPECT_DOUBLE_EQ(h.edge(e).volume_bytes, g.edge(e).volume_bytes);
+  }
+}
+
+TEST(GraphIO, RejectsBadHeader) {
+  std::stringstream ss("nonsense v1\n");
+  EXPECT_THROW(read_text(ss), std::runtime_error);
+}
+
+TEST(GraphIO, RejectsTruncatedProfile) {
+  std::stringstream ss("taskgraph v1\ntasks 1\ntask a 3 1.0 2.0\nedges 0\n");
+  EXPECT_THROW(read_text(ss), std::runtime_error);
+}
+
+TEST(GraphIO, RejectsMalformedEdge) {
+  std::stringstream ss(
+      "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 1\nedge 0\n");
+  EXPECT_THROW(read_text(ss), std::runtime_error);
+}
+
+TEST(GraphIO, RejectsCyclicInput) {
+  std::stringstream ss(
+      "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 2\n"
+      "edge 0 1 0\nedge 1 0 0\n");
+  EXPECT_THROW(read_text(ss), std::runtime_error);
+}
+
+TEST(GraphIO, RoundTripsEveryWorkloadFamily) {
+  // The text format must capture any graph the library can generate.
+  std::vector<TaskGraph> graphs;
+  {
+    TCEParams tp;
+    tp.occupied = 8;
+    tp.virt = 16;
+    tp.max_procs = 4;
+    graphs.push_back(make_ccsd_t1(tp));
+    graphs.push_back(make_ccsd_t2(tp));
+    StrassenParams sp;
+    sp.n = 64;
+    sp.max_procs = 4;
+    graphs.push_back(make_strassen(sp));
+    SyntheticParams p;
+    p.ccr = 0.7;
+    p.max_procs = 4;
+    Rng rng(5);
+    graphs.push_back(make_synthetic_dag(p, rng));
+  }
+  for (const TaskGraph& g : graphs) {
+    std::stringstream ss;
+    write_text(ss, g);
+    const TaskGraph h = read_text(ss);
+    ASSERT_EQ(h.num_tasks(), g.num_tasks());
+    ASSERT_EQ(h.num_edges(), g.num_edges());
+    EXPECT_DOUBLE_EQ(h.total_serial_work(), g.total_serial_work());
+  }
+}
+
+TEST(GraphIO, DotContainsTasksAndEdges) {
+  const TaskGraph g = test::chain(2, 5.0, 4, 2e6);
+  const std::string dot = to_dot(g, "chain");
+  EXPECT_NE(dot.find("digraph chain"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("2.00MB"), std::string::npos);
+  EXPECT_NE(dot.find("5.00s"), std::string::npos);
+}
+
+TEST(GraphIO, DotOmitsZeroVolumeLabels) {
+  const TaskGraph g = test::chain(2, 5.0, 4, 0.0);
+  const std::string dot = to_dot(g);
+  EXPECT_EQ(dot.find("MB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locmps

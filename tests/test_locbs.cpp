@@ -1,0 +1,273 @@
+#include "schedulers/locbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace locmps {
+namespace {
+
+using test::serial;
+
+TEST(LoCBS, SchedulesIndependentTasksInParallel) {
+  TaskGraph g;
+  g.add_task("a", serial(10.0, 4));
+  g.add_task("b", serial(10.0, 4));
+  const CommModel m{Cluster(4)};
+  const LocBSResult r = locbs(g, {1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_TRUE(r.schedule.at(0).procs.disjoint(r.schedule.at(1).procs));
+}
+
+TEST(LoCBS, SerializesWhenProcessorsShort) {
+  TaskGraph g;
+  g.add_task("a", serial(10.0, 4));
+  g.add_task("b", serial(10.0, 4));
+  const CommModel m{Cluster(1)};
+  const LocBSResult r = locbs(g, {1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+  // The wait is resource-induced: a pseudo-edge must record it.
+  EXPECT_EQ(r.dag.num_pseudo_edges(), 1u);
+}
+
+TEST(LoCBS, RespectsAllocationSizes) {
+  TaskGraph g;
+  g.add_task("a", test::profile({10.0, 5.0, 4.0, 3.0}));
+  const CommModel m{Cluster(4)};
+  const LocBSResult r = locbs(g, {3}, m);
+  EXPECT_EQ(r.schedule.at(0).np(), 3u);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+}
+
+TEST(LoCBS, ValidatesArguments) {
+  TaskGraph g;
+  g.add_task("a", serial(1.0, 4));
+  const CommModel m{Cluster(2)};
+  EXPECT_THROW(locbs(g, {}, m), std::invalid_argument);       // wrong size
+  EXPECT_THROW(locbs(g, {0}, m), std::invalid_argument);      // np < 1
+  EXPECT_THROW(locbs(g, {3}, m), std::invalid_argument);      // np > P
+}
+
+TEST(LoCBS, PrefersDataLocalProcessors) {
+  // Child should land on its parent's processor to avoid the transfer.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1e6);
+  const CommModel m{Cluster(2)};
+  const LocBSResult r = locbs(g, {1, 1}, m);
+  EXPECT_EQ(r.schedule.at(1).procs, r.schedule.at(0).procs);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);  // no transfer charged
+}
+
+TEST(LoCBS, LocalityOffIgnoresPlacementReuse) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 1e6);
+  const CommModel m{Cluster(2, 100.0)};
+  LocBSOptions opt;
+  opt.locality = false;
+  const LocBSResult r = locbs(g, {1, 1}, m, opt);
+  // Full volume is charged regardless of placement: 1e6 / 100 B/s = 1e4 s.
+  EXPECT_NEAR(r.makespan, 5.0 + 1e4 + 5.0, 1e-6);
+}
+
+TEST(LoCBS, CommBlindChargesNothing) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 1e9);
+  const CommModel m{Cluster(2, 100.0)};
+  LocBSOptions opt;
+  opt.comm_blind = true;
+  const LocBSResult r = locbs(g, {1, 1}, m, opt);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(LoCBS, BackfillFillsHoles) {
+  // Wide task first creates a hole on other processors that a small,
+  // independent task can backfill.
+  TaskGraph g;
+  const TaskId big = g.add_task("big", serial(10.0, 4));
+  const TaskId dep = g.add_task("dep", serial(10.0, 4));
+  const TaskId tiny = g.add_task("tiny", serial(2.0, 4));
+  g.add_edge(big, dep, 0.0);
+  const CommModel m{Cluster(2)};
+  // big and dep chain on the critical path; tiny has lower priority and
+  // must fit into the second processor's idle time.
+  const LocBSResult r = locbs(g, {1, 1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+  EXPECT_LE(r.schedule.at(tiny).finish, 20.0);
+}
+
+TEST(LoCBS, NoBackfillStillValid) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 8;
+  Rng rng(3);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  const CommModel m(c);
+  LocBSOptions opt;
+  opt.backfill = false;
+  const LocBSResult r = locbs(g, Allocation(g.num_tasks(), 2), m, opt);
+  EXPECT_EQ(r.schedule.validate(g, m), "");
+}
+
+TEST(LoCBS, PriorityOrderFollowsBottomLevel) {
+  // Two ready tasks; the one heading the longer remaining path goes first
+  // and therefore starts at 0 on the single processor.
+  TaskGraph g;
+  const TaskId small = g.add_task("small", serial(1.0, 2));
+  const TaskId head = g.add_task("head", serial(1.0, 2));
+  const TaskId tail = g.add_task("tail", serial(50.0, 2));
+  g.add_edge(head, tail, 0.0);
+  const CommModel m{Cluster(1)};
+  const LocBSResult r = locbs(g, {1, 1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.schedule.at(head).start, 0.0);
+  EXPECT_GE(r.schedule.at(small).start, 1.0);
+}
+
+TEST(LoCBS, LatencyPenalizesRemotePlacement) {
+  // With a large startup latency, placing the child away from its parent
+  // costs latency + transfer, so locality keeps it in place and the chain
+  // still finishes at 10.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const CommModel m{Cluster(2, 1e9, true, 50.0)};
+  const LocBSResult r = locbs(g, {1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_EQ(r.schedule.at(1).procs, r.schedule.at(0).procs);
+  // Forcing a remote transfer pays the startup cost.
+  LocBSOptions opt;
+  opt.locality = false;
+  const LocBSResult r2 = locbs(g, {1, 1}, m, opt);
+  EXPECT_GT(r2.makespan, 60.0 - 1e-6);
+}
+
+TEST(LoCBS, NoOverlapOccupiesProcessorsDuringTransfer) {
+  // chain a->b with a transfer; on a no-overlap platform the destination
+  // is held from transfer start (busy_from < start).
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const Cluster c(2, 100.0, false);
+  const CommModel m(c);
+  LocBSOptions opt;
+  opt.locality = false;  // force a real transfer
+  const LocBSResult r = locbs(g, {1, 1}, m, opt);
+  const Placement& pb = r.schedule.at(1);
+  EXPECT_LT(pb.busy_from, pb.start);
+  EXPECT_NEAR(pb.start - pb.busy_from, 10.0, 1e-9);
+  EXPECT_EQ(r.schedule.validate(g, m), "");
+}
+
+TEST(LoCBS, DagEdgeTimesReflectRealizedTransfers) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const CommModel m{Cluster(2, 100.0)};
+  const LocBSResult r = locbs(g, {1, 1}, m);
+  // Locality keeps the data in place: realized edge time 0.
+  EXPECT_DOUBLE_EQ(r.dag.edge_time(0), 0.0);
+  LocBSOptions opt;
+  opt.locality = false;
+  const LocBSResult r2 = locbs(g, {1, 1}, m, opt);
+  EXPECT_DOUBLE_EQ(r2.dag.edge_time(0), 10.0);
+}
+
+TEST(LoCBS, ParallelEdgesBothCharged) {
+  // Two edges between the same pair (e.g. two tensors flowing a -> b):
+  // both volumes count.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", serial(5.0, 2));
+  const TaskId b = g.add_task("b", serial(5.0, 2));
+  g.add_edge(a, b, 1000.0);
+  g.add_edge(a, b, 500.0);
+  LocBSOptions opt;
+  opt.locality = false;  // force both transfers
+  // Overlap platform: the two transfers run in parallel streams, so the
+  // arrival is governed by the larger one (10 s).
+  const CommModel ov{Cluster(2, 100.0, true)};
+  const LocBSResult r = locbs(g, {1, 1}, ov, opt);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0 + 10.0 + 5.0);
+  EXPECT_EQ(r.schedule.validate(g, ov), "");
+  // No-overlap platform: transfers serialize (10 + 5 s).
+  const CommModel nov{Cluster(2, 100.0, false)};
+  const LocBSResult r2 = locbs(g, {1, 1}, nov, opt);
+  EXPECT_DOUBLE_EQ(r2.makespan, 5.0 + 15.0 + 5.0);
+  EXPECT_EQ(r2.schedule.validate(g, nov), "");
+}
+
+TEST(LoCBS, SingleProcessorChainOfPseudoEdges) {
+  // n independent tasks on one processor serialize completely; every wait
+  // is resource-induced and recorded.
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task("t", serial(2.0, 1));
+  const CommModel m{Cluster(1)};
+  const LocBSResult r = locbs(g, {1, 1, 1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 8.0);
+  EXPECT_EQ(r.dag.num_pseudo_edges(), 3u);
+  EXPECT_DOUBLE_EQ(r.dag.critical_path().length, 8.0);
+}
+
+TEST(LoCBS, FullyFrozenPrefixReproducesSchedule) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 4;
+  Rng rng(23);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const CommModel m{Cluster(4)};
+  const Allocation np(g.num_tasks(), 2);
+  const LocBSResult base = locbs(g, np, m);
+  FixedPrefix fixed;
+  fixed.frozen.assign(g.num_tasks(), 1);
+  fixed.placements = &base.schedule;
+  const LocBSResult again = locbs(g, np, m, {}, &fixed);
+  EXPECT_DOUBLE_EQ(again.makespan, base.makespan);
+  for (TaskId t : g.task_ids())
+    EXPECT_DOUBLE_EQ(again.schedule.at(t).start, base.schedule.at(t).start);
+}
+
+TEST(LoCBS, EqualPriorityBreaksTowardsLowerId) {
+  TaskGraph g;
+  g.add_task("x", serial(3.0, 1));
+  g.add_task("y", serial(3.0, 1));  // identical priority
+  const CommModel m{Cluster(1)};
+  const LocBSResult r = locbs(g, {1, 1}, m);
+  EXPECT_DOUBLE_EQ(r.schedule.at(0).start, 0.0);
+  EXPECT_DOUBLE_EQ(r.schedule.at(1).start, 3.0);
+}
+
+// Property sweep: LoCBS output is always a valid schedule whose makespan
+// matches the schedule's, across allocations, platforms and options.
+class LoCBSProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::size_t, bool, bool, bool>> {};
+
+TEST_P(LoCBSProperty, ProducesValidSchedules) {
+  const auto [seed, P, backfill, locality, overlap] = GetParam();
+  SyntheticParams p;
+  p.ccr = 0.8;
+  p.max_procs = P;
+  p.min_tasks = 8;
+  p.max_tasks = 24;
+  Rng rng(seed);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(P, kFastEthernetBytesPerSec, overlap);
+  const CommModel m(c);
+  LocBSOptions opt;
+  opt.backfill = backfill;
+  opt.locality = locality;
+  Rng arng(seed ^ 0xfeed);
+  Allocation np(g.num_tasks());
+  for (auto& a : np)
+    a = static_cast<std::size_t>(arng.uniform_int(1, static_cast<int>(P)));
+  const LocBSResult r = locbs(g, np, m, opt);
+  EXPECT_TRUE(r.schedule.complete());
+  EXPECT_NEAR(r.makespan, r.schedule.makespan(), 1e-12);
+  EXPECT_EQ(r.schedule.validate(g, m), "") << "P=" << P;
+  for (TaskId t : g.task_ids()) EXPECT_EQ(r.schedule.at(t).np(), np[t]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoCBSProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 5, 16),
+                       ::testing::Bool(),   // backfill
+                       ::testing::Bool(),   // locality
+                       ::testing::Bool())); // overlap
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,123 @@
+#include "schedule/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "schedulers/registry.hpp"
+#include "test_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(Metrics, HandComputedSchedule) {
+  // Two serial tasks of 5 s in sequence on one of two processors, 1000 B
+  // moved between disjoint processors at 100 B/s.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const CommModel comm{Cluster(2, 100.0)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 15, 15, 20, ProcessorSet::of(2, {1}));
+  const ScheduleMetrics m = compute_metrics(g, s, comm);
+  EXPECT_DOUBLE_EQ(m.makespan, 20.0);
+  EXPECT_DOUBLE_EQ(m.compute_area, 10.0);
+  EXPECT_DOUBLE_EQ(m.idle_area, 30.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.25);
+  EXPECT_DOUBLE_EQ(m.total_edge_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(m.remote_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(m.locality_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(m.transfer_time_sum, 10.0);
+  EXPECT_EQ(m.widened_tasks, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_np, 1.0);
+  EXPECT_EQ(m.max_np, 1u);
+  // Bounds: CP = 10 (serial tasks), area = 10/2 = 5; gap = 20/10.
+  EXPECT_DOUBLE_EQ(m.critical_path_bound, 10.0);
+  EXPECT_DOUBLE_EQ(m.area_bound, 5.0);
+  EXPECT_DOUBLE_EQ(m.optimality_gap, 2.0);
+}
+
+TEST(Metrics, PerfectLocalityDetected) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const CommModel comm{Cluster(2, 100.0)};
+  Schedule s(2, 2);
+  const auto p0 = ProcessorSet::of(2, {0});
+  s.place(0, 0, 0, 5, p0);
+  s.place(1, 5, 5, 10, p0);
+  const ScheduleMetrics m = compute_metrics(g, s, comm);
+  EXPECT_DOUBLE_EQ(m.locality_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(m.remote_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(m.optimality_gap, 1.0);  // provably optimal here
+}
+
+TEST(Metrics, NoDataMeansFullLocality) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel comm{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  EXPECT_DOUBLE_EQ(compute_metrics(g, s, comm).locality_fraction, 1.0);
+}
+
+TEST(Metrics, RejectsIncompleteSchedule) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel comm{Cluster(2)};
+  EXPECT_THROW(compute_metrics(g, Schedule(2, 2), comm),
+               std::invalid_argument);
+}
+
+TEST(Metrics, LowerBoundsAreConsistent) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 8;
+  Rng rng(61);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  // CP bound shrinks (weakly) with P; area bound scales as 1/P.
+  EXPECT_GE(critical_path_lower_bound(g, 2),
+            critical_path_lower_bound(g, 8) - 1e-9);
+  EXPECT_NEAR(area_lower_bound(g, 2), 4.0 * area_lower_bound(g, 8), 1e-9);
+}
+
+TEST(Metrics, EverySchemeIsAboveBothBounds) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 8;
+  Rng rng(62);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  const CommModel comm(c);
+  for (const auto& scheme : {"loc-mps", "tsas", "twol", "data"}) {
+    const SchemeRun run = evaluate_scheme(scheme, g, c);
+    const ScheduleMetrics m = compute_metrics(g, run.schedule, comm);
+    EXPECT_GE(m.optimality_gap, 1.0 - 1e-9) << scheme;
+  }
+}
+
+TEST(Metrics, LocMPSHasBetterLocalityThanBlindScheme) {
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 8;
+  Rng rng(63);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  const CommModel comm(c);
+  const auto mps = compute_metrics(
+      g, evaluate_scheme("loc-mps", g, c).schedule, comm);
+  const auto blind = compute_metrics(
+      g, evaluate_scheme("icaslb", g, c).schedule, comm);
+  EXPECT_GE(mps.locality_fraction, blind.locality_fraction - 0.05);
+}
+
+TEST(Metrics, ToStringMentionsKeyNumbers) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel comm{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  const std::string txt = to_string(compute_metrics(g, s, comm));
+  EXPECT_NE(txt.find("makespan"), std::string::npos);
+  EXPECT_NE(txt.find("utilization"), std::string::npos);
+  EXPECT_NE(txt.find("locality"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locmps

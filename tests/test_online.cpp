@@ -1,0 +1,176 @@
+#include "schedulers/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "schedule/event_sim.hpp"
+#include "test_util.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/tce.hpp"
+
+namespace locmps {
+namespace {
+
+TaskGraph noisy_workload(std::uint64_t seed) {
+  SyntheticParams p;
+  p.ccr = 0.3;
+  p.max_procs = 8;
+  p.min_tasks = 12;
+  p.max_tasks = 24;
+  Rng rng(seed);
+  return make_synthetic_dag(p, rng);
+}
+
+TEST(FixedPrefix, LocbsReproducesFrozenPlacements) {
+  const TaskGraph g = test::chain(3, 5.0, 2, 0.0);
+  const CommModel comm{Cluster(2)};
+  const LocBSResult full = locbs(g, {1, 1, 1}, comm);
+  FixedPrefix fixed;
+  fixed.frozen = {1, 1, 0};
+  fixed.placements = &full.schedule;
+  const LocBSResult partial = locbs(g, {1, 1, 1}, comm, {}, &fixed);
+  for (TaskId t = 0; t < 2; ++t) {
+    EXPECT_DOUBLE_EQ(partial.schedule.at(t).start, full.schedule.at(t).start);
+    EXPECT_EQ(partial.schedule.at(t).procs, full.schedule.at(t).procs);
+  }
+  EXPECT_EQ(partial.schedule.validate(g, comm), "");
+}
+
+TEST(FixedPrefix, FrozenWindowsBlockTheirProcessors) {
+  // Freeze one long task on proc 0; a new independent task must avoid it.
+  TaskGraph g;
+  g.add_task("long", test::serial(10.0, 2));
+  g.add_task("free", test::serial(2.0, 2));
+  const CommModel comm{Cluster(2)};
+  Schedule committed(2, 2);
+  committed.place(0, 0, 0, 10, ProcessorSet::of(2, {0}));
+  FixedPrefix fixed;
+  fixed.frozen = {1, 0};
+  fixed.placements = &committed;
+  const LocBSResult r = locbs(g, {1, 1}, comm, {}, &fixed);
+  EXPECT_DOUBLE_EQ(r.schedule.at(0).finish, 10.0);
+  EXPECT_TRUE(r.schedule.at(1).procs.contains(1));
+  EXPECT_DOUBLE_EQ(r.schedule.at(1).start, 0.0);
+}
+
+TEST(FixedPrefix, NotBeforeKeepsNewTasksOutOfThePast) {
+  TaskGraph g;
+  g.add_task("a", test::serial(2.0, 2));
+  const CommModel comm{Cluster(2)};
+  Schedule committed(1, 2);
+  FixedPrefix fixed;
+  fixed.frozen = {0};
+  fixed.placements = &committed;
+  fixed.not_before = 7.5;
+  const LocBSResult r = locbs(g, {1}, comm, {}, &fixed);
+  EXPECT_GE(r.schedule.at(0).busy_from, 7.5);
+}
+
+TEST(FixedPrefix, RejectsUnplacedFrozenTask) {
+  TaskGraph g;
+  g.add_task("a", test::serial(2.0, 2));
+  const CommModel comm{Cluster(2)};
+  Schedule empty(1, 2);
+  FixedPrefix fixed;
+  fixed.frozen = {1};
+  fixed.placements = &empty;
+  EXPECT_THROW(locbs(g, {1}, comm, {}, &fixed), std::invalid_argument);
+}
+
+TEST(FixedPrefix, LocMPSKeepsFrozenAllocations) {
+  const TaskGraph g = noisy_workload(3);
+  const Cluster c(8);
+  const CommModel comm(c);
+  const LocMPSScheduler planner;
+  const SchedulerResult base = planner.schedule(g, c);
+  // Freeze the first half of the tasks (by start time).
+  std::vector<TaskId> by_start(g.num_tasks());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) by_start[t] = t;
+  std::sort(by_start.begin(), by_start.end(), [&](TaskId a, TaskId b) {
+    return base.schedule.at(a).start < base.schedule.at(b).start;
+  });
+  FixedPrefix fixed;
+  fixed.frozen.assign(g.num_tasks(), 0);
+  fixed.placements = &base.schedule;
+  double latest = 0.0;
+  for (std::size_t i = 0; i < by_start.size() / 2; ++i) {
+    fixed.frozen[by_start[i]] = 1;
+    latest = std::max(latest, base.schedule.at(by_start[i]).start);
+  }
+  // Frozen prefix must be start-time closed (no unfrozen task may have
+  // started earlier); freezing by start order guarantees it.
+  fixed.not_before = latest;
+  const SchedulerResult replanned = planner.schedule_with_fixed(g, c, fixed);
+  EXPECT_EQ(replanned.schedule.validate(g, comm), "");
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (!fixed.frozen[t]) continue;
+    EXPECT_DOUBLE_EQ(replanned.schedule.at(t).start,
+                     base.schedule.at(t).start);
+    EXPECT_EQ(replanned.allocation[t], base.schedule.at(t).np());
+  }
+}
+
+TEST(Online, NoNoiseMeansNoReplans) {
+  const TaskGraph g = noisy_workload(5);
+  OnlineOptions opt;
+  opt.runtime_noise = 0.0;
+  const OnlineResult r = run_online(g, Cluster(8), opt);
+  EXPECT_EQ(r.replans, 0u);
+  EXPECT_NEAR(r.makespan, r.static_makespan, 1e-9);
+}
+
+TEST(Online, DeviationsTriggerReplans) {
+  const TaskGraph g = noisy_workload(7);
+  OnlineOptions opt;
+  opt.runtime_noise = 0.4;
+  opt.replan_threshold = 0.10;
+  const OnlineResult r = run_online(g, Cluster(8), opt);
+  EXPECT_GT(r.replans, 0u);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_TRUE(r.executed.complete());
+}
+
+TEST(Online, RespectsMaxReplans) {
+  const TaskGraph g = noisy_workload(9);
+  OnlineOptions opt;
+  opt.runtime_noise = 0.5;
+  opt.replan_threshold = 0.01;  // everything deviates
+  opt.max_replans = 3;
+  const OnlineResult r = run_online(g, Cluster(8), opt);
+  EXPECT_LE(r.replans, 3u);
+}
+
+class OnlineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineProperty, ReplanningNeverLosesMuchToStatic) {
+  // The online executor replans with full knowledge of the committed
+  // prefix; across seeds it should at worst roughly match the static plan
+  // and usually improve on it.
+  const TaskGraph g = noisy_workload(GetParam());
+  OnlineOptions opt;
+  opt.runtime_noise = 0.4;
+  opt.seed = GetParam() * 977;
+  const OnlineResult r = run_online(g, Cluster(8), opt);
+  EXPECT_LE(r.makespan, r.static_makespan * 1.10)
+      << "seed=" << GetParam() << " replans=" << r.replans;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(Online, WorksOnApplicationGraph) {
+  TCEParams tp;
+  tp.occupied = 8;
+  tp.virt = 32;
+  tp.max_procs = 8;
+  const TaskGraph g = make_ccsd_t1(tp);
+  OnlineOptions opt;
+  opt.runtime_noise = 0.3;
+  const OnlineResult r = run_online(g, Cluster(8, 250e6), opt);
+  EXPECT_TRUE(r.executed.complete());
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,76 @@
+#include "speedup/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "speedup/downey.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(Profile, ExplicitTableLookup) {
+  const ExecutionProfile p({10.0, 6.0, 5.0});
+  EXPECT_EQ(p.max_procs(), 3u);
+  EXPECT_DOUBLE_EQ(p.time(1), 10.0);
+  EXPECT_DOUBLE_EQ(p.time(2), 6.0);
+  EXPECT_DOUBLE_EQ(p.time(3), 5.0);
+  EXPECT_DOUBLE_EQ(p.serial_time(), 10.0);
+}
+
+TEST(Profile, ClampsBeyondTable) {
+  const ExecutionProfile p({10.0, 6.0});
+  EXPECT_DOUBLE_EQ(p.time(100), 6.0);
+}
+
+TEST(Profile, RejectsBadInput) {
+  EXPECT_THROW(ExecutionProfile(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(ExecutionProfile({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(ExecutionProfile({1.0, -2.0}), std::invalid_argument);
+  const ExecutionProfile p({1.0});
+  EXPECT_THROW(p.time(0), std::invalid_argument);
+}
+
+TEST(Profile, PbestIsLeastMinimizer) {
+  // Minimum value 4 first attained at p=3.
+  const ExecutionProfile p({10.0, 6.0, 4.0, 4.0, 5.0});
+  EXPECT_EQ(p.pbest(), 3u);
+}
+
+TEST(Profile, PbestOfMonotoneProfileIsLast) {
+  const ExecutionProfile p({8.0, 4.0, 3.0, 2.5});
+  EXPECT_EQ(p.pbest(), 4u);
+}
+
+TEST(Profile, PbestOfSerialTaskIsOne) {
+  const auto p = ExecutionProfile::constant(7.0, 16);
+  EXPECT_EQ(p.pbest(), 1u);
+  EXPECT_DOUBLE_EQ(p.time(16), 7.0);
+}
+
+TEST(Profile, GainIsForwardDifference) {
+  const ExecutionProfile p({10.0, 6.0, 5.0});
+  EXPECT_DOUBLE_EQ(p.gain(1), 4.0);
+  EXPECT_DOUBLE_EQ(p.gain(2), 1.0);
+  EXPECT_DOUBLE_EQ(p.gain(3), 0.0);  // clamped beyond table
+}
+
+TEST(Profile, SpeedupRelativeToSerial) {
+  const ExecutionProfile p({12.0, 6.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.speedup(3), 3.0);
+}
+
+TEST(Profile, FromModelMatchesModel) {
+  const DowneyModel m(8.0, 0.0);
+  const ExecutionProfile p(m, 40.0, 16);
+  EXPECT_EQ(p.max_procs(), 16u);
+  for (std::size_t n = 1; n <= 16; ++n)
+    EXPECT_NEAR(p.time(n), m.exec_time(40.0, n), 1e-12);
+}
+
+TEST(Profile, FromModelRejectsBadArgs) {
+  const DowneyModel m(8.0, 0.0);
+  EXPECT_THROW(ExecutionProfile(m, 40.0, 0), std::invalid_argument);
+  EXPECT_THROW(ExecutionProfile(m, 0.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locmps

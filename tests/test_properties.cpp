@@ -1,0 +1,173 @@
+/// Cross-cutting property suite: every scheduling scheme, on randomized
+/// workloads and platforms, must produce complete valid schedules whose
+/// makespans respect the fundamental lower bounds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "schedule/event_sim.hpp"
+#include "graph/algorithms.hpp"
+#include "schedulers/registry.hpp"
+#include "workloads/strassen.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/tce.hpp"
+
+namespace locmps {
+namespace {
+
+/// Lower bound on any makespan: the critical path with every task at its
+/// best width and free communication.
+double critical_path_bound(const TaskGraph& g, std::size_t P) {
+  const Levels lv = compute_levels(
+      g,
+      [&](TaskId t) {
+        const auto& p = g.task(t).profile;
+        return p.time(std::min(P, p.pbest()));
+      },
+      [](EdgeId) { return 0.0; });
+  return lv.critical_path_length();
+}
+
+/// Lower bound on any makespan: total work divided by the machine size
+/// (valid because speedups never exceed the processor count, so np * et
+/// >= serial time for every task).
+double area_bound(const TaskGraph& g, std::size_t P) {
+  return g.total_serial_work() / static_cast<double>(P);
+}
+
+using Param = std::tuple<std::string, std::uint64_t, std::size_t, double>;
+
+class SchemeProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchemeProperty, ValidScheduleAboveLowerBounds) {
+  const auto& [scheme, seed, P, ccr] = GetParam();
+  SyntheticParams sp;
+  sp.ccr = ccr;
+  sp.max_procs = P;
+  sp.min_tasks = 8;
+  sp.max_tasks = 28;
+  Rng rng(seed);
+  const TaskGraph g = make_synthetic_dag(sp, rng);
+  const Cluster cluster(P);
+  const SchemeRun run = evaluate_scheme(scheme, g, cluster);
+
+  EXPECT_TRUE(run.schedule.complete());
+  EXPECT_EQ(run.schedule.validate(g, CommModel(cluster)), "")
+      << scheme << " seed=" << seed << " P=" << P;
+  EXPECT_GE(run.makespan,
+            critical_path_bound(g, P) * (1.0 - 1e-9));
+  EXPECT_GE(run.makespan, area_bound(g, P) * (1.0 - 1e-9));
+  // Allocation invariants.
+  for (TaskId t : g.task_ids()) {
+    EXPECT_GE(run.allocation[t], 1u);
+    EXPECT_LE(run.allocation[t], P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeProperty,
+    ::testing::Combine(
+        ::testing::Values("loc-mps", "loc-mps-nbf", "loc-mps-noloc",
+                          "icaslb", "cpr", "cpa", "task", "data"),
+        ::testing::Values(21, 22),
+        ::testing::Values(3, 8),
+        ::testing::Values(0.0, 1.0)));
+
+class NoOverlapProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NoOverlapProperty, ValidOnBlockingPlatforms) {
+  // On a platform without compute/communication overlap every scheme must
+  // still produce complete schedules above the bounds, and no scheme's
+  // realized makespan may beat its overlap-platform counterpart.
+  const std::string scheme = GetParam();
+  SyntheticParams sp;
+  sp.ccr = 0.8;
+  sp.max_procs = 8;
+  sp.min_tasks = 10;
+  sp.max_tasks = 20;
+  Rng rng(29);
+  const TaskGraph g = make_synthetic_dag(sp, rng);
+  const Cluster blocking(8, kFastEthernetBytesPerSec, false);
+  const Cluster async(8, kFastEthernetBytesPerSec, true);
+  const SchemeRun nov = evaluate_scheme(scheme, g, blocking);
+  EXPECT_TRUE(nov.schedule.complete());
+  EXPECT_GE(nov.makespan, area_bound(g, 8) * (1.0 - 1e-9));
+  // Re-timing the *same* plan without overlap can only delay it (plans
+  // made for different platforms are not pointwise comparable).
+  const SchemeRun ov = evaluate_scheme(scheme, g, async);
+  const double same_plan_nov =
+      simulate_execution(g, ov.schedule, CommModel(blocking)).makespan;
+  EXPECT_GE(same_plan_nov, ov.makespan * (1.0 - 1e-9)) << scheme;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, NoOverlapProperty,
+                         ::testing::Values("loc-mps", "loc-mps-nbf",
+                                           "icaslb", "cpr", "cpa", "tsas",
+                                           "twol", "task", "data"));
+
+class AppGraphProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppGraphProperty, SchedulesApplicationGraphs) {
+  const std::string scheme = GetParam();
+  TCEParams tp;
+  tp.occupied = 8;
+  tp.virt = 32;
+  tp.max_procs = 8;
+  const TaskGraph tce = make_ccsd_t1(tp);
+  StrassenParams stp;
+  stp.n = 256;
+  stp.max_procs = 8;
+  const TaskGraph strassen = make_strassen(stp);
+  const Cluster cluster(8, 250e6);  // 2 Gbps Myrinet-like
+  for (const TaskGraph* g : {&tce, &strassen}) {
+    const SchemeRun run = evaluate_scheme(scheme, *g, cluster);
+    EXPECT_EQ(run.schedule.validate(*g, CommModel(cluster)), "") << scheme;
+    EXPECT_GE(run.makespan, area_bound(*g, 8) * (1.0 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AppGraphProperty,
+                         ::testing::Values("loc-mps", "loc-mps-nbf",
+                                           "icaslb", "cpr", "cpa", "task",
+                                           "data"));
+
+TEST(SchemeOrdering, LocMPSLeadsOnCommHeavyGraphs) {
+  // The headline claim, in miniature: on communication-heavy graphs
+  // LoC-MPS beats the comm-blind and non-locality-aware baselines on
+  // average (individual graphs may tie).
+  SyntheticParams sp;
+  sp.ccr = 1.0;
+  sp.max_procs = 8;
+  const auto graphs = make_synthetic_suite(sp, 4, 31);
+  const Cluster cluster(8);
+  double mps = 0, icaslb = 0, cpr = 0;
+  for (const auto& g : graphs) {
+    mps += evaluate_scheme("loc-mps", g, cluster).makespan;
+    icaslb += evaluate_scheme("icaslb", g, cluster).makespan;
+    cpr += evaluate_scheme("cpr", g, cluster).makespan;
+  }
+  EXPECT_LT(mps, icaslb);
+  EXPECT_LT(mps, cpr);
+}
+
+TEST(SchemeOrdering, BackfillNeverHurtsOnAverage) {
+  SyntheticParams sp;
+  sp.ccr = 0.1;
+  sp.amax = 48;
+  sp.sigma = 2;
+  sp.max_procs = 8;
+  const auto graphs = make_synthetic_suite(sp, 4, 37);
+  const Cluster cluster(8);
+  double with_bf = 0, without_bf = 0;
+  for (const auto& g : graphs) {
+    with_bf += evaluate_scheme("loc-mps", g, cluster).makespan;
+    without_bf += evaluate_scheme("loc-mps-nbf", g, cluster).makespan;
+  }
+  EXPECT_LE(with_bf, without_bf * 1.02);
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,139 @@
+/// Schedule-quality tests: LoC-MPS against the exhaustive optimum on tiny
+/// instances (every allocation vector realized by LoCBS) and against the
+/// simulated-annealing reference on small ones.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "schedulers/annealing.hpp"
+#include "schedulers/loc_mps.hpp"
+#include "schedulers/locbs.hpp"
+#include "test_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace locmps {
+namespace {
+
+/// Best LoCBS-realizable makespan over the full allocation grid.
+double brute_force_best(const TaskGraph& g, const Cluster& c) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = c.processors;
+  const CommModel comm(c);
+  Allocation np(n, 1);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    best = std::min(best, locbs(g, np, comm).makespan);
+    // Odometer increment over [1, P]^n.
+    std::size_t i = 0;
+    while (i < n && np[i] == P) np[i++] = 1;
+    if (i == n) break;
+    ++np[i];
+  }
+  return best;
+}
+
+TaskGraph tiny_graph(std::uint64_t seed, double ccr) {
+  SyntheticParams p;
+  p.min_tasks = 4;
+  p.max_tasks = 5;
+  p.avg_degree = 2.0;
+  p.ccr = ccr;
+  p.max_procs = 3;
+  p.amax = 8.0;
+  Rng rng(seed);
+  return make_synthetic_dag(p, rng);
+}
+
+class TinyOptimality
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(TinyOptimality, LocMPSNearExhaustiveOptimum) {
+  const auto [seed, ccr] = GetParam();
+  const TaskGraph g = tiny_graph(seed, ccr);
+  const Cluster c(3);
+  const double opt = brute_force_best(g, c);
+  const double mps =
+      LocMPSScheduler().schedule(g, c).estimated_makespan;
+  EXPECT_GE(mps, opt - 1e-9);  // cannot beat the exhaustive search
+  EXPECT_LE(mps, opt * 1.25)
+      << "seed=" << seed << " ccr=" << ccr << " |V|=" << g.num_tasks();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TinyOptimality,
+    ::testing::Combine(::testing::Values(71, 72, 73, 74, 75),
+                       ::testing::Values(0.0, 1.0)));
+
+TEST(TinyOptimality, Fig3InstanceIsSolvedExactly) {
+  test::LinearSpeedup lin;
+  TaskGraph g;
+  g.add_task("T1", ExecutionProfile(lin, 40.0, 4));
+  g.add_task("T2", ExecutionProfile(lin, 80.0, 4));
+  const Cluster c(4);
+  const double opt = brute_force_best(g, c);
+  EXPECT_DOUBLE_EQ(opt, 30.0);
+  EXPECT_DOUBLE_EQ(LocMPSScheduler().schedule(g, c).estimated_makespan, opt);
+}
+
+// ------------------------------------------------------------------ SA --
+TEST(Annealing, ProducesValidSchedules) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 8;
+  Rng rng(81);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  AnnealingOptions opt;
+  opt.iterations = 500;
+  const SchedulerResult r = AnnealingScheduler(opt).schedule(g, c);
+  EXPECT_EQ(r.schedule.validate(g, CommModel(c)), "");
+  // Boundary moves (np already 1 or at cap) are skipped without an
+  // evaluation, so the count is below the proposal budget but well above
+  // the restart count.
+  EXPECT_GT(r.iterations, 250u);
+  EXPECT_LE(r.iterations, 503u);
+}
+
+TEST(Annealing, DeterministicInSeed) {
+  SyntheticParams p;
+  p.ccr = 0.3;
+  p.max_procs = 4;
+  Rng rng(82);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(4);
+  AnnealingOptions opt;
+  opt.iterations = 300;
+  const double a = AnnealingScheduler(opt).schedule(g, c).estimated_makespan;
+  const double b = AnnealingScheduler(opt).schedule(g, c).estimated_makespan;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Annealing, FindsTinyOptimum) {
+  const TaskGraph g = tiny_graph(71, 1.0);
+  const Cluster c(3);
+  AnnealingOptions opt;
+  opt.iterations = 2000;
+  const double sa = AnnealingScheduler(opt).schedule(g, c).estimated_makespan;
+  EXPECT_NEAR(sa, brute_force_best(g, c), 1e-9);
+}
+
+TEST(Annealing, LocMPSWithinReachOfReference) {
+  // On a mid-size graph the heuristic should stay within ~20% of a
+  // 4000-evaluation annealing reference.
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 8;
+  p.min_tasks = 15;
+  p.max_tasks = 25;
+  Rng rng(83);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(8);
+  const double sa =
+      AnnealingScheduler().schedule(g, c).estimated_makespan;
+  const double mps = LocMPSScheduler().schedule(g, c).estimated_makespan;
+  EXPECT_LE(mps, sa * 1.20);
+}
+
+}  // namespace
+}  // namespace locmps

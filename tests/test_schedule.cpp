@@ -1,0 +1,117 @@
+#include "schedule/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace locmps {
+namespace {
+
+using test::serial;
+
+TEST(Schedule, PlaceAndQuery) {
+  Schedule s(2, 4);
+  EXPECT_FALSE(s.complete());
+  s.place(0, 0.0, 0.0, 5.0, ProcessorSet::of(4, {0}));
+  s.place(1, 5.0, 6.0, 10.0, ProcessorSet::of(4, {0, 1}));
+  EXPECT_TRUE(s.complete());
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+  EXPECT_EQ(s.at(1).np(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(1).busy_from, 5.0);
+}
+
+TEST(Schedule, PlaceValidatesArguments) {
+  Schedule s(1, 4);
+  EXPECT_THROW(s.place(5, 0, 0, 1, ProcessorSet::of(4, {0})),
+               std::out_of_range);
+  EXPECT_THROW(s.place(0, 2, 1, 3, ProcessorSet::of(4, {0})),
+               std::invalid_argument);  // busy_from > start
+  EXPECT_THROW(s.place(0, 0, 2, 1, ProcessorSet::of(4, {0})),
+               std::invalid_argument);  // start > finish
+  EXPECT_THROW(s.place(0, 0, 0, 1, ProcessorSet(4)),
+               std::invalid_argument);  // empty procs
+}
+
+TEST(Schedule, BusyAreaAndUtilization) {
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 4, ProcessorSet::of(2, {0}));
+  s.place(1, 0, 0, 4, ProcessorSet::of(2, {1}));
+  EXPECT_DOUBLE_EQ(s.busy_area(), 8.0);
+  EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+}
+
+TEST(Schedule, UtilizationOfEmptyScheduleIsZero) {
+  EXPECT_DOUBLE_EQ(Schedule(1, 2).utilization(), 0.0);
+}
+
+TEST(ScheduleValidate, AcceptsCorrectSchedule) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const Cluster c(2);
+  const CommModel m(c);
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  EXPECT_EQ(s.validate(g, m), "");
+}
+
+TEST(ScheduleValidate, DetectsMissingPlacement) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  EXPECT_NE(s.validate(g, m).find("not placed"), std::string::npos);
+}
+
+TEST(ScheduleValidate, DetectsWindowShorterThanExecTime) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 3, ProcessorSet::of(2, {0}));  // needs 5
+  EXPECT_NE(s.validate(g, m).find("shorter"), std::string::npos);
+}
+
+TEST(ScheduleValidate, DetectsDoubleBooking) {
+  TaskGraph g;
+  g.add_task("a", serial(5.0, 2));
+  g.add_task("b", serial(5.0, 2));
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 3, 3, 8, ProcessorSet::of(2, {0, 1}));  // overlaps proc 0
+  EXPECT_NE(s.validate(g, m).find("double-booked"), std::string::npos);
+}
+
+TEST(ScheduleValidate, DetectsPrecedenceViolation) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 3, 3, 8, ProcessorSet::of(2, {1}));  // starts before parent ends
+  EXPECT_NE(s.validate(g, m).find("earlier than parent"), std::string::npos);
+}
+
+TEST(ScheduleValidate, DetectsMissingRedistributionTime) {
+  // 1000 bytes over 1 stream of 100 B/s = 10 s of transfer between
+  // disjoint processor sets; starting immediately is invalid.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const CommModel m{Cluster(2, 100.0)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {1}));
+  EXPECT_NE(s.validate(g, m).find("transfer"), std::string::npos);
+  // With the data kept local it is fine.
+  Schedule ok(2, 2);
+  ok.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  ok.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  EXPECT_EQ(ok.validate(g, m), "");
+}
+
+TEST(ScheduleValidate, ReportsTaskCountMismatch) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(1, 2);
+  EXPECT_NE(s.validate(g, m), "");
+}
+
+}  // namespace
+}  // namespace locmps

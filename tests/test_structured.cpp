@@ -1,0 +1,128 @@
+#include "workloads/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "graph/algorithms.hpp"
+#include "workloads/tce.hpp"
+
+namespace locmps {
+namespace {
+
+StructuredParams small_params() {
+  StructuredParams p;
+  p.max_procs = 8;
+  p.ccr = 0.2;
+  return p;
+}
+
+TEST(Structured, ForkJoinShape) {
+  Rng rng(1);
+  const TaskGraph g = make_fork_join(3, 4, small_params(), rng);
+  EXPECT_EQ(g.validate(), "");
+  // 1 start + 3 * (4 forked + 1 join).
+  EXPECT_EQ(g.num_tasks(), 1u + 3u * 5u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  // Each join has in-degree = width.
+  for (TaskId t : g.task_ids())
+    if (g.task(t).name.rfind("join", 0) == 0) EXPECT_EQ(g.in_degree(t), 4u);
+}
+
+TEST(Structured, PipelineIsAPath) {
+  Rng rng(2);
+  const TaskGraph g = make_pipeline(6, small_params(), rng);
+  EXPECT_EQ(g.num_tasks(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  for (TaskId t : g.task_ids()) EXPECT_LE(g.out_degree(t), 1u);
+}
+
+TEST(Structured, LayeredIsDenselyConnected) {
+  Rng rng(3);
+  const TaskGraph g = make_layered(3, 4, small_params(), rng);
+  EXPECT_EQ(g.num_tasks(), 12u);
+  EXPECT_EQ(g.num_edges(), 2u * 4u * 4u);  // full bipartite between layers
+  EXPECT_EQ(g.validate(), "");
+  EXPECT_EQ(g.sources().size(), 4u);
+}
+
+TEST(Structured, SeriesParallelIsValidAndGrows) {
+  Rng rng(4);
+  const TaskGraph g = make_series_parallel(30, small_params(), rng);
+  EXPECT_EQ(g.validate(), "");
+  EXPECT_EQ(g.num_tasks(), 32u);  // 2 + one new vertex per operation
+  EXPECT_GE(g.num_edges(), 31u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.sources().size(), 1u);
+}
+
+TEST(Structured, CcrZeroMeansNoData) {
+  StructuredParams p = small_params();
+  p.ccr = 0.0;
+  Rng rng(5);
+  const TaskGraph g = make_layered(2, 3, p, rng);
+  for (std::size_t e = 0; e < g.num_edges(); ++e)
+    EXPECT_DOUBLE_EQ(g.edge(static_cast<EdgeId>(e)).volume_bytes, 0.0);
+}
+
+TEST(Structured, AllFamiliesAreSchedulable) {
+  Rng rng(6);
+  const StructuredParams p = small_params();
+  const Cluster c(8);
+  const CommModel comm(c);
+  std::vector<TaskGraph> graphs;
+  graphs.push_back(make_fork_join(2, 3, p, rng));
+  graphs.push_back(make_pipeline(5, p, rng));
+  graphs.push_back(make_layered(3, 3, p, rng));
+  graphs.push_back(make_series_parallel(20, p, rng));
+  for (const auto& g : graphs) {
+    const SchemeRun run = evaluate_scheme("loc-mps", g, c);
+    EXPECT_EQ(run.schedule.validate(g, comm), "");
+  }
+}
+
+// ------------------------------------------------------------- CCSD T2 --
+TEST(CCSDT2, GraphIsValid) {
+  const TaskGraph g = make_ccsd_t2();
+  EXPECT_EQ(g.validate(), "");
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.task(g.sinks()[0]).name, "t2residual");
+  EXPECT_GT(g.num_tasks(), 20u);
+}
+
+TEST(CCSDT2, MuchMoreWorkThanT1) {
+  const TCEParams p;
+  EXPECT_GT(make_ccsd_t2(p).total_serial_work(),
+            5.0 * make_ccsd_t1(p).total_serial_work());
+}
+
+TEST(CCSDT2, LadderTermDominates) {
+  const TaskGraph g = make_ccsd_t2();
+  double ladder = 0.0, max_other = 0.0;
+  for (TaskId t : g.task_ids()) {
+    const double w = g.task(t).profile.serial_time();
+    if (g.task(t).name == "W_vvvv*t2")
+      ladder = w;
+    else
+      max_other = std::max(max_other, w);
+  }
+  EXPECT_GT(ladder, 0.9 * max_other);  // among the largest contractions
+}
+
+TEST(CCSDT2, SchedulableByAllSchemes) {
+  TCEParams p;
+  p.occupied = 8;
+  p.virt = 32;
+  p.max_procs = 8;
+  const TaskGraph g = make_ccsd_t2(p);
+  const Cluster c(8, 250e6);
+  for (const auto& s : {"loc-mps", "cpa", "twol", "data"}) {
+    const SchemeRun run = evaluate_scheme(s, g, c);
+    EXPECT_EQ(run.schedule.validate(g, CommModel(c)), "") << s;
+  }
+}
+
+}  // namespace
+}  // namespace locmps

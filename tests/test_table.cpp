@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace locmps {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"P", "LoC-MPS"});
+  t.add_row({"8", "1.000"});
+  t.add_row({"128", "0.910"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P"), std::string::npos);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find("0.910"), std::string::npos);
+  // header separator present
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowsPaddedToHeaderWidth) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"P", "x", "y"});
+  t.add_row_numeric("4", {1.23456, 0.5}, 2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "P,x,y\n4,1.23,0.50\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  t.add_row({"y"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Table, MaybeWriteCsvRespectsEnv) {
+  Table t({"a"});
+  t.add_row({"1"});
+  // Not set (or "0") -> no file written.
+  unsetenv("LOCMPS_CSV");
+  EXPECT_FALSE(t.maybe_write_csv("/tmp/locmps_test_should_not_exist.csv"));
+  setenv("LOCMPS_CSV", "0", 1);
+  EXPECT_FALSE(t.maybe_write_csv("/tmp/locmps_test_should_not_exist.csv"));
+  setenv("LOCMPS_CSV", "1", 1);
+  EXPECT_TRUE(t.maybe_write_csv("/tmp/locmps_test_env.csv"));
+  unsetenv("LOCMPS_CSV");
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,96 @@
+#include "graph/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace locmps {
+namespace {
+
+using test::serial;
+
+TEST(TaskGraph, AddTasksAndEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", serial(1.0, 4));
+  const TaskId b = g.add_task("b", serial(2.0, 4));
+  EXPECT_EQ(g.num_tasks(), 2u);
+  const EdgeId e = g.add_edge(a, b, 100.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).dst, b);
+  EXPECT_DOUBLE_EQ(g.edge(e).volume_bytes, 100.0);
+  EXPECT_EQ(g.task(a).name, "a");
+}
+
+TEST(TaskGraph, AdjacencyIsConsistent) {
+  const TaskGraph g = test::diamond();
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+  for (EdgeId e : g.out_edges(0)) EXPECT_EQ(g.edge(e).src, 0u);
+  for (EdgeId e : g.in_edges(3)) EXPECT_EQ(g.edge(e).dst, 3u);
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", serial(1.0, 4));
+  EXPECT_THROW(g.add_edge(a, a, 0.0), std::invalid_argument);  // self loop
+  EXPECT_THROW(g.add_edge(a, 7, 0.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(7, a, 0.0), std::out_of_range);
+  const TaskId b = g.add_task("b", serial(1.0, 4));
+  EXPECT_THROW(g.add_edge(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, SourcesAndSinks) {
+  const TaskGraph g = test::diamond();
+  EXPECT_EQ(g.sources(), (std::vector<TaskId>{0}));
+  EXPECT_EQ(g.sinks(), (std::vector<TaskId>{3}));
+}
+
+TEST(TaskGraph, MultiRootGraphHasAllSources) {
+  TaskGraph g;
+  g.add_task("a", serial(1.0, 4));
+  g.add_task("b", serial(1.0, 4));
+  EXPECT_EQ(g.sources().size(), 2u);
+  EXPECT_EQ(g.sinks().size(), 2u);
+}
+
+TEST(TaskGraph, TotalSerialWork) {
+  TaskGraph g;
+  g.add_task("a", serial(3.0, 4));
+  g.add_task("b", serial(4.5, 4));
+  EXPECT_DOUBLE_EQ(g.total_serial_work(), 7.5);
+}
+
+TEST(TaskGraph, ValidateAcceptsDag) {
+  EXPECT_EQ(test::diamond().validate(), "");
+  EXPECT_EQ(test::chain(5).validate(), "");
+}
+
+TEST(TaskGraph, ValidateRejectsEmptyGraph) {
+  EXPECT_NE(TaskGraph{}.validate(), "");
+}
+
+TEST(TaskGraph, ValidateDetectsCycle) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", serial(1.0, 4));
+  const TaskId b = g.add_task("b", serial(1.0, 4));
+  const TaskId c = g.add_task("c", serial(1.0, 4));
+  g.add_edge(a, b, 0.0);
+  g.add_edge(b, c, 0.0);
+  g.add_edge(c, a, 0.0);
+  EXPECT_NE(g.validate().find("cycle"), std::string::npos);
+}
+
+TEST(TaskGraph, TaskIdsRangeCoversAll) {
+  const TaskGraph g = test::chain(4);
+  std::size_t n = 0;
+  for (TaskId t : g.task_ids()) {
+    EXPECT_LT(t, 4u);
+    ++n;
+  }
+  EXPECT_EQ(n, 4u);
+}
+
+}  // namespace
+}  // namespace locmps

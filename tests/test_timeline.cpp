@@ -1,0 +1,97 @@
+#include "schedule/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locmps {
+namespace {
+
+TEST(Timeline, FreshTimelineIsFullyFree) {
+  const Timeline tl(4);
+  EXPECT_EQ(tl.num_procs(), 4u);
+  for (ProcId q = 0; q < 4; ++q) {
+    EXPECT_TRUE(tl.is_free(q, 0.0, 100.0));
+    EXPECT_EQ(tl.free_until(q, 0.0), kForever);
+    EXPECT_DOUBLE_EQ(tl.latest_free_time(q), 0.0);
+  }
+}
+
+TEST(Timeline, OccupyBlocksWindow) {
+  Timeline tl(2);
+  tl.occupy(ProcessorSet::of(2, {0}), 2.0, 5.0);
+  EXPECT_FALSE(tl.is_free(0, 3.0, 4.0));
+  EXPECT_FALSE(tl.is_free(0, 0.0, 3.0));  // overlaps start
+  EXPECT_TRUE(tl.is_free(0, 0.0, 2.0));   // half-open: ends at busy start
+  EXPECT_TRUE(tl.is_free(0, 5.0, 9.0));   // free again from end
+  EXPECT_TRUE(tl.is_free(1, 0.0, 100.0));
+}
+
+TEST(Timeline, FreeUntilReportsNextBusyStart) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(tl.free_until(0, 0.0), 4.0);
+  EXPECT_LT(tl.free_until(0, 5.0), 0.0);  // busy at t=5
+  EXPECT_EQ(tl.free_until(0, 6.0), kForever);
+}
+
+TEST(Timeline, LatestFreeTimeTracksLastBooking) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 0.0, 3.0);
+  tl.occupy(ProcessorSet::of(1, {0}), 7.0, 9.0);
+  EXPECT_DOUBLE_EQ(tl.latest_free_time(0), 9.0);
+}
+
+TEST(Timeline, CandidateTimesAreFromPlusIntervalEnds) {
+  Timeline tl(2);
+  tl.occupy(ProcessorSet::of(2, {0}), 0.0, 3.0);
+  tl.occupy(ProcessorSet::of(2, {1}), 1.0, 5.0);
+  const auto times = tl.candidate_times(0.5);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 3.0, 5.0}));
+  // Ends at or before `from` are excluded.
+  const auto later = tl.candidate_times(4.0);
+  EXPECT_EQ(later, (std::vector<double>{4.0, 5.0}));
+}
+
+TEST(Timeline, CandidateTimesDeduplicated) {
+  Timeline tl(2);
+  tl.occupy(ProcessorSet::of(2, {0, 1}), 0.0, 3.0);  // both end at 3
+  const auto times = tl.candidate_times(0.0);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 3.0}));
+}
+
+TEST(Timeline, AvailableAtListsIdleProcsWithHorizon) {
+  Timeline tl(3);
+  tl.occupy(ProcessorSet::of(3, {0}), 0.0, 4.0);
+  tl.occupy(ProcessorSet::of(3, {1}), 6.0, 8.0);
+  const auto avail = tl.available_at(1.0);
+  ASSERT_EQ(avail.size(), 2u);
+  EXPECT_EQ(avail[0].proc, 1u);
+  EXPECT_DOUBLE_EQ(avail[0].until, 6.0);
+  EXPECT_EQ(avail[1].proc, 2u);
+  EXPECT_EQ(avail[1].until, kForever);
+}
+
+TEST(Timeline, BackToBackBookingsAllowed) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 0.0, 3.0);
+  tl.occupy(ProcessorSet::of(1, {0}), 3.0, 6.0);  // abutting is fine
+  EXPECT_FALSE(tl.is_free(0, 2.0, 4.0));
+  EXPECT_DOUBLE_EQ(tl.latest_free_time(0), 6.0);
+}
+
+TEST(Timeline, ZeroLengthBookingIsNoOp) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 3.0, 3.0);
+  EXPECT_TRUE(tl.is_free(0, 0.0, 100.0));
+}
+
+TEST(Timeline, BookingOutOfOrderKeepsSortedState) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 10.0, 12.0);
+  tl.occupy(ProcessorSet::of(1, {0}), 2.0, 4.0);  // earlier hole booked later
+  EXPECT_DOUBLE_EQ(tl.free_until(0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.free_until(0, 4.0), 10.0);
+  EXPECT_DOUBLE_EQ(tl.latest_free_time(0), 12.0);
+}
+
+}  // namespace
+}  // namespace locmps

@@ -1,0 +1,83 @@
+#include "schedule/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "schedulers/task_parallel.hpp"
+#include "test_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace locmps {
+namespace {
+
+TEST(TraceExport, EmitsSlicesForEveryProcessorOfATask) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0, 1}));
+  const std::string json = chrome_trace(g, s);
+  // One execution slice per processor.
+  EXPECT_EQ(json.find("recv:"), std::string::npos);  // no busy prefix
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"name\":\"t0\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(json.find("\"dur\":5e+06"), std::string::npos);
+}
+
+TEST(TraceExport, EmitsReceiveWindowOnNoOverlapSchedules) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  Schedule s(1, 2);
+  s.place(0, 2.0, 3.0, 8.0, ProcessorSet::of(2, {0}));  // busy_from < start
+  const std::string json = chrome_trace(g, s);
+  EXPECT_NE(json.find("recv:t0"), std::string::npos);
+}
+
+TEST(TraceExport, NamesProcessorRows) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  Schedule s(1, 3);
+  s.place(0, 0, 0, 5, ProcessorSet::of(3, {1}));
+  const std::string json = chrome_trace(g, s);
+  EXPECT_NE(json.find("\"name\":\"P0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"P2\""), std::string::npos);
+}
+
+TEST(TraceExport, EscapesAwkwardTaskNames) {
+  TaskGraph g;
+  g.add_task("we\"ird\\name", test::serial(1.0, 1));
+  Schedule s(1, 1);
+  s.place(0, 0, 0, 1, ProcessorSet::of(1, {0}));
+  const std::string json = chrome_trace(g, s);
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(TraceExport, RejectsIncompleteSchedule) {
+  const TaskGraph g = test::chain(2);
+  std::ostringstream os;
+  EXPECT_THROW(write_chrome_trace(os, g, Schedule(2, 1)),
+               std::invalid_argument);
+}
+
+TEST(TraceExport, RealScheduleProducesParsableShape) {
+  SyntheticParams p;
+  p.ccr = 0.3;
+  p.max_procs = 4;
+  Rng rng(93);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const SchedulerResult r = TaskParallelScheduler().schedule(g, Cluster(4));
+  const std::string json = chrome_trace(g, r.schedule);
+  // Crude structural checks: balanced braces/brackets, proper envelope.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locmps

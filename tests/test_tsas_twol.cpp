@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "schedule/event_sim.hpp"
+#include "schedulers/registry.hpp"
+#include "schedulers/tsas.hpp"
+#include "schedulers/twol.hpp"
+#include "test_util.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace locmps {
+namespace {
+
+TaskGraph random_graph(std::uint64_t seed, double ccr) {
+  SyntheticParams p;
+  p.ccr = ccr;
+  p.max_procs = 8;
+  p.min_tasks = 10;
+  p.max_tasks = 20;
+  Rng rng(seed);
+  return make_synthetic_dag(p, rng);
+}
+
+// ---------------------------------------------------------------- TSAS --
+TEST(TSAS, WidensScalableChain) {
+  test::LinearSpeedup lin;
+  TaskGraph g;
+  const TaskId a = g.add_task("a", ExecutionProfile(lin, 40.0, 4));
+  const TaskId b = g.add_task("b", ExecutionProfile(lin, 40.0, 4));
+  g.add_edge(a, b, 0.0);
+  const SchedulerResult r = TSASScheduler().schedule(g, Cluster(4));
+  // A chain is all critical path: the balance point is full width.
+  EXPECT_LT(r.estimated_makespan, 80.0);
+  EXPECT_GT(r.allocation[a], 1u);
+}
+
+TEST(TSAS, BalancesCriticalPathAgainstArea) {
+  // Many independent serial tasks: the area term forbids widening.
+  TaskGraph g;
+  for (int i = 0; i < 8; ++i)
+    g.add_task("t", test::serial(10.0, 8));
+  const SchedulerResult r = TSASScheduler().schedule(g, Cluster(8));
+  for (TaskId t : g.task_ids()) EXPECT_EQ(r.allocation[t], 1u);
+  EXPECT_DOUBLE_EQ(r.estimated_makespan, 10.0);
+}
+
+TEST(TSAS, ProducesValidSchedules) {
+  for (std::uint64_t seed : {41, 42}) {
+    const TaskGraph g = random_graph(seed, 1.0);
+    const Cluster c(8);
+    const SchedulerResult r = TSASScheduler().schedule(g, c);
+    EXPECT_EQ(r.schedule.validate(g, CommModel(c)), "") << seed;
+    for (TaskId t : g.task_ids()) {
+      EXPECT_GE(r.allocation[t], 1u);
+      EXPECT_LE(r.allocation[t], 8u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- TwoL --
+TEST(TwoL, RespectsLayerBarriers) {
+  // Diamond: layer 0 = {a}, layer 1 = {b, c}, layer 2 = {d}. No task of a
+  // later layer may start before every task of the previous layer ends.
+  const TaskGraph g = test::diamond(10.0, 4, 0.0);
+  const Cluster c(4);
+  const SchedulerResult r = TwoLScheduler().schedule(g, c);
+  EXPECT_EQ(r.schedule.validate(g, CommModel(c)), "");
+  const double l0_end = r.schedule.at(0).finish;
+  EXPECT_GE(r.schedule.at(1).start, l0_end - 1e-9);
+  EXPECT_GE(r.schedule.at(2).start, l0_end - 1e-9);
+  const double l1_end =
+      std::max(r.schedule.at(1).finish, r.schedule.at(2).finish);
+  EXPECT_GE(r.schedule.at(3).start, l1_end - 1e-9);
+}
+
+TEST(TwoL, SplitsLayerProportionallyToWork) {
+  test::LinearSpeedup lin;
+  TaskGraph g;
+  const TaskId root = g.add_task("r", test::serial(1.0, 8));
+  const TaskId big = g.add_task("big", ExecutionProfile(lin, 60.0, 8));
+  const TaskId small = g.add_task("small", ExecutionProfile(lin, 20.0, 8));
+  g.add_edge(root, big, 0.0);
+  g.add_edge(root, small, 0.0);
+  const SchedulerResult r = TwoLScheduler().schedule(g, Cluster(8));
+  EXPECT_GT(r.allocation[big], r.allocation[small]);
+  EXPECT_EQ(r.allocation[big] + r.allocation[small], 8u);
+}
+
+TEST(TwoL, HandlesLayersWiderThanMachine) {
+  TaskGraph g;
+  const TaskId root = g.add_task("r", test::serial(1.0, 2));
+  for (int i = 0; i < 5; ++i) {
+    const TaskId t = g.add_task("w", test::serial(2.0, 2));
+    g.add_edge(root, t, 0.0);
+  }
+  const Cluster c(2);
+  const SchedulerResult r = TwoLScheduler().schedule(g, c);
+  EXPECT_EQ(r.schedule.validate(g, CommModel(c)), "");
+  // 5 unit-proc tasks on 2 processors in barrier batches of 2.
+  EXPECT_GE(r.estimated_makespan, 1.0 + 3 * 2.0 - 1e-9);
+}
+
+TEST(TwoL, ProducesValidSchedules) {
+  for (std::uint64_t seed : {43, 44}) {
+    const TaskGraph g = random_graph(seed, 0.5);
+    const Cluster c(8);
+    const SchedulerResult r = TwoLScheduler().schedule(g, c);
+    EXPECT_EQ(r.schedule.validate(g, CommModel(c)), "") << seed;
+  }
+}
+
+// ------------------------------------------------- vs integrated schemes --
+TEST(Baselines, LocMPSBeatsTwoStepSchemesOnAverage) {
+  // The paper's motivation for single-step scheduling: decoupled
+  // allocation (TSAS) and layer barriers (TwoL) cost real performance.
+  double mps = 0.0, tsas = 0.0, twol = 0.0;
+  const Cluster c(8);
+  for (std::uint64_t seed : {51, 52, 53, 54}) {
+    const TaskGraph g = random_graph(seed, 0.5);
+    mps += evaluate_scheme("loc-mps", g, c).makespan;
+    tsas += evaluate_scheme("tsas", g, c).makespan;
+    twol += evaluate_scheme("twol", g, c).makespan;
+  }
+  EXPECT_LT(mps, tsas);
+  EXPECT_LT(mps, twol);
+}
+
+TEST(Registry, KnowsNewBaselines) {
+  EXPECT_EQ(make_scheduler("tsas")->name(), "TSAS");
+  EXPECT_EQ(make_scheduler("twol")->name(), "TwoL");
+  EXPECT_FALSE(scheme_exploits_locality("tsas"));
+  EXPECT_TRUE(scheme_exploits_locality("twol"));
+}
+
+}  // namespace
+}  // namespace locmps

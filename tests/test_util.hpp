@@ -1,0 +1,57 @@
+#pragma once
+/// Shared helpers for the test suite.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "speedup/model.hpp"
+#include "speedup/profile.hpp"
+
+namespace locmps::test {
+
+/// Perfectly linear speedup, handy for hand-computable examples.
+class LinearSpeedup final : public SpeedupModel {
+ public:
+  double speedup(std::size_t n) const override {
+    return static_cast<double>(n);
+  }
+};
+
+/// Profile from an explicit time table.
+inline ExecutionProfile profile(std::vector<double> times) {
+  return ExecutionProfile(std::move(times));
+}
+
+/// A serial task profile (no benefit from extra processors).
+inline ExecutionProfile serial(double t, std::size_t max_procs) {
+  return ExecutionProfile::constant(t, max_procs);
+}
+
+/// Diamond graph: a -> b, a -> c, b -> d, c -> d with unit-volume edges.
+inline TaskGraph diamond(double t = 10.0, std::size_t max_procs = 8,
+                         double volume = 0.0) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", serial(t, max_procs));
+  const TaskId b = g.add_task("b", serial(t, max_procs));
+  const TaskId c = g.add_task("c", serial(t, max_procs));
+  const TaskId d = g.add_task("d", serial(t, max_procs));
+  g.add_edge(a, b, volume);
+  g.add_edge(a, c, volume);
+  g.add_edge(b, d, volume);
+  g.add_edge(c, d, volume);
+  return g;
+}
+
+/// Chain graph t0 -> t1 -> ... -> t{n-1}.
+inline TaskGraph chain(std::size_t n, double t = 10.0,
+                       std::size_t max_procs = 8, double volume = 0.0) {
+  TaskGraph g;
+  for (std::size_t i = 0; i < n; ++i)
+    g.add_task("t" + std::to_string(i), serial(t, max_procs));
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1), volume);
+  return g;
+}
+
+}  // namespace locmps::test
