@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_all_baselines"
+  "../bench/ext_all_baselines.pdb"
+  "CMakeFiles/ext_all_baselines.dir/ext_all_baselines.cpp.o"
+  "CMakeFiles/ext_all_baselines.dir/ext_all_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_all_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dag_shapes"
+  "../bench/ext_dag_shapes.pdb"
+  "CMakeFiles/ext_dag_shapes.dir/ext_dag_shapes.cpp.o"
+  "CMakeFiles/ext_dag_shapes.dir/ext_dag_shapes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dag_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

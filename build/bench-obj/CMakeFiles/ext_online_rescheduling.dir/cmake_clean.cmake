@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_online_rescheduling"
+  "../bench/ext_online_rescheduling.pdb"
+  "CMakeFiles/ext_online_rescheduling.dir/ext_online_rescheduling.cpp.o"
+  "CMakeFiles/ext_online_rescheduling.dir/ext_online_rescheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_online_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

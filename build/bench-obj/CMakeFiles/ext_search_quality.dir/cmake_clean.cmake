@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_search_quality"
+  "../bench/ext_search_quality.pdb"
+  "CMakeFiles/ext_search_quality.dir/ext_search_quality.cpp.o"
+  "CMakeFiles/ext_search_quality.dir/ext_search_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_search_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_synthetic_ccr0"
+  "../bench/fig04_synthetic_ccr0.pdb"
+  "CMakeFiles/fig04_synthetic_ccr0.dir/fig04_synthetic_ccr0.cpp.o"
+  "CMakeFiles/fig04_synthetic_ccr0.dir/fig04_synthetic_ccr0.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_synthetic_ccr0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

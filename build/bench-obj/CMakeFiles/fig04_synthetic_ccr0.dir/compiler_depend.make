@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_synthetic_ccr0.
+# This may be replaced when dependencies are built.

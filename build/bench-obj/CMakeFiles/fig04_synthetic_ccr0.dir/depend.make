@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_synthetic_ccr0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_synthetic_ccr"
+  "../bench/fig05_synthetic_ccr.pdb"
+  "CMakeFiles/fig05_synthetic_ccr.dir/fig05_synthetic_ccr.cpp.o"
+  "CMakeFiles/fig05_synthetic_ccr.dir/fig05_synthetic_ccr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_synthetic_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_backfill_tradeoff"
+  "../bench/fig06_backfill_tradeoff.pdb"
+  "CMakeFiles/fig06_backfill_tradeoff.dir/fig06_backfill_tradeoff.cpp.o"
+  "CMakeFiles/fig06_backfill_tradeoff.dir/fig06_backfill_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_backfill_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_tce_ccsd"
+  "../bench/fig08_tce_ccsd.pdb"
+  "CMakeFiles/fig08_tce_ccsd.dir/fig08_tce_ccsd.cpp.o"
+  "CMakeFiles/fig08_tce_ccsd.dir/fig08_tce_ccsd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_tce_ccsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_strassen"
+  "../bench/fig09_strassen.pdb"
+  "CMakeFiles/fig09_strassen.dir/fig09_strassen.cpp.o"
+  "CMakeFiles/fig09_strassen.dir/fig09_strassen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_scheduling_times"
+  "../bench/fig10_scheduling_times.pdb"
+  "CMakeFiles/fig10_scheduling_times.dir/fig10_scheduling_times.cpp.o"
+  "CMakeFiles/fig10_scheduling_times.dir/fig10_scheduling_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scheduling_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

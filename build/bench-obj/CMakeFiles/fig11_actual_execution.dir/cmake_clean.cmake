@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_actual_execution"
+  "../bench/fig11_actual_execution.pdb"
+  "CMakeFiles/fig11_actual_execution.dir/fig11_actual_execution.cpp.o"
+  "CMakeFiles/fig11_actual_execution.dir/fig11_actual_execution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_actual_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_runtime.dir/online_runtime.cpp.o"
+  "CMakeFiles/online_runtime.dir/online_runtime.cpp.o.d"
+  "online_runtime"
+  "online_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

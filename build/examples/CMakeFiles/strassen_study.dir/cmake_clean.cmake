@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strassen_study.dir/strassen_study.cpp.o"
+  "CMakeFiles/strassen_study.dir/strassen_study.cpp.o.d"
+  "strassen_study"
+  "strassen_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strassen_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

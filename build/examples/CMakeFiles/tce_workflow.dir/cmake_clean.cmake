@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tce_workflow.dir/tce_workflow.cpp.o"
+  "CMakeFiles/tce_workflow.dir/tce_workflow.cpp.o.d"
+  "tce_workflow"
+  "tce_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tce_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

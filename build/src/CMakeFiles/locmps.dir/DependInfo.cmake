@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/processor_set.cpp" "src/CMakeFiles/locmps.dir/cluster/processor_set.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/cluster/processor_set.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/locmps.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/locmps.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/locmps.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/CMakeFiles/locmps.dir/graph/task_graph.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/graph/task_graph.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/CMakeFiles/locmps.dir/graph/transform.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/graph/transform.cpp.o.d"
+  "/root/repo/src/network/block_cyclic.cpp" "src/CMakeFiles/locmps.dir/network/block_cyclic.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/network/block_cyclic.cpp.o.d"
+  "/root/repo/src/network/comm_model.cpp" "src/CMakeFiles/locmps.dir/network/comm_model.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/network/comm_model.cpp.o.d"
+  "/root/repo/src/schedule/event_sim.cpp" "src/CMakeFiles/locmps.dir/schedule/event_sim.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/event_sim.cpp.o.d"
+  "/root/repo/src/schedule/gantt.cpp" "src/CMakeFiles/locmps.dir/schedule/gantt.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/gantt.cpp.o.d"
+  "/root/repo/src/schedule/metrics.cpp" "src/CMakeFiles/locmps.dir/schedule/metrics.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/metrics.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/CMakeFiles/locmps.dir/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/schedule.cpp.o.d"
+  "/root/repo/src/schedule/schedule_dag.cpp" "src/CMakeFiles/locmps.dir/schedule/schedule_dag.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/schedule_dag.cpp.o.d"
+  "/root/repo/src/schedule/timeline.cpp" "src/CMakeFiles/locmps.dir/schedule/timeline.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/timeline.cpp.o.d"
+  "/root/repo/src/schedule/trace_export.cpp" "src/CMakeFiles/locmps.dir/schedule/trace_export.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedule/trace_export.cpp.o.d"
+  "/root/repo/src/schedulers/annealing.cpp" "src/CMakeFiles/locmps.dir/schedulers/annealing.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/annealing.cpp.o.d"
+  "/root/repo/src/schedulers/cpa.cpp" "src/CMakeFiles/locmps.dir/schedulers/cpa.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/cpa.cpp.o.d"
+  "/root/repo/src/schedulers/cpr.cpp" "src/CMakeFiles/locmps.dir/schedulers/cpr.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/cpr.cpp.o.d"
+  "/root/repo/src/schedulers/data_parallel.cpp" "src/CMakeFiles/locmps.dir/schedulers/data_parallel.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/data_parallel.cpp.o.d"
+  "/root/repo/src/schedulers/icaslb.cpp" "src/CMakeFiles/locmps.dir/schedulers/icaslb.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/icaslb.cpp.o.d"
+  "/root/repo/src/schedulers/list_scheduler.cpp" "src/CMakeFiles/locmps.dir/schedulers/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/list_scheduler.cpp.o.d"
+  "/root/repo/src/schedulers/loc_mps.cpp" "src/CMakeFiles/locmps.dir/schedulers/loc_mps.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/loc_mps.cpp.o.d"
+  "/root/repo/src/schedulers/locbs.cpp" "src/CMakeFiles/locmps.dir/schedulers/locbs.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/locbs.cpp.o.d"
+  "/root/repo/src/schedulers/online.cpp" "src/CMakeFiles/locmps.dir/schedulers/online.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/online.cpp.o.d"
+  "/root/repo/src/schedulers/registry.cpp" "src/CMakeFiles/locmps.dir/schedulers/registry.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/registry.cpp.o.d"
+  "/root/repo/src/schedulers/task_parallel.cpp" "src/CMakeFiles/locmps.dir/schedulers/task_parallel.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/task_parallel.cpp.o.d"
+  "/root/repo/src/schedulers/tsas.cpp" "src/CMakeFiles/locmps.dir/schedulers/tsas.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/tsas.cpp.o.d"
+  "/root/repo/src/schedulers/twol.cpp" "src/CMakeFiles/locmps.dir/schedulers/twol.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/schedulers/twol.cpp.o.d"
+  "/root/repo/src/speedup/amdahl.cpp" "src/CMakeFiles/locmps.dir/speedup/amdahl.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/speedup/amdahl.cpp.o.d"
+  "/root/repo/src/speedup/downey.cpp" "src/CMakeFiles/locmps.dir/speedup/downey.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/speedup/downey.cpp.o.d"
+  "/root/repo/src/speedup/profile.cpp" "src/CMakeFiles/locmps.dir/speedup/profile.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/speedup/profile.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/locmps.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/locmps.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/locmps.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/util/table.cpp.o.d"
+  "/root/repo/src/workloads/strassen.cpp" "src/CMakeFiles/locmps.dir/workloads/strassen.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/workloads/strassen.cpp.o.d"
+  "/root/repo/src/workloads/structured.cpp" "src/CMakeFiles/locmps.dir/workloads/structured.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/workloads/structured.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/CMakeFiles/locmps.dir/workloads/synthetic.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/workloads/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/tce.cpp" "src/CMakeFiles/locmps.dir/workloads/tce.cpp.o" "gcc" "src/CMakeFiles/locmps.dir/workloads/tce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

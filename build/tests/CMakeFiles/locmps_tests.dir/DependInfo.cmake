@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algorithms.cpp" "tests/CMakeFiles/locmps_tests.dir/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_algorithms.cpp.o.d"
+  "/root/repo/tests/test_amdahl.cpp" "tests/CMakeFiles/locmps_tests.dir/test_amdahl.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_amdahl.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/locmps_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_block_cyclic.cpp" "tests/CMakeFiles/locmps_tests.dir/test_block_cyclic.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_block_cyclic.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/locmps_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_comm_model.cpp" "tests/CMakeFiles/locmps_tests.dir/test_comm_model.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_comm_model.cpp.o.d"
+  "/root/repo/tests/test_downey.cpp" "tests/CMakeFiles/locmps_tests.dir/test_downey.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_downey.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/locmps_tests.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_event_sim.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/locmps_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_gantt.cpp" "tests/CMakeFiles/locmps_tests.dir/test_gantt.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_gantt.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/locmps_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_loc_mps.cpp" "tests/CMakeFiles/locmps_tests.dir/test_loc_mps.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_loc_mps.cpp.o.d"
+  "/root/repo/tests/test_locbs.cpp" "tests/CMakeFiles/locmps_tests.dir/test_locbs.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_locbs.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/locmps_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/locmps_tests.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/locmps_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_processor_set.cpp" "tests/CMakeFiles/locmps_tests.dir/test_processor_set.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_processor_set.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/locmps_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/locmps_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quality.cpp" "tests/CMakeFiles/locmps_tests.dir/test_quality.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_quality.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/locmps_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/locmps_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_dag.cpp" "tests/CMakeFiles/locmps_tests.dir/test_schedule_dag.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_schedule_dag.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/locmps_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_structured.cpp" "tests/CMakeFiles/locmps_tests.dir/test_structured.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_structured.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/locmps_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_task_graph.cpp" "tests/CMakeFiles/locmps_tests.dir/test_task_graph.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_task_graph.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/locmps_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_trace_export.cpp" "tests/CMakeFiles/locmps_tests.dir/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_trace_export.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/locmps_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_transform.cpp.o.d"
+  "/root/repo/tests/test_tsas_twol.cpp" "tests/CMakeFiles/locmps_tests.dir/test_tsas_twol.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_tsas_twol.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/locmps_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/locmps_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/locmps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
