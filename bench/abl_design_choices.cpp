@@ -24,7 +24,8 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   SyntheticParams p;
   p.ccr = 1.0;
   p.amax = 64.0;
@@ -86,5 +87,6 @@ int main() {
   }
   t.print(std::cout);
   t.maybe_write_csv("abl_design_choices.csv");
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -8,11 +8,26 @@
 /// knobs: LOCMPS_GRAPHS (suite size), LOCMPS_MAXP (largest processor
 /// count), LOCMPS_CSV=1 (mirror each table to a CSV file next to the
 /// binary).
+///
+/// Observability: every harness binary accepts `--obs-out <path>` (or the
+/// LOCMPS_OBS_OUT environment variable). When set, the binary finishes by
+/// running one instrumented LoC-MPS planning + execution pass and writes
+///  * <path>             — the JSONL decision trace (docs/observability.md),
+///  * <path>.trace.json  — a chrome trace whose "planner" track renders
+///    the scheduler's phase timers and counter series next to the
+///    schedule. Open either trace in https://ui.perfetto.dev.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/events.hpp"
+#include "schedule/trace_export.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace locmps::bench {
 
@@ -47,6 +62,71 @@ inline void banner(const std::string& what) {
   std::cout << "\n=== " << what << " ===\n";
   std::cout << "(relative performance = makespan(LoC-MPS) / makespan(scheme);"
                " < 1 means worse than LoC-MPS)\n";
+}
+
+/// Destination of the `--obs-out` decision trace; disabled when empty.
+struct ObsOut {
+  std::string path;
+  bool enabled() const { return !path.empty(); }
+};
+
+/// Parses `--obs-out <path>` / `--obs-out=<path>` from argv, falling back
+/// to the LOCMPS_OBS_OUT environment variable. Unknown arguments are
+/// ignored (the harness binaries take no other flags).
+inline ObsOut parse_obs(int argc, char** argv) {
+  ObsOut out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--obs-out" && i + 1 < argc) {
+      out.path = argv[i + 1];
+      return out;
+    }
+    if (arg.rfind("--obs-out=", 0) == 0) {
+      out.path = arg.substr(10);
+      return out;
+    }
+  }
+  if (const char* env = std::getenv("LOCMPS_OBS_OUT"))
+    if (*env != '\0') out.path = env;
+  return out;
+}
+
+/// Runs one instrumented pass of \p scheme on \p g / \p cluster and
+/// writes the JSONL decision trace plus the planner+schedule chrome
+/// trace (see the file header). No-op when \p obs is disabled.
+inline void dump_obs_run(const ObsOut& obs, const TaskGraph& g,
+                         const Cluster& cluster,
+                         const std::string& scheme = "loc-mps") {
+  if (!obs.enabled()) return;
+  std::ofstream jsonl(obs.path);
+  if (!jsonl) {
+    std::cerr << "obs: cannot open " << obs.path << " for writing\n";
+    return;
+  }
+  obs::JsonlSink sink(jsonl);
+  const SchemeRun run = evaluate_scheme(scheme, g, cluster, {}, &sink);
+
+  const std::string trace_path = obs.path + ".trace.json";
+  std::ofstream trace(trace_path);
+  write_chrome_trace(trace, g, run.schedule, &run.counters);
+  std::cout << "\nobs: " << scheme << " decision trace -> " << obs.path
+            << " (makespan " << fmt(run.makespan) << "s, "
+            << run.iterations << " LoCBS calls)\n"
+            << "obs: planner+schedule chrome trace -> " << trace_path
+            << " (open in https://ui.perfetto.dev)\n";
+}
+
+/// dump_obs_run on a default representative workload (a mid-size
+/// synthetic DAG on 32 processors), for binaries whose graph suites are
+/// built internally.
+inline void maybe_dump_obs(const ObsOut& obs) {
+  if (!obs.enabled()) return;
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 32;
+  Rng rng(20060901);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  dump_obs_run(obs, g, Cluster(32, p.bandwidth_Bps));
 }
 
 }  // namespace locmps::bench

@@ -12,7 +12,8 @@
 
 using namespace locmps;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   SyntheticParams p;
   p.ccr = 0.5;
   p.amax = 64.0;
@@ -36,5 +37,6 @@ int main() {
   std::cout << "\nmean scheduling time (seconds):\n";
   Table times = scheduling_time_table(c);
   times.print(std::cout);
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -32,7 +32,8 @@ void family(const char* name, std::vector<TaskGraph> graphs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   const std::size_t P = 16;
   StructuredParams p;
   p.max_procs = P;
@@ -73,5 +74,6 @@ int main() {
 
   t.print(std::cout);
   t.maybe_write_csv("ext_dag_shapes.csv");
+  bench::maybe_dump_obs(obs);
   return 0;
 }

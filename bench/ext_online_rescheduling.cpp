@@ -38,7 +38,8 @@ void sweep(const char* label, const TaskGraph& g, const Cluster& cluster,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   std::cout << "Extension: online rescheduling under runtime-estimate "
                "noise (5 seeds per point)\n"
             << "gain = static makespan / online makespan (> 1: replanning "
@@ -61,5 +62,6 @@ int main() {
 
   t.print(std::cout);
   t.maybe_write_csv("ext_online_rescheduling.csv");
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -16,7 +16,8 @@
 
 using namespace locmps;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   const std::size_t P = 16;
   const std::size_t n_graphs = 4;
   std::cout << "Extension: LoC-MPS vs simulated-annealing reference (P=" << P
@@ -52,5 +53,6 @@ int main() {
   }
   t.print(std::cout);
   t.maybe_write_csv("ext_search_quality.csv");
+  bench::maybe_dump_obs(obs);
   return 0;
 }

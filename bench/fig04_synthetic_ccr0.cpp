@@ -37,10 +37,12 @@ void panel(const char* title, double amax, double sigma) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   std::cout << "Reproduction of Fig 4 (synthetic graphs, CCR=0): "
             << bench::suite_size() << " graphs per configuration\n";
   panel("a", 64.0, 1.0);
   panel("b", 48.0, 2.0);
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -38,10 +38,12 @@ void panel(const char* title, double ccr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   std::cout << "Reproduction of Fig 5 (synthetic graphs, CCR > 0): "
             << bench::suite_size() << " graphs per configuration\n";
   panel("a", 0.1);
   panel("b", 1.0);
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -13,7 +13,8 @@
 
 using namespace locmps;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   SyntheticParams p;
   p.ccr = 0.1;
   p.amax = 48.0;
@@ -45,5 +46,6 @@ int main() {
   }
   times.print(std::cout);
   times.maybe_write_csv("fig06b.csv");
+  bench::maybe_dump_obs(obs);
   return 0;
 }

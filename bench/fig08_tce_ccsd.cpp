@@ -42,11 +42,13 @@ void panel(const char* title, bool overlap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   TCEParams tp;
   std::cout << "Reproduction of Fig 8 (TCE CCSD T1, o=" << tp.occupied
             << ", v=" << tp.virt << ")\n";
   panel("a", true);
   panel("b", false);
+  if (obs.enabled()) bench::dump_obs_run(obs, make_ccsd_t1(tp), Cluster(32));
   return 0;
 }

@@ -38,9 +38,11 @@ void panel(const char* title, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   std::cout << "Reproduction of Fig 9 (Strassen matrix multiplication)\n";
   panel("a", 1024);
   panel("b", 4096);
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -45,7 +45,8 @@ void panel(const char* name, const TaskGraph& g, const char* csv) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   std::cout << "Reproduction of Fig 10 (scheduling times)\n";
   const auto procs = bench::proc_sweep();
   // A production-size problem instance (o=48, v=192): the paper's point is
@@ -60,5 +61,6 @@ int main() {
   sp.max_procs = procs.back();
   panel("a (CCSD T1)", make_ccsd_t1(tp), "fig10a.csv");
   panel("b (Strassen 4096)", make_strassen(sp), "fig10b.csv");
+  bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -17,7 +17,8 @@
 
 using namespace locmps;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsOut obs = bench::parse_obs(argc, argv);
   constexpr double kMyrinetBps = 2e9 / 8.0;
   const auto procs = bench::proc_sweep();
   TCEParams tp;
@@ -56,5 +57,7 @@ int main() {
   }
   t.print(std::cout);
   t.maybe_write_csv("fig11.csv");
+  if (obs.enabled())
+    bench::dump_obs_run(obs, g, Cluster(procs.back(), kMyrinetBps));
   return 0;
 }

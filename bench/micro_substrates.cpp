@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <sstream>
 
 #include "graph/algorithms.hpp"
+#include "obs/events.hpp"
 #include "network/block_cyclic.hpp"
 #include "schedule/event_sim.hpp"
 #include "schedulers/locbs.hpp"
@@ -72,6 +74,49 @@ void BM_LoCBSPass(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(locbs(g, np, comm).makespan);
 }
 BENCHMARK(BM_LoCBSPass)->Arg(16)->Arg(64)->Arg(128);
+
+// The same pass with a metrics registry attached: quantifies the cost of
+// counter/timer flushing (the obs-off overhead is the null branch in
+// BM_LoCBSPass itself — compare against a pre-obs baseline).
+void BM_LoCBSPassMetrics(benchmark::State& state) {
+  const std::size_t P = state.range(0);
+  const TaskGraph g = bench_graph(P);
+  const CommModel comm{Cluster(P)};
+  Rng rng(7);
+  Allocation np(g.num_tasks());
+  for (auto& a : np)
+    a = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(P)));
+  obs::MetricsRegistry metrics;
+  obs::ObsContext ctx{&metrics, nullptr};
+  for (auto _ : state) {
+    metrics.reset();
+    benchmark::DoNotOptimize(
+        locbs(g, np, comm, {}, nullptr, &ctx).makespan);
+  }
+}
+BENCHMARK(BM_LoCBSPassMetrics)->Arg(16)->Arg(64)->Arg(128);
+
+// ...and with a full JSONL sink discarding into a resettable buffer: the
+// worst-case cost of streaming the decision trace.
+void BM_LoCBSPassJsonl(benchmark::State& state) {
+  const std::size_t P = state.range(0);
+  const TaskGraph g = bench_graph(P);
+  const CommModel comm{Cluster(P)};
+  Rng rng(7);
+  Allocation np(g.num_tasks());
+  for (auto& a : np)
+    a = static_cast<std::size_t>(rng.uniform_int(1, static_cast<int>(P)));
+  obs::MetricsRegistry metrics;
+  for (auto _ : state) {
+    metrics.reset();
+    std::ostringstream buf;
+    obs::JsonlSink sink(buf);
+    obs::ObsContext ctx{&metrics, &sink};
+    benchmark::DoNotOptimize(
+        locbs(g, np, comm, {}, nullptr, &ctx).makespan);
+  }
+}
+BENCHMARK(BM_LoCBSPassJsonl)->Arg(64);
 
 void BM_EventSim(benchmark::State& state) {
   const std::size_t P = 32;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the full test suite under AddressSanitizer + UBSan.
+#
+#   scripts/sanitize.sh [extra ctest args...]
+#
+# Uses the `asan-ubsan` CMake preset (build dir: build-asan; benches and
+# examples are skipped to keep the instrumented build fast). Any extra
+# arguments are forwarded to ctest, e.g. `-R Obs` to scope the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"

@@ -46,25 +46,45 @@ void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
 }  // namespace
 
 SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
-                          const Cluster& cluster, const SimOptions& sim) {
+                          const Cluster& cluster, const SimOptions& sim,
+                          obs::EventSink* sink) {
+  // One registry per run: compare_schemes fans runs out over threads, so
+  // the registry must not be shared across evaluations.
+  obs::MetricsRegistry metrics;
+  obs::ObsContext obs{&metrics, sink};
+
   const SchedulerPtr sched = make_scheduler(scheme);
+  sched->attach_observability(&obs);
   Stopwatch sw;
   SchedulerResult planned = sched->schedule(g, cluster);
   const double plan_time = sw.seconds();
+  metrics.set("scheduler.plan_seconds", plan_time);
+
+  // Iterations: the instrumented counter when the scheme reported one
+  // (LoC-MPS-backed schemes bump locmps.locbs_calls), else the
+  // scheduler's own ad-hoc report — exposed uniformly as
+  // "scheduler.iterations" so every SchemeRun sources it the same way.
+  double iters = metrics.value("locmps.locbs_calls");
+  if (iters <= 0.0) iters = static_cast<double>(planned.iterations);
+  metrics.set("scheduler.iterations", iters);
 
   const CommModel comm(cluster);
   // Schemes that do not orchestrate locality transfer full volumes
   // between differing layouts (the paper's evaluation model).
   SimOptions run_sim = sim;
   run_sim.locality_volumes = scheme_exploits_locality(scheme);
+  run_sim.obs = &obs;
   SimResult executed = simulate_execution(g, planned.schedule, comm, run_sim);
+  metrics.set("sim.makespan", executed.makespan);
 
   SchemeRun run;
   run.scheme = scheme;
   run.makespan = executed.makespan;
   run.estimated = planned.estimated_makespan;
   run.scheduling_seconds = plan_time;
-  run.iterations = planned.iterations;
+  run.counters = metrics.snapshot();
+  run.iterations = static_cast<std::size_t>(
+      run.counters.counter("scheduler.iterations"));
   run.allocation = std::move(planned.allocation);
   run.schedule = std::move(executed.executed);
   return run;

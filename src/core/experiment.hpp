@@ -15,6 +15,8 @@
 
 #include "cluster/cluster.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "schedule/event_sim.hpp"
 #include "schedulers/scheduler.hpp"
 #include "util/table.hpp"
@@ -27,14 +29,26 @@ struct SchemeRun {
   double makespan = 0.0;         ///< event-simulated (realized) makespan
   double estimated = 0.0;        ///< the scheduler's own estimate
   double scheduling_seconds = 0.0;  ///< wall-clock planning overhead
+  /// Refinement iterations, sourced from the run's counters
+  /// ("scheduler.iterations"): the instrumented LoCBS-call count for
+  /// LoC-MPS-backed schemes, the scheduler's own report otherwise.
   std::size_t iterations = 0;
   Allocation allocation;
   Schedule schedule;
+  /// Counters, phase timers, and sample series collected while planning
+  /// and executing this run (see docs/observability.md for the taxonomy).
+  obs::MetricsSnapshot counters;
 };
 
 /// Plans and executes \p scheme (a registry name) on \p g / \p cluster.
+///
+/// Every run is metered: a per-run metrics registry is attached to the
+/// scheduler and the executor, and its snapshot lands in
+/// SchemeRun::counters. Pass \p sink to additionally stream the
+/// structured decision trace (JSONL via obs::JsonlSink) as it happens.
 SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
-                          const Cluster& cluster, const SimOptions& sim = {});
+                          const Cluster& cluster, const SimOptions& sim = {},
+                          obs::EventSink* sink = nullptr);
 
 /// Aggregated scheme x processor-count comparison over a graph suite.
 struct Comparison {

@@ -37,6 +37,7 @@ class CommModel {
   /// cost nothing (no transfer happens).
   double transfer_duration(double remote_bytes, std::size_t np_src,
                            std::size_t np_dst) const {
+    if (evals_ != nullptr) ++*evals_;
     if (remote_bytes <= 0.0) return 0.0;
     return cluster_.latency_s +
            remote_bytes / aggregate_bandwidth(np_src, np_dst);
@@ -64,8 +65,16 @@ class CommModel {
   /// True when the platform overlaps communication with computation.
   bool overlap() const { return cluster_.overlap_comm_compute; }
 
+  /// Observability hook: every transfer_duration() evaluation bumps
+  /// *\p cell (a MetricsRegistry::cell_ptr slot, typically
+  /// "comm.cost_evals"). Null — the default — disables counting; the
+  /// fast path is the single branch in transfer_duration. The cell must
+  /// outlive the model; copies of the model share the same cell.
+  void count_evals_into(double* cell) { evals_ = cell; }
+
  private:
   Cluster cluster_;
+  double* evals_ = nullptr;
 };
 
 }  // namespace locmps

@@ -1,0 +1,70 @@
+#include "obs/events.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace locmps::obs {
+
+std::string json_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() + 4);
+  for (const char ch : in) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON has no Inf/NaN literals; clamp to null.
+void write_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    os << buf;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+void JsonlSink::emit(const Event& e) {
+  os_ << "{\"ev\":\"" << json_escape(e.name()) << "\",\"t\":";
+  write_number(os_, epoch_.seconds());
+  for (const auto& [key, value] : e.fields()) {
+    os_ << ",\"" << json_escape(key) << "\":";
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, bool>) {
+            os_ << (v ? "true" : "false");
+          } else if constexpr (std::is_same_v<T, std::int64_t>) {
+            os_ << v;
+          } else if constexpr (std::is_same_v<T, double>) {
+            write_number(os_, v);
+          } else {
+            os_ << '"' << json_escape(v) << '"';
+          }
+        },
+        value);
+  }
+  os_ << "}\n";
+}
+
+}  // namespace locmps::obs

@@ -1,0 +1,121 @@
+#pragma once
+/// \file events.hpp
+/// Scheduler observability: structured decision events.
+///
+/// An Event is a name plus flat key/value fields — one scheduler decision
+/// (a widening, a placement, a look-ahead outcome). Sinks receive events
+/// as they happen; the JSONL sink writes one JSON object per line with a
+/// monotonic "t" stamp, giving a replayable decision trace
+/// (docs/observability.md documents the taxonomy).
+///
+/// ObsContext bundles the registry and sink into the single pointer the
+/// instrumented layers carry. A null context pointer is the fast path:
+/// every instrumented site guards all its work — including constructing
+/// the Event — behind one `if (obs != nullptr)` branch.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace locmps::obs {
+
+/// One structured event. Built fluently:
+///   Event("locmps.refine").with("task", t).with("gain", g)
+class Event {
+ public:
+  using Value = std::variant<bool, std::int64_t, double, std::string>;
+
+  explicit Event(std::string_view name) : name_(name) {}
+
+  Event&& with(std::string_view key, bool v) && {
+    fields_.emplace_back(key, Value(v));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, double v) && {
+    fields_.emplace_back(key, Value(v));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, std::int64_t v) && {
+    fields_.emplace_back(key, Value(v));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, std::uint64_t v) && {
+    fields_.emplace_back(key, Value(static_cast<std::int64_t>(v)));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, std::uint32_t v) && {
+    fields_.emplace_back(key, Value(static_cast<std::int64_t>(v)));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, int v) && {
+    fields_.emplace_back(key, Value(static_cast<std::int64_t>(v)));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, std::string_view v) && {
+    fields_.emplace_back(key, Value(std::string(v)));
+    return std::move(*this);
+  }
+  Event&& with(std::string_view key, const char* v) && {
+    fields_.emplace_back(key, Value(std::string(v)));
+    return std::move(*this);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Receiver of decision events.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& e) = 0;
+};
+
+/// Writes events as JSON Lines: {"ev":<name>,"t":<seconds>,<fields>...}.
+/// "t" is seconds since sink construction on a monotonic clock. The caller
+/// owns the stream and its lifetime.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  void emit(const Event& e) override;
+
+ private:
+  std::ostream& os_;
+  Stopwatch epoch_;
+};
+
+/// JSON string escaping shared by the JSONL sink and the chrome-trace
+/// exporter (quotes, backslashes, control characters).
+std::string json_escape(std::string_view in);
+
+/// The handle instrumented layers carry. Either member may be null; the
+/// whole context pointer is null when observability is off (the zero-cost
+/// default).
+struct ObsContext {
+  MetricsRegistry* metrics = nullptr;
+  EventSink* sink = nullptr;
+};
+
+/// Emit helper: true when \p obs has a sink attached.
+inline bool wants_events(const ObsContext* obs) {
+  return obs != nullptr && obs->sink != nullptr;
+}
+
+/// Metrics helper: the registry, or null.
+inline MetricsRegistry* metrics_of(const ObsContext* obs) {
+  return obs != nullptr ? obs->metrics : nullptr;
+}
+
+}  // namespace locmps::obs

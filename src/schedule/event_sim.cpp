@@ -1,6 +1,7 @@
 #include "schedule/event_sim.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 
@@ -54,6 +55,11 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
   SimResult res;
   res.executed = Schedule(n, P);
 
+  obs::ObsContext* const obs = opt.obs;
+  obs::ScopedTimer sim_timer(obs::metrics_of(obs), "sim.execute");
+  // Realized-redistribution telemetry, flushed once after the replay.
+  std::uint64_t obs_transfers = 0, obs_local_edges = 0;
+
   for (TaskId t : order) {
     const Placement& plc = s.at(t);
     double ready = 0.0;  // processors of t free for computation
@@ -74,6 +80,7 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
               : (s.at(ed.src).procs == plc.procs ? 0.0 : ed.volume_bytes);
       if (rv <= 0.0) {
         data_arrived = std::max(data_arrived, ft[ed.src]);
+        if (ed.volume_bytes > 0.0) ++obs_local_edges;
         continue;
       }
       const double dur =
@@ -102,6 +109,15 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
       data_arrived = std::max(data_arrived, end);
       res.total_transfer_bytes += rv;
       res.total_transfer_time += dur;
+      ++obs_transfers;
+      if (obs::wants_events(obs))
+        obs->sink->emit(obs::Event("sim.transfer")
+                            .with("edge", e)
+                            .with("src", ed.src)
+                            .with("dst", ed.dst)
+                            .with("bytes", rv)
+                            .with("begin", start)
+                            .with("end", end));
     }
 
     const double st = comm.overlap() ? std::max(ready, data_arrived)
@@ -113,6 +129,13 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
     res.executed.place(t, std::min(busy_from, st), st, ft[t], plc.procs);
   }
   res.makespan = res.executed.makespan();
+  if (obs::MetricsRegistry* const met = obs::metrics_of(obs);
+      met != nullptr) {
+    met->add("sim.transfers", static_cast<double>(obs_transfers));
+    met->add("sim.local_edges", static_cast<double>(obs_local_edges));
+    met->add("sim.remote_bytes", res.total_transfer_bytes);
+    met->add("sim.transfer_seconds", res.total_transfer_time);
+  }
   return res;
 }
 

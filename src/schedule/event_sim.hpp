@@ -16,6 +16,7 @@
 
 #include <optional>
 
+#include "obs/events.hpp"
 #include "schedule/schedule.hpp"
 #include "util/rng.hpp"
 
@@ -56,6 +57,13 @@ struct SimOptions {
   /// estimated ones (factor 1.0), as the online executor does when judging
   /// whether a replan is worth adopting.
   const std::vector<double>* noise_factors = nullptr;
+
+  /// Optional observability context: the executor counts realized
+  /// redistributions ("sim.transfers", "sim.remote_bytes",
+  /// "sim.transfer_seconds", "sim.local_edges") and, when a sink is
+  /// attached, emits one "sim.transfer" event per network transfer.
+  /// Null (default) costs one branch per task.
+  obs::ObsContext* obs = nullptr;
 };
 
 /// The multiplicative runtime factors simulate_execution derives from

@@ -1,41 +1,64 @@
 #include "schedule/trace_export.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "obs/events.hpp"
 
 namespace locmps {
 
 namespace {
 
-/// Minimal JSON string escaping (names are library-generated but may
-/// contain arbitrary characters when graphs are loaded from files).
-std::string json_escape(const std::string& in) {
-  std::string out;
-  out.reserve(in.size() + 4);
-  for (const char ch : in) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
+using obs::json_escape;
+
+/// Emits the planner process: one thread per phase timer (spans as "X"
+/// slices) and one Perfetto counter track per sample series. All planner
+/// times are wall-clock seconds since the metrics epoch, scaled to
+/// microseconds.
+void write_planner_track(std::ostream& os, bool& first,
+                         const obs::MetricsSnapshot& planner) {
+  constexpr double kScale = 1e6;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  comma();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"planner\"}}";
+  int tid = 0;
+  for (const obs::TimerStats& timer : planner.timers) {
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(timer.name) << "\"}}";
+    for (const obs::TimerSpan& span : timer.spans) {
+      const double dur = span.end_s - span.begin_s;
+      if (dur < 0.0) continue;  // clock skew guard; never emit negative
+      comma();
+      os << "{\"name\":\"" << json_escape(timer.name)
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+         << ",\"ts\":" << span.begin_s * kScale << ",\"dur\":" << dur * kScale
+         << "}";
+    }
+    ++tid;
+  }
+  for (const obs::SeriesStats& series : planner.series) {
+    for (const obs::SamplePoint& pt : series.points) {
+      comma();
+      os << "{\"name\":\"" << json_escape(series.name)
+         << "\",\"ph\":\"C\",\"pid\":1,\"ts\":" << pt.t_s * kScale
+         << ",\"args\":{\"value\":" << pt.value << "}}";
     }
   }
-  return out;
 }
 
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const TaskGraph& g,
-                        const Schedule& s, double time_scale) {
+                        const Schedule& s,
+                        const obs::MetricsSnapshot* planner,
+                        double time_scale) {
   if (!s.complete())
     throw std::invalid_argument("write_chrome_trace: incomplete schedule");
   os << "{\"traceEvents\":[";
@@ -66,13 +89,33 @@ void write_chrome_trace(std::ostream& os, const TaskGraph& g,
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << q
        << ",\"args\":{\"name\":\"P" << q << "\"}}";
   }
+  if (planner != nullptr) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"schedule\"}}";
+    write_planner_track(os, first, *planner);
+  }
   os << "]}";
+}
+
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s, double time_scale) {
+  write_chrome_trace(os, g, s, nullptr, time_scale);
 }
 
 std::string chrome_trace(const TaskGraph& g, const Schedule& s,
                          double time_scale) {
   std::ostringstream os;
-  write_chrome_trace(os, g, s, time_scale);
+  write_chrome_trace(os, g, s, nullptr, time_scale);
+  return os.str();
+}
+
+std::string chrome_trace(const TaskGraph& g, const Schedule& s,
+                         const obs::MetricsSnapshot& planner,
+                         double time_scale) {
+  std::ostringstream os;
+  write_chrome_trace(os, g, s, &planner, time_scale);
   return os.str();
 }
 

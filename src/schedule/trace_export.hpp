@@ -5,11 +5,18 @@
 /// timeline — one row per processor, one slice per task occupancy, with
 /// allocation details in the slice arguments. A practical complement to
 /// the ASCII Gantt for large schedules.
+///
+/// A second, optional track renders the *planner's* own telemetry (an
+/// obs::MetricsSnapshot from an instrumented run): each phase timer
+/// becomes a thread of "X" slices and each sample series a Perfetto
+/// counter track, so one file shows both what was scheduled and how the
+/// scheduler spent its time deciding (docs/observability.md).
 
 #include <iosfwd>
 #include <string>
 
 #include "graph/task_graph.hpp"
+#include "obs/metrics.hpp"
 #include "schedule/schedule.hpp"
 
 namespace locmps {
@@ -19,11 +26,27 @@ namespace locmps {
 /// seconds to exported microseconds (default 1e6 = real seconds).
 /// A leading busy window (busy_from < start, no-overlap redistributions)
 /// is emitted as a separate "recv:" slice.
+///
+/// When \p planner is non-null its timers/series are emitted under a
+/// separate "planner" process (pid 1). Planner times are wall-clock
+/// seconds since the metrics epoch, always scaled by 1e6 — the schedule
+/// and planner tracks sit on different clocks but load side by side.
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s,
+                        const obs::MetricsSnapshot* planner,
+                        double time_scale = 1e6);
+
+/// Schedule-only overload (no planner track).
 void write_chrome_trace(std::ostream& os, const TaskGraph& g,
                         const Schedule& s, double time_scale = 1e6);
 
 /// Convenience: returns the JSON as a string.
 std::string chrome_trace(const TaskGraph& g, const Schedule& s,
+                         double time_scale = 1e6);
+
+/// Convenience with a planner track.
+std::string chrome_trace(const TaskGraph& g, const Schedule& s,
+                         const obs::MetricsSnapshot& planner,
                          double time_scale = 1e6);
 
 }  // namespace locmps

@@ -8,6 +8,7 @@ SchedulerResult ICASLBScheduler::schedule(const TaskGraph& g,
                                           const Cluster& cluster) const {
   // Plan as if communication were free...
   LocMPSScheduler blind(opt_);
+  blind.attach_observability(observability());
   SchedulerResult res = blind.schedule(g, cluster);
 
   // ...then live with the transfers the plan actually incurs: keep the

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <tuple>
+#include <utility>
 
 #include "graph/algorithms.hpp"
 
@@ -38,7 +41,12 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
                                      const FixedPrefix* fixed) const {
   const std::size_t n = g.num_tasks();
   const std::size_t P = cluster.processors;
-  const CommModel comm(cluster);
+  obs::ObsContext* const obs = observability();
+  obs::MetricsRegistry* const met = obs::metrics_of(obs);
+  obs::ScopedTimer run_timer(met, "locmps.run");
+  CommModel comm(cluster);
+  if (met != nullptr)
+    comm.count_evals_into(met->cell_ptr("comm.cost_evals"));
   const ConcurrencyAnalysis conc(g);
 
   // Saturation bound per task: min(P, Pbest) (Alg. 1 step 14); frozen
@@ -57,9 +65,16 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     return (fixed != nullptr && fixed->is_frozen(t)) ? cap[t] : P;
   };
 
-  LocBSResult best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed);
+  LocBSResult best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
   double best_sl = best_run.makespan;
   std::size_t calls = 1;
+  if (obs::wants_events(obs))
+    obs->sink->emit(obs::Event("locmps.begin")
+                        .with("tasks", static_cast<std::uint64_t>(n))
+                        .with("procs", static_cast<std::uint64_t>(P))
+                        .with("comm_aware", !opt_.locbs.comm_blind)
+                        .with("initial_makespan", best_sl));
+  if (met != nullptr) met->sample("locmps.best_makespan", best_sl);
 
   std::vector<char> marked_task(n, 0);
   std::vector<char> marked_edge(g.num_edges(), 0);
@@ -116,37 +131,51 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   };
 
   // Widens the thinner endpoint of edge e (both when tied), respecting
-  // each endpoint's widening bound.
-  auto widen_edge = [&](EdgeId e, Allocation& np) {
+  // each endpoint's widening bound. Returns {src widened, dst widened}.
+  auto widen_edge = [&](EdgeId e, Allocation& np) -> std::pair<bool, bool> {
     const Edge& ed = g.edge(e);
     const bool src_ok = np[ed.src] < ecap(ed.src);
     const bool dst_ok = np[ed.dst] < ecap(ed.dst);
     if (np[ed.src] > np[ed.dst] && dst_ok) {
       np[ed.dst] += 1;
-    } else if (np[ed.src] < np[ed.dst] && src_ok) {
-      np[ed.src] += 1;
-    } else {
-      if (dst_ok) np[ed.dst] += 1;
-      if (src_ok) np[ed.src] += 1;
+      return {false, true};
     }
+    if (np[ed.src] < np[ed.dst] && src_ok) {
+      np[ed.src] += 1;
+      return {true, false};
+    }
+    if (dst_ok) np[ed.dst] += 1;
+    if (src_ok) np[ed.src] += 1;
+    return {src_ok, dst_ok};
   };
 
   const bool comm_aware = !opt_.locbs.comm_blind;
 
   // Main repeat-until loop (Alg. 1 steps 5-40).
+  std::size_t round = 0;
   while (calls < opt_.max_locbs_calls) {
+    ++round;
     Allocation np = best_alloc;
     const double old_sl = best_sl;
     LocBSResult cur = best_run;
     std::optional<EntryPoint> entry;
+    if (obs::wants_events(obs))
+      obs->sink->emit(obs::Event("locmps.lookahead_begin")
+                          .with("round", static_cast<std::uint64_t>(round))
+                          .with("best", best_sl));
 
     for (std::size_t iter = 0; iter < opt_.look_ahead_depth; ++iter) {
-      const CriticalPathInfo cp = cur.dag.critical_path();
+      CriticalPathInfo cp;
+      {
+        obs::ScopedTimer cp_timer(met, "locmps.critical_path");
+        cp = cur.dag.critical_path();
+      }
       const bool comp_dominates = !comm_aware || cp.comp_cost >= cp.comm_cost;
       const bool respect_marks = iter == 0 || opt_.marks_bind_lookahead;
 
       bool refined = false;
       EntryPoint ep;
+      bool widened_src = false, widened_dst = false;
       // Try the dominating-cost branch first, the other as a fallback, so a
       // look-ahead step is only abandoned when nothing is refinable.
       for (int attempt = 0; attempt < 2 && !refined; ++attempt) {
@@ -161,7 +190,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         } else if (comm_aware) {
           const EdgeId e = pick_edge(cp, cur.dag, np, respect_marks);
           if (e != kNoEdge) {
-            widen_edge(e, np);
+            std::tie(widened_src, widened_dst) = widen_edge(e, np);
             ep = EntryPoint{false, kNoTask, e};
             refined = true;
           }
@@ -169,12 +198,65 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       }
       if (!refined) break;
       if (iter == 0) entry = ep;
+      if (met != nullptr)
+        met->add(ep.is_task ? "locmps.widened_tasks"
+                            : "locmps.widened_edges");
 
-      cur = locbs(g, np, comm, opt_.locbs, fixed);
+      cur = locbs(g, np, comm, opt_.locbs, fixed, obs);
       ++calls;
-      if (cur.makespan < best_sl) {
+      const bool adopted = cur.makespan < best_sl;
+      if (adopted) {
         best_alloc = np;
         best_sl = cur.makespan;
+      }
+      if (obs::wants_events(obs)) {
+        // One event per refinement: the critical-path diagnosis, the
+        // widening decision, and its outcome. Together with
+        // locmps.lookahead_begin these replay into the final allocation
+        // (tests/test_obs_events.cpp reconstructs it).
+        if (ep.is_task) {
+          const TaskId t = ep.task;
+          obs->sink->emit(
+              obs::Event("locmps.refine")
+                  .with("round", static_cast<std::uint64_t>(round))
+                  .with("iter", static_cast<std::uint64_t>(iter))
+                  .with("cp_len", cp.length)
+                  .with("comp_cost", cp.comp_cost)
+                  .with("comm_cost", cp.comm_cost)
+                  .with("dominant", comp_dominates ? "comp" : "comm")
+                  .with("kind", "task")
+                  .with("task", t)
+                  .with("np_new", static_cast<std::uint64_t>(np[t]))
+                  .with("gain", g.task(t).profile.time(np[t] - 1) -
+                                    g.task(t).profile.time(np[t]))
+                  .with("conc_ratio", conc.ratio(t))
+                  .with("makespan", cur.makespan)
+                  .with("adopted", adopted)
+                  .with("best", best_sl));
+        } else {
+          const Edge& ed = g.edge(ep.edge);
+          obs->sink->emit(
+              obs::Event("locmps.refine")
+                  .with("round", static_cast<std::uint64_t>(round))
+                  .with("iter", static_cast<std::uint64_t>(iter))
+                  .with("cp_len", cp.length)
+                  .with("comp_cost", cp.comp_cost)
+                  .with("comm_cost", cp.comm_cost)
+                  .with("dominant", comp_dominates ? "comp" : "comm")
+                  .with("kind", "edge")
+                  .with("edge", ep.edge)
+                  .with("src", ed.src)
+                  .with("dst", ed.dst)
+                  .with("src_np_new",
+                        static_cast<std::uint64_t>(np[ed.src]))
+                  .with("dst_np_new",
+                        static_cast<std::uint64_t>(np[ed.dst]))
+                  .with("widened_src", widened_src)
+                  .with("widened_dst", widened_dst)
+                  .with("makespan", cur.makespan)
+                  .with("adopted", adopted)
+                  .with("best", best_sl));
+        }
       }
       if (calls >= opt_.max_locbs_calls) break;
     }
@@ -201,12 +283,32 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       std::fill(marked_task.begin(), marked_task.end(), 0);
       std::fill(marked_edge.begin(), marked_edge.end(), 0);
     }
+    if (met != nullptr) {
+      met->add("locmps.rounds");
+      met->add(improved ? "locmps.commits" : "locmps.reverts");
+      if (!improved)
+        met->add(entry->is_task ? "locmps.marked_tasks"
+                                : "locmps.marked_edges");
+    }
+    if (obs::wants_events(obs))
+      obs->sink->emit(
+          obs::Event("locmps.lookahead")
+              .with("round", static_cast<std::uint64_t>(round))
+              .with("entry_kind", entry->is_task ? "task" : "edge")
+              .with("entry", entry->is_task ? entry->task : entry->edge)
+              .with("improved", improved)
+              .with("old", old_sl)
+              .with("best", best_sl));
 
     // Re-realize the best allocation (unchanged allocations keep their
     // schedule); its critical path drives termination.
     {
-      best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed);
+      best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
       ++calls;
+    }
+    if (met != nullptr) {
+      met->sample("locmps.best_makespan", best_sl);
+      met->sample("locmps.locbs_calls", static_cast<double>(calls));
     }
 
     const CriticalPathInfo cp = best_run.dag.critical_path();
@@ -230,6 +332,16 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     }
     if (exhausted) break;
   }
+
+  if (met != nullptr) {
+    met->set("locmps.locbs_calls", static_cast<double>(calls));
+    met->sample("locmps.best_makespan", best_sl);
+  }
+  if (obs::wants_events(obs))
+    obs->sink->emit(
+        obs::Event("locmps.done")
+            .with("makespan", best_sl)
+            .with("locbs_calls", static_cast<std::uint64_t>(calls)));
 
   SchedulerResult out;
   out.schedule = std::move(best_run.schedule);

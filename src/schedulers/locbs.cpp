@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "graph/algorithms.hpp"
 #include "network/block_cyclic.hpp"
@@ -32,6 +34,7 @@ struct Candidate {
   double busy_from = 0.0;
   bool resource_induced = false;  ///< start delayed by processor contention
   double touch = 0.0;             ///< instant whose finishers blocked us
+  int subset = -1;                ///< 0 = locality-first, 1 = horizon-first
   std::vector<ProcId> procs;      ///< ascending
 };
 
@@ -39,9 +42,12 @@ struct Candidate {
 
 LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                   const CommModel& comm, const LocBSOptions& opt,
-                  const FixedPrefix* fixed) {
+                  const FixedPrefix* fixed, obs::ObsContext* obs) {
   const std::size_t n = g.num_tasks();
   const std::size_t P = comm.cluster().processors;
+  obs::MetricsRegistry* const met = obs::metrics_of(obs);
+  obs::ScopedTimer pass_timer(met, "locbs.pass");
+  if (met != nullptr) met->add("locbs.calls");
   if (np.size() != n)
     throw std::invalid_argument("locbs: allocation size mismatch");
   for (std::size_t t = 0; t < n; ++t)
@@ -149,6 +155,11 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     const std::size_t need = np[tp];
     const double exec = et[tp];
 
+    // Per-placement telemetry, accumulated in plain locals and flushed
+    // once at commit so the obs-off path never touches the registry.
+    std::size_t holes_probed = 0;
+    bool scan_pruned = false;
+
     // Ready time and per-processor locality score (bytes of input resident).
     double est0 = fixed != nullptr ? fixed->not_before : 0.0;
     for (EdgeId e : g.in_edges(tp)) est0 = std::max(est0, ft[g.edge(e).src]);
@@ -195,6 +206,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     auto time_on = [&](double tau, const std::vector<ProcId>& procs, int slot,
                        Candidate& c) {
       c.procs = procs;
+      c.subset = slot;
       if (opt.comm_blind || comm_edges.empty()) {
         c.start = std::max(tau, est0);
         c.busy_from = c.start;
@@ -262,6 +274,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     // one (whose windows survive redistribution-delayed starts) — and keeps
     // whichever yields the earliest feasible finish.
     auto probe = [&](double tau, const std::vector<Timeline::FreeProc>& avail) {
+      ++holes_probed;
       std::fill(until_of.begin(), until_of.end(), -1.0);
       eligible.clear();
       for (const auto& f : avail) {
@@ -321,8 +334,10 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
         // Monotone pruning: any later hole acquires processors at
         // >= times[i+1], and no subset beats the arrival lower bound.
         if (best.finish < kInf && i + 1 < times.size() &&
-            best.finish <= finish_lb(times[i + 1]))
+            best.finish <= finish_lb(times[i + 1])) {
+          scan_pruned = true;
           break;
+        }
       }
     } else {
       // No-backfill variant (Fig 6): only the latest free time of each
@@ -341,13 +356,19 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
             avail.push_back(Timeline::FreeProc{q, kForever});
         probe(tau, avail);
         if (best.finish < kInf && i + 1 < taus.size() &&
-            best.finish <= finish_lb(taus[i + 1]))
+            best.finish <= finish_lb(taus[i + 1])) {
+          scan_pruned = true;
           break;
+        }
       }
     }
 
     if (!(best.finish < kInf))
       throw std::logic_error("locbs: no feasible slot found");
+
+    // Chart frontier before this placement: a task that acquires its
+    // processors strictly earlier was backfilled into a hole.
+    const double chart_end = finish_events.empty() ? 0.0 : finish_events.back();
 
     // Commit the placement.
     ProcessorSet pset(P);
@@ -384,6 +405,56 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
         if (about(ft[ti], best.touch) &&
             res.schedule.at(ti).procs.intersection_count(pset) > 0)
           res.dag.add_pseudo_edge(ti, tp);
+      }
+    }
+
+    if (obs != nullptr) {
+      // Realized redistribution split for this placement: bytes that stay
+      // on shared block-cyclic-aligned processors vs. bytes that cross
+      // the network (Section III-B locality saving).
+      double local_bytes = 0.0, remote_bytes = 0.0;
+      for (EdgeId e : comm_edges) {
+        const Edge& ed = g.edge(e);
+        const double rv =
+            opt.locality
+                ? ed.volume_bytes * remote_fraction(placed[ed.src], best.procs)
+                : ed.volume_bytes;
+        remote_bytes += rv;
+        local_bytes += ed.volume_bytes - rv;
+      }
+      const bool backfilled = later_than(chart_end, best.busy_from);
+      if (met != nullptr) {
+        met->add("locbs.tasks_placed");
+        met->add("locbs.holes_scanned", static_cast<double>(holes_probed));
+        if (backfilled) met->add("locbs.backfill_hits");
+        if (scan_pruned) met->add("locbs.scan_cutoffs");
+        met->add(best.subset == 0 ? "locbs.locality_subset_wins"
+                                  : "locbs.horizon_subset_wins");
+        met->add("locbs.local_bytes", local_bytes);
+        met->add("locbs.remote_bytes", remote_bytes);
+      }
+      if (obs::wants_events(obs)) {
+        std::string procs_str;
+        for (ProcId q : best.procs) {
+          if (!procs_str.empty()) procs_str += ',';
+          procs_str += std::to_string(q);
+        }
+        obs->sink->emit(
+            obs::Event("locbs.place")
+                .with("task", tp)
+                .with("np", static_cast<std::uint64_t>(need))
+                .with("busy_from", best.busy_from)
+                .with("start", best.start)
+                .with("finish", best.finish)
+                .with("holes_scanned",
+                      static_cast<std::uint64_t>(holes_probed))
+                .with("backfill", backfilled)
+                .with("pruned", scan_pruned)
+                .with("subset",
+                      best.subset == 0 ? "locality" : "horizon")
+                .with("local_bytes", local_bytes)
+                .with("remote_bytes", remote_bytes)
+                .with("procs", procs_str));
       }
     }
 

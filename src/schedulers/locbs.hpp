@@ -12,6 +12,7 @@
 /// schedule's true critical path.
 
 #include "network/comm_model.hpp"
+#include "obs/events.hpp"
 #include "schedule/schedule.hpp"
 #include "schedule/schedule_dag.hpp"
 #include "schedulers/scheduler.hpp"
@@ -67,8 +68,15 @@ struct FixedPrefix {
 /// redistributions occupy the destination processors and serializes them.
 /// When \p fixed is given, its frozen tasks are copied into the result
 /// unchanged and only the remaining tasks are scheduled.
+///
+/// \p obs (optional) receives per-placement decision telemetry: "locbs.*"
+/// counters (holes scanned, backfill hits, subset choices, local/remote
+/// redistribution bytes), a "locbs.pass" phase timer, and one
+/// "locbs.place" event per task. Null — the default — is a zero-cost
+/// fast path: all instrumentation hides behind per-placement branches.
 LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                   const CommModel& comm, const LocBSOptions& opt = {},
-                  const FixedPrefix* fixed = nullptr);
+                  const FixedPrefix* fixed = nullptr,
+                  obs::ObsContext* obs = nullptr);
 
 }  // namespace locmps

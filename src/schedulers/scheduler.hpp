@@ -10,6 +10,7 @@
 
 #include "cluster/cluster.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/events.hpp"
 #include "schedule/schedule.hpp"
 
 namespace locmps {
@@ -36,6 +37,19 @@ class Scheduler {
   /// Computes a complete schedule of \p g on \p cluster.
   virtual SchedulerResult schedule(const TaskGraph& g,
                                    const Cluster& cluster) const = 0;
+
+  /// Attaches an observability context for subsequent schedule() calls
+  /// (counters, phase timers, decision events — see src/obs/). Null (the
+  /// default) disables instrumentation at the cost of a single branch.
+  /// The caller keeps ownership and must outlive the scheduling calls.
+  void attach_observability(obs::ObsContext* obs) { obs_ = obs; }
+
+  /// The attached context, or null. Schedulers forward this into their
+  /// instrumented internals (LoC-MPS threads it through every LoCBS pass).
+  obs::ObsContext* observability() const { return obs_; }
+
+ private:
+  obs::ObsContext* obs_ = nullptr;
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "schedulers/registry.hpp"
 #include "test_util.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -114,6 +115,69 @@ TEST(Experiment, NonLocalitySchemesChargedFullVolumes) {
   const Cluster c(4);
   const SchemeRun run = evaluate_scheme("icaslb", g, c);
   EXPECT_NEAR(run.makespan, run.estimated, 1e-9 * run.estimated);
+}
+
+TEST(Experiment, EveryPaperSchemeReportsIterationsFromCounters) {
+  // SchemeRun::iterations is sourced from the per-run metrics registry
+  // ("scheduler.iterations"): the instrumented LoCBS-call count where one
+  // exists (loc-mps, and icaslb via its inner allocator — its scheduler
+  // reports 0 itself), the scheduler's own report otherwise. It must be
+  // at least 1 for every paper scheme.
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 4;
+  Rng rng(3);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(4);
+  for (const std::string& s : paper_schemes()) {
+    const SchemeRun run = evaluate_scheme(s, g, c);
+    EXPECT_GE(run.iterations, 1u) << s;
+    EXPECT_EQ(run.iterations,
+              static_cast<std::size_t>(
+                  run.counters.counter("scheduler.iterations")))
+        << s;
+  }
+}
+
+TEST(Experiment, EveryRunCarriesHarnessCounters) {
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 4;
+  Rng rng(5);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster c(4);
+  for (const std::string& s : paper_schemes()) {
+    const SchemeRun run = evaluate_scheme(s, g, c);
+    EXPECT_GE(run.counters.counter("scheduler.plan_seconds"), 0.0) << s;
+    EXPECT_NEAR(run.counters.counter("sim.makespan"), run.makespan,
+                1e-12 + 1e-9 * run.makespan)
+        << s;
+    EXPECT_NE(run.counters.timer("sim.execute"), nullptr) << s;
+  }
+}
+
+TEST(Experiment, LocMpsRunExposesPlannerCounters) {
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 4;
+  Rng rng(6);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const SchemeRun run = evaluate_scheme("loc-mps", g, Cluster(4));
+  const obs::MetricsSnapshot& c = run.counters;
+  EXPECT_GT(c.counter("locmps.locbs_calls"), 0.0);
+  EXPECT_GT(c.counter("locbs.tasks_placed"), 0.0);
+  EXPECT_GT(c.counter("comm.cost_evals"), 0.0);
+  EXPECT_NE(c.timer("locmps.run"), nullptr);
+  EXPECT_NE(c.timer("locmps.critical_path"), nullptr);
+  EXPECT_NE(c.timer("locbs.pass"), nullptr);
+  const obs::SeriesStats* ms = c.find_series("locmps.best_makespan");
+  ASSERT_NE(ms, nullptr);
+  ASSERT_FALSE(ms->points.empty());
+  // The refinement series is non-increasing and ends at the estimate.
+  for (std::size_t i = 1; i < ms->points.size(); ++i)
+    EXPECT_LE(ms->points[i].value, ms->points[i - 1].value + 1e-12);
+  EXPECT_NEAR(ms->points.back().value, run.estimated,
+              1e-9 * run.estimated);
 }
 
 TEST(Experiment, NoOverlapPlatformIsHonoured) {

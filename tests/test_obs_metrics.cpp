@@ -1,0 +1,166 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace locmps::obs {
+namespace {
+
+TEST(ObsMetrics, CountersAccumulateAndCreateAtZero) {
+  MetricsRegistry m;
+  EXPECT_DOUBLE_EQ(m.value("a"), 0.0);
+  EXPECT_DOUBLE_EQ(m.value("a", -1.0), -1.0);  // absent -> fallback
+  m.add("a");
+  m.add("a", 2.5);
+  EXPECT_DOUBLE_EQ(m.value("a"), 3.5);
+  EXPECT_DOUBLE_EQ(m.value("a", -1.0), 3.5);
+}
+
+TEST(ObsMetrics, SetOverwritesLikeAGauge) {
+  MetricsRegistry m;
+  m.add("g", 10.0);
+  m.set("g", 4.0);
+  EXPECT_DOUBLE_EQ(m.value("g"), 4.0);
+  m.set("fresh", 7.0);
+  EXPECT_DOUBLE_EQ(m.value("fresh"), 7.0);
+}
+
+TEST(ObsMetrics, CellPtrIsStableAcrossInserts) {
+  MetricsRegistry m;
+  double* cell = m.cell_ptr("hot");
+  // Insert names on both sides of "hot"; the slot must not move.
+  for (int i = 0; i < 100; ++i) {
+    m.add("a" + std::to_string(i));
+    m.add("z" + std::to_string(i));
+  }
+  EXPECT_EQ(cell, m.cell_ptr("hot"));
+  *cell += 5.0;
+  ++*cell;
+  EXPECT_DOUBLE_EQ(m.value("hot"), 6.0);
+}
+
+TEST(ObsMetrics, ResetClearsEverythingAndRestartsEpoch) {
+  MetricsRegistry m;
+  m.add("c", 3.0);
+  m.sample("s", 1.0);
+  { ScopedTimer t(&m, "ph"); }
+  m.reset();
+  const MetricsSnapshot snap = m.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.timers.empty());
+  EXPECT_TRUE(snap.series.empty());
+  EXPECT_GE(m.now(), 0.0);
+}
+
+TEST(ObsMetrics, SnapshotIsSortedAndIndependent) {
+  MetricsRegistry m;
+  m.add("zz", 2.0);
+  m.add("aa", 1.0);
+  MetricsSnapshot snap = m.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "aa");
+  EXPECT_EQ(snap.counters[1].first, "zz");
+  EXPECT_DOUBLE_EQ(snap.counter("aa"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.counter("absent", -2.0), -2.0);
+  // The snapshot is a value copy: mutating the registry must not move it.
+  m.add("aa", 100.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(snap.counter("aa"), 1.0);
+}
+
+TEST(ObsMetrics, ScopedTimerRecordsOrderedSpans) {
+  MetricsRegistry m;
+  { ScopedTimer t(&m, "phase"); }
+  { ScopedTimer t(&m, "phase"); }
+  const MetricsSnapshot snap = m.snapshot();
+  const TimerStats* ph = snap.timer("phase");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->count, 2u);
+  ASSERT_EQ(ph->spans.size(), 2u);
+  EXPECT_GE(ph->total_s, 0.0);
+  for (const TimerSpan& s : ph->spans) {
+    EXPECT_GE(s.begin_s, 0.0);
+    EXPECT_GE(s.end_s, s.begin_s);
+  }
+  // Spans are recorded in completion order.
+  EXPECT_LE(ph->spans[0].end_s, ph->spans[1].end_s);
+  EXPECT_EQ(snap.timer("absent"), nullptr);
+}
+
+TEST(ObsMetrics, ScopedTimersNest) {
+  MetricsRegistry m;
+  {
+    ScopedTimer outer(&m, "outer");
+    {
+      ScopedTimer inner(&m, "inner");
+    }
+  }
+  const MetricsSnapshot snap = m.snapshot();
+  const TimerStats* outer = snap.timer("outer");
+  const TimerStats* inner = snap.timer("inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_EQ(outer->spans.size(), 1u);
+  ASSERT_EQ(inner->spans.size(), 1u);
+  // The inner span is contained in the outer one, and the inner
+  // accumulated time cannot exceed the outer.
+  EXPECT_LE(outer->spans[0].begin_s, inner->spans[0].begin_s);
+  EXPECT_GE(outer->spans[0].end_s, inner->spans[0].end_s);
+  EXPECT_LE(inner->total_s, outer->total_s + 1e-12);
+}
+
+TEST(ObsMetrics, ScopedTimerStopIsIdempotent) {
+  MetricsRegistry m;
+  {
+    ScopedTimer t(&m, "once");
+    t.stop();
+    t.stop();  // second stop and the destructor must not add spans
+  }
+  const MetricsSnapshot snap = m.snapshot();
+  const TimerStats* once = snap.timer("once");
+  ASSERT_NE(once, nullptr);
+  EXPECT_EQ(once->count, 1u);
+}
+
+TEST(ObsMetrics, NullRegistryTimerIsANoOp) {
+  ScopedTimer t(nullptr, "ignored");
+  t.stop();  // must not crash, must not dereference anything
+}
+
+TEST(ObsMetrics, SampleSeriesKeepTimeOrderedPoints) {
+  MetricsRegistry m;
+  m.sample("ms", 10.0);
+  m.sample("ms", 8.0);
+  m.sample("ms", 9.0);
+  const MetricsSnapshot snap = m.snapshot();
+  const SeriesStats* ms = snap.find_series("ms");
+  ASSERT_NE(ms, nullptr);
+  ASSERT_EQ(ms->points.size(), 3u);
+  EXPECT_DOUBLE_EQ(ms->points[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(ms->points[1].value, 8.0);
+  EXPECT_DOUBLE_EQ(ms->points[2].value, 9.0);
+  for (std::size_t i = 1; i < ms->points.size(); ++i)
+    EXPECT_LE(ms->points[i - 1].t_s, ms->points[i].t_s);
+  EXPECT_EQ(snap.find_series("absent"), nullptr);
+}
+
+TEST(ObsMetrics, TimePhaseHelperReturnsAWorkingTimer) {
+  MetricsRegistry m;
+  { auto t = m.time_phase("helper"); }
+  const MetricsSnapshot snap = m.snapshot();
+  const TimerStats* h = snap.timer("helper");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+}
+
+TEST(ObsMetrics, NowIsMonotonic) {
+  MetricsRegistry m;
+  const double a = m.now();
+  const double b = m.now();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace locmps::obs

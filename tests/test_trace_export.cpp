@@ -5,12 +5,45 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "schedulers/task_parallel.hpp"
 #include "test_util.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace locmps {
 namespace {
+
+using test::Json;
+
+/// Parses a chrome trace and returns its traceEvents array.
+std::vector<Json> trace_events(const std::string& json) {
+  Json doc = test::parse_json(json);
+  const Json* events = doc.get("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events != nullptr && events->is(Json::Kind::Array));
+  return events != nullptr ? events->items : std::vector<Json>{};
+}
+
+/// Every "ts"/"dur" field in \p events must be a non-negative number.
+void expect_non_negative_times(const std::vector<Json>& events) {
+  for (const Json& e : events) {
+    if (e.has("ts")) EXPECT_GE(e.num_or("ts", -1.0), 0.0);
+    if (e.has("dur")) EXPECT_GE(e.num_or("dur", -1.0), 0.0);
+  }
+}
+
+/// Builds a planner snapshot with two timers (one nested) and a series.
+obs::MetricsSnapshot sample_planner() {
+  obs::MetricsRegistry m;
+  {
+    obs::ScopedTimer outer(&m, "plan");
+    obs::ScopedTimer inner(&m, "plan.inner");
+  }
+  m.sample("makespan", 20.0);
+  m.sample("makespan", 15.0);
+  return m.snapshot();
+}
 
 TEST(TraceExport, EmitsSlicesForEveryProcessorOfATask) {
   const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
@@ -59,6 +92,81 @@ TEST(TraceExport, RejectsIncompleteSchedule) {
   std::ostringstream os;
   EXPECT_THROW(write_chrome_trace(os, g, Schedule(2, 1)),
                std::invalid_argument);
+}
+
+TEST(TraceExport, PlannerTrackRendersTimersAndCounterSeries) {
+  const TaskGraph g = test::chain(1, 5.0, 2, 0.0);
+  Schedule s(1, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0, 1}));
+  const obs::MetricsSnapshot planner = sample_planner();
+  const auto events = trace_events(chrome_trace(g, s, planner));
+
+  bool planner_process = false, schedule_process = false;
+  bool plan_thread = false, plan_slice = false;
+  std::size_t counter_points = 0;
+  for (const Json& e : events) {
+    const std::string name = e.str_or("name");
+    const std::string ph = e.str_or("ph");
+    const double pid = e.num_or("pid", -1.0);
+    const Json* args = e.get("args");
+    if (ph == "M" && name == "process_name" && args != nullptr) {
+      if (pid == 1.0 && args->str_or("name") == "planner")
+        planner_process = true;
+      if (pid == 0.0 && args->str_or("name") == "schedule")
+        schedule_process = true;
+    }
+    if (ph == "M" && name == "thread_name" && pid == 1.0 &&
+        args != nullptr && args->str_or("name") == "plan")
+      plan_thread = true;
+    if (ph == "X" && pid == 1.0 && name == "plan") plan_slice = true;
+    if (ph == "C" && pid == 1.0 && name == "makespan") {
+      ++counter_points;
+      ASSERT_NE(args, nullptr);
+      EXPECT_TRUE(args->has("value"));
+    }
+  }
+  EXPECT_TRUE(planner_process);
+  EXPECT_TRUE(schedule_process);
+  EXPECT_TRUE(plan_thread);
+  EXPECT_TRUE(plan_slice);
+  EXPECT_EQ(counter_points, 2u);
+  expect_non_negative_times(events);
+}
+
+TEST(TraceExport, EmptySchedulePlannerTraceIsWellFormed) {
+  const TaskGraph g;  // no tasks
+  const Schedule s(0, 2);
+  const obs::MetricsSnapshot planner = sample_planner();
+  const auto events = trace_events(chrome_trace(g, s, planner));
+  // Only metadata, planner slices and counters — all with valid times.
+  EXPECT_FALSE(events.empty());
+  expect_non_negative_times(events);
+  for (const Json& e : events)
+    if (e.str_or("ph") == "X") EXPECT_EQ(e.num_or("pid", -1.0), 1.0);
+}
+
+TEST(TraceExport, NoOverlapModelTraceHasNonNegativeDurations) {
+  // A no-overlap platform stretches receive windows (busy_from < start);
+  // the exported trace must stay parsable with non-negative times, both
+  // for the schedule slices and the planner track from the real run.
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 4;
+  Rng rng(11);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const SchemeRun run = evaluate_scheme(
+      "loc-mps", g, Cluster(4, kFastEthernetBytesPerSec, false));
+  const auto events = trace_events(chrome_trace(g, run.schedule,
+                                                run.counters));
+  expect_non_negative_times(events);
+  bool has_schedule_slice = false, has_planner_slice = false;
+  for (const Json& e : events) {
+    if (e.str_or("ph") != "X") continue;
+    if (e.num_or("pid", -1.0) == 0.0) has_schedule_slice = true;
+    if (e.num_or("pid", -1.0) == 1.0) has_planner_slice = true;
+  }
+  EXPECT_TRUE(has_schedule_slice);
+  EXPECT_TRUE(has_planner_slice);
 }
 
 TEST(TraceExport, RealScheduleProducesParsableShape) {

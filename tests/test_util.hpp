@@ -2,6 +2,11 @@
 /// Shared helpers for the test suite.
 
 #include <cstddef>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "graph/task_graph.hpp"
@@ -52,6 +57,223 @@ inline TaskGraph chain(std::size_t n, double t = 10.0,
   for (std::size_t i = 0; i + 1 < n; ++i)
     g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1), volume);
   return g;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser, used to validate the observability layer's
+// output (JSONL decision traces, chrome traces) without an external
+// dependency. Throws std::runtime_error on any malformed input.
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;                            // Kind::Array
+  std::vector<std::pair<std::string, Json>> members;  // Kind::Object
+
+  bool is(Kind k) const { return kind == k; }
+  /// Object member by key; nullptr when absent or not an object.
+  const Json* get(std::string_view key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  bool has(std::string_view key) const { return get(key) != nullptr; }
+  /// Member number by key, \p fallback when absent / not a number.
+  double num_or(std::string_view key, double fallback) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
+  }
+  /// Member string by key, empty when absent / not a string.
+  std::string str_or(std::string_view key) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::String ? v->str : std::string();
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) const {
+    throw std::runtime_error("json: " + std::string(why) + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+  bool consume_literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else fail("bad \\u escape");
+          }
+          // Tests only need ASCII round-trips; encode BMP as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    const std::string tok(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    Json v;
+    v.kind = Json::Kind::Number;
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0' || tok.empty()) fail("bad number");
+    return v;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    Json v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = Json::Kind::Object;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.members.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = Json::Kind::Array;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = Json::Kind::String;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = Json::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = Json::Kind::Bool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses \p text as one JSON document (strict; throws on any error).
+inline Json parse_json(std::string_view text) {
+  return detail::JsonParser(text).parse_document();
 }
 
 }  // namespace locmps::test
