@@ -26,6 +26,7 @@ struct Variant {
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("abl_design_choices", argc, argv);
   SyntheticParams p;
   p.ccr = 1.0;
   p.amax = 64.0;
@@ -65,17 +66,32 @@ int main(int argc, char** argv) {
                "(< 1: variant worse)\n\n";
   Table t({"variant", "rel.makespan", "mean sched(s)"});
 
+  // Telemetry mirror: variants play the scheme role of a Comparison.
+  Comparison c;
+  for (const auto& v : variants) c.schemes.push_back(v.name);
+  c.procs = {P};
+  c.relative.assign(1, std::vector<double>(variants.size(), 0.0));
+  c.makespan = c.relative;
+  c.sched_seconds = c.relative;
+  c.relative_samples.assign(
+      1, std::vector<std::vector<double>>(variants.size()));
+  c.makespan_samples = c.relative_samples;
+  c.sched_samples = c.relative_samples;
+
   std::vector<double> base_makespans;
-  for (const auto& v : variants) {
+  for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& v = variants[vi];
     const LocMPSScheduler sched(v.opt);
     std::vector<double> rel;
     std::vector<double> times;
+    std::vector<double> mks;
     for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
       Stopwatch sw;
       const SchedulerResult r = sched.schedule(graphs[gi], cluster);
       times.push_back(sw.seconds());
       const double mk =
           simulate_execution(graphs[gi], r.schedule, comm).makespan;
+      mks.push_back(mk);
       if (v.name.rfind("baseline", 0) == 0) {
         base_makespans.push_back(mk);
         rel.push_back(1.0);
@@ -84,9 +100,17 @@ int main(int argc, char** argv) {
       }
     }
     t.add_row({v.name, fmt(mean(rel), 3), fmt(mean(times), 3)});
+    c.relative[0][vi] = mean(rel);
+    c.makespan[0][vi] = mean(mks);
+    c.sched_seconds[0][vi] = mean(times);
+    c.relative_samples[0][vi] = std::move(rel);
+    c.makespan_samples[0][vi] = std::move(mks);
+    c.sched_samples[0][vi] = std::move(times);
   }
   t.print(std::cout);
   t.maybe_write_csv("abl_design_choices.csv");
+  bench::telemetry().record("ablation", c, graphs);
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

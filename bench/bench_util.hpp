@@ -16,18 +16,39 @@
 ///  * <path>.trace.json  — a chrome trace whose "planner" track renders
 ///    the scheduler's phase timers and counter series next to the
 ///    schedule. Open either trace in https://ui.perfetto.dev.
+/// `--report-out <path>` (LOCMPS_REPORT_OUT) additionally renders that
+/// run's post-mortem as a self-contained HTML report (obs/report.hpp);
+/// both flags share the single instrumented pass.
+///
+/// Telemetry: `--bench-out <path>` (LOCMPS_BENCH_OUT; the value `1` means
+/// `BENCH_<name>.json` next to the cwd) makes the binary emit a
+/// machine-readable summary of every recorded Comparison — per-scheme
+/// makespan / relative-performance / SLR statistics with medians and
+/// distribution-free (order-statistic) confidence intervals, scheduling
+/// times, the git SHA and a UTC timestamp. scripts/bench_diff.py compares
+/// two such files and flags regressions.
 
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/analysis.hpp"
 #include "obs/events.hpp"
+#include "obs/report.hpp"
+#include "schedule/metrics.hpp"
 #include "schedule/trace_export.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "workloads/synthetic.hpp"
+
+#ifndef LOCMPS_GIT_SHA
+#define LOCMPS_GIT_SHA "unknown"
+#endif
 
 namespace locmps::bench {
 
@@ -64,56 +85,93 @@ inline void banner(const std::string& what) {
                " < 1 means worse than LoC-MPS)\n";
 }
 
-/// Destination of the `--obs-out` decision trace; disabled when empty.
+/// Destinations of the `--obs-out` decision trace and the `--report-out`
+/// HTML post-mortem; each is disabled when empty.
 struct ObsOut {
-  std::string path;
-  bool enabled() const { return !path.empty(); }
+  std::string path;    ///< JSONL decision trace (+ chrome trace)
+  std::string report;  ///< self-contained HTML report
+  bool enabled() const { return !path.empty() || !report.empty(); }
 };
 
-/// Parses `--obs-out <path>` / `--obs-out=<path>` from argv, falling back
-/// to the LOCMPS_OBS_OUT environment variable. Unknown arguments are
-/// ignored (the harness binaries take no other flags).
+/// Parses `--obs-out <path>` / `--obs-out=<path>` and `--report-out
+/// <path>` / `--report-out=<path>` from argv, falling back to the
+/// LOCMPS_OBS_OUT / LOCMPS_REPORT_OUT environment variables. Unknown
+/// arguments are ignored.
 inline ObsOut parse_obs(int argc, char** argv) {
   ObsOut out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--obs-out" && i + 1 < argc) {
-      out.path = argv[i + 1];
-      return out;
-    }
-    if (arg.rfind("--obs-out=", 0) == 0) {
+    if (arg == "--obs-out" && i + 1 < argc)
+      out.path = argv[++i];
+    else if (arg.rfind("--obs-out=", 0) == 0)
       out.path = arg.substr(10);
-      return out;
-    }
+    else if (arg == "--report-out" && i + 1 < argc)
+      out.report = argv[++i];
+    else if (arg.rfind("--report-out=", 0) == 0)
+      out.report = arg.substr(13);
   }
-  if (const char* env = std::getenv("LOCMPS_OBS_OUT"))
-    if (*env != '\0') out.path = env;
+  if (out.path.empty())
+    if (const char* env = std::getenv("LOCMPS_OBS_OUT"))
+      if (*env != '\0') out.path = env;
+  if (out.report.empty())
+    if (const char* env = std::getenv("LOCMPS_REPORT_OUT"))
+      if (*env != '\0') out.report = env;
   return out;
 }
 
 /// Runs one instrumented pass of \p scheme on \p g / \p cluster and
-/// writes the JSONL decision trace plus the planner+schedule chrome
-/// trace (see the file header). No-op when \p obs is disabled.
+/// writes whatever \p obs asks for: the JSONL decision trace plus the
+/// planner+schedule chrome trace, and/or the HTML post-mortem report.
+/// When the trace is written it is also read back and joined into the
+/// report's analysis (backfill attribution). No-op when \p obs is
+/// disabled.
 inline void dump_obs_run(const ObsOut& obs, const TaskGraph& g,
                          const Cluster& cluster,
                          const std::string& scheme = "loc-mps") {
   if (!obs.enabled()) return;
-  std::ofstream jsonl(obs.path);
-  if (!jsonl) {
-    std::cerr << "obs: cannot open " << obs.path << " for writing\n";
-    return;
+  SchemeRun run;
+  if (!obs.path.empty()) {
+    std::ofstream jsonl(obs.path);
+    if (!jsonl) {
+      std::cerr << "obs: cannot open " << obs.path << " for writing\n";
+      return;
+    }
+    obs::JsonlSink sink(jsonl);
+    run = evaluate_scheme(scheme, g, cluster, {}, &sink);
+  } else {
+    run = evaluate_scheme(scheme, g, cluster, {});
   }
-  obs::JsonlSink sink(jsonl);
-  const SchemeRun run = evaluate_scheme(scheme, g, cluster, {}, &sink);
 
-  const std::string trace_path = obs.path + ".trace.json";
-  std::ofstream trace(trace_path);
-  write_chrome_trace(trace, g, run.schedule, &run.counters);
-  std::cout << "\nobs: " << scheme << " decision trace -> " << obs.path
-            << " (makespan " << fmt(run.makespan) << "s, "
-            << run.iterations << " LoCBS calls)\n"
-            << "obs: planner+schedule chrome trace -> " << trace_path
-            << " (open in https://ui.perfetto.dev)\n";
+  if (!obs.path.empty()) {
+    std::ifstream back(obs.path);
+    if (back) {
+      const auto records = obs::read_trace(back);
+      obs::join_trace(run.analysis,
+                      obs::summarize_trace(records, run.analysis.num_tasks));
+    }
+    const std::string trace_path = obs.path + ".trace.json";
+    std::ofstream trace(trace_path);
+    write_chrome_trace(trace, g, run.schedule, &run.counters);
+    std::cout << "\nobs: " << scheme << " decision trace -> " << obs.path
+              << " (makespan " << fmt(run.makespan) << "s, "
+              << run.iterations << " LoCBS calls)\n"
+              << "obs: planner+schedule chrome trace -> " << trace_path
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (!obs.report.empty()) {
+    std::ofstream html(obs.report);
+    if (!html) {
+      std::cerr << "obs: cannot open " << obs.report << " for writing\n";
+      return;
+    }
+    obs::ReportOptions ropt;
+    ropt.title = scheme + " schedule on " +
+                 std::to_string(cluster.processors) + " processors";
+    ropt.subtitle = std::to_string(g.num_tasks()) + " tasks, " +
+                    std::to_string(g.num_edges()) + " edges";
+    obs::write_html_report(html, g, run.schedule, run.analysis, ropt);
+    std::cout << "obs: HTML post-mortem report -> " << obs.report << "\n";
+  }
 }
 
 /// dump_obs_run on a default representative workload (a mid-size
@@ -127,6 +185,166 @@ inline void maybe_dump_obs(const ObsOut& obs) {
   Rng rng(20060901);
   const TaskGraph g = make_synthetic_dag(p, rng);
   dump_obs_run(obs, g, Cluster(32, p.bandwidth_Bps));
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark telemetry (BENCH_<name>.json).
+
+/// Accumulates every Comparison a bench binary produces, then serializes
+/// them with median + order-statistic-CI statistics. One per process
+/// (telemetry()); panels record into it without signature changes.
+class BenchTelemetry {
+ public:
+  struct Panel {
+    std::string label;
+    Comparison c;
+    /// slr[pi][si][gi]: makespan / max(CP, area) lower bound — empty when
+    /// the recording site did not pass its graph suite.
+    std::vector<std::vector<std::vector<double>>> slr;
+  };
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  const std::string& name() const { return name_; }
+
+  /// Parses --bench-out <path> / --bench-out=<path>, falling back to
+  /// LOCMPS_BENCH_OUT (the value "1" selects ./BENCH_<name>.json).
+  void init(const std::string& bench_name, int argc, char** argv) {
+    name_ = bench_name;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--bench-out" && i + 1 < argc)
+        path_ = argv[++i];
+      else if (arg.rfind("--bench-out=", 0) == 0)
+        path_ = arg.substr(12);
+    }
+    if (path_.empty())
+      if (const char* env = std::getenv("LOCMPS_BENCH_OUT"))
+        if (*env != '\0') path_ = env;
+    if (path_ == "1") path_ = "BENCH_" + name_ + ".json";
+  }
+
+  /// Records one Comparison under \p label. Pass the graph suite it was
+  /// computed from to additionally get SLR (makespan / lower bound)
+  /// statistics; omit it when the suite is out of scope at the call site.
+  void record(const std::string& label, const Comparison& c,
+              std::span<const TaskGraph> graphs = {}) {
+    if (!enabled()) return;
+    Panel p;
+    p.label = label;
+    p.c = c;
+    if (!graphs.empty()) {
+      p.slr.assign(c.procs.size(),
+                   std::vector<std::vector<double>>(c.schemes.size()));
+      for (std::size_t pi = 0; pi < c.procs.size(); ++pi) {
+        std::vector<double> lb(graphs.size());
+        for (std::size_t gi = 0; gi < graphs.size(); ++gi)
+          lb[gi] = std::max(
+              critical_path_lower_bound(graphs[gi], c.procs[pi]),
+              area_lower_bound(graphs[gi], c.procs[pi]));
+        for (std::size_t si = 0; si < c.schemes.size(); ++si) {
+          const auto& ms = c.makespan_samples[pi][si];
+          if (ms.size() != graphs.size()) continue;
+          std::vector<double> slr(ms.size());
+          for (std::size_t gi = 0; gi < ms.size(); ++gi)
+            slr[gi] = lb[gi] > 0.0 ? ms[gi] / lb[gi] : 0.0;
+          p.slr[pi][si] = std::move(slr);
+        }
+      }
+    }
+    panels_.push_back(std::move(p));
+  }
+
+  /// Writes the JSON file (schema: docs/observability.md) and prints the
+  /// destination. No-op when disabled or nothing was recorded.
+  void write() const;
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<Panel> panels_;
+};
+
+/// The process-wide telemetry accumulator.
+inline BenchTelemetry& telemetry() {
+  static BenchTelemetry t;
+  return t;
+}
+
+/// Convenience wrappers mirroring parse_obs / maybe_dump_obs.
+inline void init_telemetry(const std::string& bench_name, int argc,
+                           char** argv) {
+  telemetry().init(bench_name, argc, argv);
+}
+
+inline void write_telemetry() { telemetry().write(); }
+
+namespace detail {
+
+inline std::string iso_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// {"mean":..,"median":..,"ci_lo":..,"ci_hi":..,"ci_coverage":..,"n":..}
+/// — the CI is the distribution-free order-statistic interval of the
+/// median (util/stats.hpp).
+inline void write_stat(std::ostream& os, std::span<const double> xs) {
+  const MedianCI ci = median_ci(xs);
+  os << "{\"mean\":" << mean(xs) << ",\"median\":" << ci.median
+     << ",\"ci_lo\":" << ci.lo << ",\"ci_hi\":" << ci.hi
+     << ",\"ci_coverage\":" << ci.coverage << ",\"n\":" << xs.size() << "}";
+}
+
+}  // namespace detail
+
+inline void BenchTelemetry::write() const {
+  if (!enabled()) return;
+  std::ofstream os(path_);
+  if (!os) {
+    std::cerr << "bench: cannot open " << path_ << " for writing\n";
+    return;
+  }
+  os.precision(17);
+  os << "{\n"
+     << "  \"bench\": \"" << name_ << "\",\n"
+     << "  \"git_sha\": \"" << LOCMPS_GIT_SHA << "\",\n"
+     << "  \"timestamp\": \"" << detail::iso_utc_now() << "\",\n"
+     << "  \"graphs\": " << suite_size() << ",\n"
+     << "  \"full_scale\": " << (full_scale() ? "true" : "false") << ",\n"
+     << "  \"panels\": [";
+  for (std::size_t bi = 0; bi < panels_.size(); ++bi) {
+    const Panel& p = panels_[bi];
+    os << (bi ? ",\n" : "\n") << "    {\"label\": \"" << p.label
+       << "\", \"results\": [";
+    bool first = true;
+    for (std::size_t pi = 0; pi < p.c.procs.size(); ++pi) {
+      for (std::size_t si = 0; si < p.c.schemes.size(); ++si) {
+        os << (first ? "\n" : ",\n") << "      {\"scheme\": \""
+           << p.c.schemes[si] << "\", \"procs\": " << p.c.procs[pi]
+           << ", \"makespan\": ";
+        detail::write_stat(os, p.c.makespan_samples[pi][si]);
+        os << ", \"relative\": ";
+        detail::write_stat(os, p.c.relative_samples[pi][si]);
+        os << ", \"sched_seconds\": ";
+        detail::write_stat(os, p.c.sched_samples[pi][si]);
+        if (!p.slr.empty() && !p.slr[pi][si].empty()) {
+          os << ", \"slr\": ";
+          detail::write_stat(os, p.slr[pi][si]);
+        }
+        os << "}";
+        first = false;
+      }
+    }
+    os << "\n    ]}";
+  }
+  os << "\n  ]\n}\n";
+  std::cout << "\nbench: telemetry -> " << path_ << " (" << panels_.size()
+            << " panel(s), git " << LOCMPS_GIT_SHA << ")\n";
 }
 
 }  // namespace locmps::bench

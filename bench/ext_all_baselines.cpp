@@ -14,6 +14,7 @@ using namespace locmps;
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("ext_all_baselines", argc, argv);
   SyntheticParams p;
   p.ccr = 0.5;
   p.amax = 64.0;
@@ -37,6 +38,8 @@ int main(int argc, char** argv) {
   std::cout << "\nmean scheduling time (seconds):\n";
   Table times = scheduling_time_table(c);
   times.print(std::cout);
+  bench::telemetry().record("ext_all_baselines", c, graphs);
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -20,10 +20,34 @@ void family(const char* name, std::vector<TaskGraph> graphs,
             const std::vector<std::string>& schemes, Table& t,
             std::size_t P) {
   const Cluster cluster(P, kFastEthernetBytesPerSec);
+  Comparison c;
+  c.schemes = schemes;
+  c.procs = {P};
+  c.relative.assign(1, std::vector<double>(schemes.size(), 0.0));
+  c.makespan = c.relative;
+  c.sched_seconds = c.relative;
+  c.relative_samples.assign(
+      1, std::vector<std::vector<double>>(
+             schemes.size(), std::vector<double>(graphs.size())));
+  c.makespan_samples = c.relative_samples;
+  c.sched_samples = c.relative_samples;
   std::vector<double> sums(schemes.size(), 0.0);
-  for (const TaskGraph& g : graphs)
-    for (std::size_t si = 0; si < schemes.size(); ++si)
-      sums[si] += evaluate_scheme(schemes[si], g, cluster).makespan;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi)
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      const SchemeRun run = evaluate_scheme(schemes[si], graphs[gi], cluster);
+      sums[si] += run.makespan;
+      c.makespan_samples[0][si][gi] = run.makespan;
+      c.sched_samples[0][si][gi] = run.scheduling_seconds;
+    }
+  for (std::size_t si = 0; si < schemes.size(); ++si) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi)
+      c.relative_samples[0][si][gi] =
+          c.makespan_samples[0][0][gi] / c.makespan_samples[0][si][gi];
+    c.relative[0][si] = mean(c.relative_samples[0][si]);
+    c.makespan[0][si] = mean(c.makespan_samples[0][si]);
+    c.sched_seconds[0][si] = mean(c.sched_samples[0][si]);
+  }
+  bench::telemetry().record(name, c, graphs);
   std::vector<std::string> row{name};
   for (std::size_t si = 0; si < schemes.size(); ++si)
     row.push_back(fmt(sums[0] / sums[si], 3));
@@ -34,6 +58,7 @@ void family(const char* name, std::vector<TaskGraph> graphs,
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("ext_dag_shapes", argc, argv);
   const std::size_t P = 16;
   StructuredParams p;
   p.max_procs = P;
@@ -74,6 +99,7 @@ int main(int argc, char** argv) {
 
   t.print(std::cout);
   t.maybe_write_csv("ext_dag_shapes.csv");
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

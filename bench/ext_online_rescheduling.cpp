@@ -33,6 +33,25 @@ void sweep(const char* label, const TaskGraph& g, const Cluster& cluster,
     }
     t.add_row({label, fmt(noise, 1), fmt(mean(stat), 3), fmt(mean(onl), 3),
                fmt(mean(stat) / mean(onl), 3), fmt(mean(replans), 1)});
+
+    // Telemetry mirror: static vs online play the scheme role, the noise
+    // seeds are the samples.
+    Comparison c;
+    c.schemes = {"static", "online"};
+    c.procs = {cluster.processors};
+    std::vector<double> rel_onl(onl.size());
+    for (std::size_t k = 0; k < onl.size(); ++k)
+      rel_onl[k] = stat[k] / onl[k];
+    c.relative = {{1.0, mean(rel_onl)}};
+    c.makespan = {{mean(stat), mean(onl)}};
+    c.sched_seconds = {{0.0, 0.0}};
+    c.relative_samples = {
+        {std::vector<double>(stat.size(), 1.0), rel_onl}};
+    c.makespan_samples = {{stat, onl}};
+    c.sched_samples = {{std::vector<double>(stat.size(), 0.0),
+                        std::vector<double>(onl.size(), 0.0)}};
+    bench::telemetry().record(std::string(label) + "/noise=" + fmt(noise, 1),
+                              c);
   }
 }
 
@@ -40,6 +59,7 @@ void sweep(const char* label, const TaskGraph& g, const Cluster& cluster,
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("ext_online_rescheduling", argc, argv);
   std::cout << "Extension: online rescheduling under runtime-estimate "
                "noise (5 seeds per point)\n"
             << "gain = static makespan / online makespan (> 1: replanning "
@@ -62,6 +82,7 @@ int main(int argc, char** argv) {
 
   t.print(std::cout);
   t.maybe_write_csv("ext_online_rescheduling.csv");
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace locmps;
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("ext_search_quality", argc, argv);
   const std::size_t P = 16;
   const std::size_t n_graphs = 4;
   std::cout << "Extension: LoC-MPS vs simulated-annealing reference (P=" << P
@@ -50,9 +51,25 @@ int main(int argc, char** argv) {
     t.add_row({fmt(ccr, 1), fmt(mean(mps), 2), fmt(mean(sa), 2),
                fmt(mean(mps) / mean(sa), 3), fmt(mean(mps_ev), 0),
                fmt(mean(sa_ev), 0)});
+
+    // Telemetry mirror: per-graph estimated makespans of both searches.
+    Comparison c;
+    c.schemes = {"loc-mps", "sa-ref"};
+    c.procs = {P};
+    std::vector<double> rel(mps.size());
+    for (std::size_t k = 0; k < mps.size(); ++k) rel[k] = mps[k] / sa[k];
+    c.relative = {{1.0, mean(rel)}};
+    c.makespan = {{mean(mps), mean(sa)}};
+    c.sched_seconds = {{0.0, 0.0}};
+    c.relative_samples = {{std::vector<double>(mps.size(), 1.0), rel}};
+    c.makespan_samples = {{mps, sa}};
+    c.sched_samples = {{std::vector<double>(mps.size(), 0.0),
+                        std::vector<double>(sa.size(), 0.0)}};
+    bench::telemetry().record("ccr=" + fmt(ccr, 1), c, graphs);
   }
   t.print(std::cout);
   t.maybe_write_csv("ext_search_quality.csv");
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

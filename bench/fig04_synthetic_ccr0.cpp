@@ -33,16 +33,19 @@ void panel(const char* title, double amax, double sigma) {
   Table t = relative_performance_table(c);
   t.print(std::cout);
   t.maybe_write_csv(std::string("fig04") + title + ".csv");
+  bench::telemetry().record(std::string("fig04") + title, c, graphs);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig04_synthetic_ccr0", argc, argv);
   std::cout << "Reproduction of Fig 4 (synthetic graphs, CCR=0): "
             << bench::suite_size() << " graphs per configuration\n";
   panel("a", 64.0, 1.0);
   panel("b", 48.0, 2.0);
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -34,16 +34,19 @@ void panel(const char* title, double ccr) {
   Table t = relative_performance_table(c);
   t.print(std::cout);
   t.maybe_write_csv(std::string("fig05") + title + ".csv");
+  bench::telemetry().record(std::string("fig05") + title, c, graphs);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig05_synthetic_ccr", argc, argv);
   std::cout << "Reproduction of Fig 5 (synthetic graphs, CCR > 0): "
             << bench::suite_size() << " graphs per configuration\n";
   panel("a", 0.1);
   panel("b", 1.0);
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -15,6 +15,7 @@ using namespace locmps;
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig06_backfill_tradeoff", argc, argv);
   SyntheticParams p;
   p.ccr = 0.1;
   p.amax = 48.0;
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
   }
   times.print(std::cout);
   times.maybe_write_csv("fig06b.csv");
+  bench::telemetry().record("fig06", c, graphs);
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

@@ -38,17 +38,20 @@ void panel(const char* title, bool overlap) {
   Table t = relative_performance_table(c);
   t.print(std::cout);
   t.maybe_write_csv(std::string("fig08") + title + ".csv");
+  bench::telemetry().record(std::string("fig08") + title, c, graphs);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig08_tce_ccsd", argc, argv);
   TCEParams tp;
   std::cout << "Reproduction of Fig 8 (TCE CCSD T1, o=" << tp.occupied
             << ", v=" << tp.virt << ")\n";
   panel("a", true);
   panel("b", false);
+  bench::write_telemetry();
   if (obs.enabled()) bench::dump_obs_run(obs, make_ccsd_t1(tp), Cluster(32));
   return 0;
 }

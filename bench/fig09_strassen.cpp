@@ -34,15 +34,18 @@ void panel(const char* title, std::size_t n) {
   Table t = relative_performance_table(c);
   t.print(std::cout);
   t.maybe_write_csv(std::string("fig09") + title + ".csv");
+  bench::telemetry().record(std::string("fig09") + title, c, graphs);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig09_strassen", argc, argv);
   std::cout << "Reproduction of Fig 9 (Strassen matrix multiplication)\n";
   panel("a", 1024);
   panel("b", 4096);
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

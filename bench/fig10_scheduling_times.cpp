@@ -30,6 +30,7 @@ void panel(const char* name, const TaskGraph& g, const char* csv) {
   Table t = scheduling_time_table(c);
   t.print(std::cout);
   t.maybe_write_csv(csv);
+  bench::telemetry().record(name, c, graphs);
 
   // The paper's observation: planning cost vs application makespan.
   std::cout << "\nLoC-MPS planning time vs resulting makespan:\n";
@@ -47,6 +48,7 @@ void panel(const char* name, const TaskGraph& g, const char* csv) {
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig10_scheduling_times", argc, argv);
   std::cout << "Reproduction of Fig 10 (scheduling times)\n";
   const auto procs = bench::proc_sweep();
   // A production-size problem instance (o=48, v=192): the paper's point is
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   sp.max_procs = procs.back();
   panel("a (CCSD T1)", make_ccsd_t1(tp), "fig10a.csv");
   panel("b (Strassen 4096)", make_strassen(sp), "fig10b.csv");
+  bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;
 }

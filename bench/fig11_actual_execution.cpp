@@ -19,6 +19,7 @@ using namespace locmps;
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  bench::init_telemetry("fig11_actual_execution", argc, argv);
   constexpr double kMyrinetBps = 2e9 / 8.0;
   const auto procs = bench::proc_sweep();
   TCEParams tp;
@@ -35,9 +36,16 @@ int main(int argc, char** argv) {
   std::vector<std::string> header{"P"};
   for (const auto& s : schemes) header.push_back(s);
   Table t(header);
+  // Telemetry mirror of the printed table; the noise repetitions are the
+  // samples behind the median/CI statistics.
+  Comparison c;
+  c.schemes = schemes;
+  c.procs = procs;
   for (const std::size_t P : procs) {
     const Cluster cluster(P, kMyrinetBps);
     std::vector<double> mean_makespan(schemes.size(), 0.0);
+    std::vector<std::vector<double>> runs_by_scheme(schemes.size());
+    std::vector<std::vector<double>> sched_by_scheme(schemes.size());
     for (std::size_t si = 0; si < schemes.size(); ++si) {
       std::vector<double> runs;
       for (int rep = 0; rep < reps; ++rep) {
@@ -45,18 +53,38 @@ int main(int argc, char** argv) {
         sim.single_port = true;
         sim.runtime_noise = 0.15;
         sim.seed = 1000 + static_cast<std::uint64_t>(rep);
-        runs.push_back(
-            evaluate_scheme(schemes[si], g, cluster, sim).makespan);
+        const SchemeRun r = evaluate_scheme(schemes[si], g, cluster, sim);
+        runs.push_back(r.makespan);
+        sched_by_scheme[si].push_back(r.scheduling_seconds);
       }
       mean_makespan[si] = mean(runs);
+      runs_by_scheme[si] = std::move(runs);
     }
     std::vector<double> rel(schemes.size());
     for (std::size_t si = 0; si < schemes.size(); ++si)
       rel[si] = mean_makespan[0] / mean_makespan[si];
     t.add_row_numeric(std::to_string(P), rel);
+
+    c.relative.push_back(rel);
+    c.makespan.push_back(mean_makespan);
+    std::vector<double> st(schemes.size());
+    std::vector<std::vector<double>> rel_s(schemes.size());
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+      st[si] = mean(sched_by_scheme[si]);
+      std::vector<double> rr(runs_by_scheme[si].size());
+      for (std::size_t k = 0; k < rr.size(); ++k)
+        rr[k] = mean_makespan[0] / runs_by_scheme[si][k];
+      rel_s[si] = std::move(rr);
+    }
+    c.sched_seconds.push_back(st);
+    c.relative_samples.push_back(std::move(rel_s));
+    c.makespan_samples.push_back(std::move(runs_by_scheme));
+    c.sched_samples.push_back(std::move(sched_by_scheme));
   }
   t.print(std::cout);
   t.maybe_write_csv("fig11.csv");
+  bench::telemetry().record("fig11", c);
+  bench::write_telemetry();
   if (obs.enabled())
     bench::dump_obs_run(obs, g, Cluster(procs.back(), kMyrinetBps));
   return 0;

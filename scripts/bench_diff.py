@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json telemetry files and flag regressions.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CANDIDATE.json [options]
+
+Options:
+    --threshold PCT   relative change (percent) beyond which a metric
+                      counts as a regression (default 3.0)
+    --metric NAME     statistic to compare: median (default) or mean
+    --sched-threshold PCT
+                      separate threshold for scheduling time, which is
+                      wall-clock and noisier (default 25.0)
+    --quiet           print only regressions and the summary line
+
+Semantics: results are joined on (panel label, scheme, procs). For each
+joined row, `makespan` going up or `relative` (performance relative to the
+reference scheme: higher is better) going down beyond the threshold is a
+regression; the comparison is additionally suppressed when the candidate
+value still lies inside the baseline's order-statistic confidence interval
+(a shift indistinguishable from sampling noise is not actionable).
+`sched_seconds` regressions use --sched-threshold. Exits 1 when any
+regression is found, 2 on malformed input, else 0.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def rows(doc):
+    """Flattens a telemetry document to {(panel, scheme, procs): result}."""
+    out = {}
+    for panel in doc.get("panels", []):
+        for r in panel.get("results", []):
+            out[(panel.get("label", ""), r["scheme"], r["procs"])] = r
+    return out
+
+
+def pct_change(base, cand):
+    if base == 0:
+        return 0.0 if cand == 0 else float("inf")
+    return 100.0 * (cand - base) / base
+
+
+def inside_ci(value, stat):
+    return stat["ci_lo"] <= value <= stat["ci_hi"]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json telemetry files.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=3.0)
+    ap.add_argument("--metric", choices=("median", "mean"), default="median")
+    ap.add_argument("--sched-threshold", type=float, default=25.0)
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    base_doc, cand_doc = load(args.baseline), load(args.candidate)
+    base, cand = rows(base_doc), rows(cand_doc)
+    if not base or not cand:
+        print("bench_diff: no results in one of the inputs", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"baseline : {args.baseline} "
+          f"(git {base_doc.get('git_sha', '?')}, "
+          f"{base_doc.get('timestamp', '?')})")
+    print(f"candidate: {args.candidate} "
+          f"(git {cand_doc.get('git_sha', '?')}, "
+          f"{cand_doc.get('timestamp', '?')})")
+    if (base_doc.get("graphs"), base_doc.get("full_scale")) != (
+            cand_doc.get("graphs"), cand_doc.get("full_scale")):
+        print("bench_diff: WARNING: suite sizes differ "
+              f"(baseline {base_doc.get('graphs')} graphs, candidate "
+              f"{cand_doc.get('graphs')}); deltas may not be comparable")
+
+    # (metric key, direction: +1 = higher is worse, threshold)
+    checks = [
+        ("makespan", +1, args.threshold),
+        ("relative", -1, args.threshold),
+        ("sched_seconds", +1, args.sched_threshold),
+    ]
+    regressions, improvements, compared = [], [], 0
+    for key in sorted(set(base) & set(cand)):
+        b, c = base[key], cand[key]
+        for metric, worse_sign, threshold in checks:
+            if metric not in b or metric not in c:
+                continue
+            bstat, cstat = b[metric], c[metric]
+            bval, cval = bstat[args.metric], cstat[args.metric]
+            compared += 1
+            delta = pct_change(bval, cval)
+            label = f"{key[0]} / {key[1]} / P={key[2]} / {metric}"
+            line = (f"{label}: {bval:.6g} -> {cval:.6g} "
+                    f"({delta:+.2f}%)")
+            if worse_sign * delta > threshold and not inside_ci(cval, bstat):
+                regressions.append(line)
+            elif worse_sign * delta < -threshold:
+                improvements.append(line)
+            elif not args.quiet:
+                print(f"  ok     {line}")
+
+    for line in improvements:
+        print(f"  better {line}")
+    for line in regressions:
+        print(f"  WORSE  {line}")
+
+    missing = sorted(set(base) - set(cand))
+    if missing:
+        print(f"bench_diff: WARNING: {len(missing)} baseline row(s) missing "
+              f"from candidate (first: {missing[0]})")
+
+    print(f"bench_diff: {compared} comparisons, "
+          f"{len(improvements)} improvement(s), "
+          f"{len(regressions)} regression(s) "
+          f"(threshold {args.threshold}%/{args.sched_threshold}% on "
+          f"{args.metric})")
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -87,6 +87,13 @@ SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
       run.counters.counter("scheduler.iterations"));
   run.allocation = std::move(planned.allocation);
   run.schedule = std::move(executed.executed);
+
+  // Post-mortem analytics under the same locality model the simulation
+  // charged, with backfill effectiveness joined from the run's counters.
+  obs::AnalysisOptions an;
+  an.locality_volumes = run_sim.locality_volumes;
+  run.analysis = obs::analyze_schedule(g, run.schedule, comm, an);
+  obs::join_backfill_stats(run.analysis, run.counters);
   return run;
 }
 
@@ -102,6 +109,11 @@ Comparison compare_schemes(std::span<const TaskGraph> graphs,
                     std::vector<double>(schemes.size(), 0.0));
   c.makespan = c.relative;
   c.sched_seconds = c.relative;
+  c.relative_samples.assign(
+      procs.size(), std::vector<std::vector<double>>(
+                        schemes.size(), std::vector<double>(graphs.size())));
+  c.makespan_samples = c.relative_samples;
+  c.sched_samples = c.relative_samples;
   const std::size_t workers = resolve_threads(threads);
 
   for (std::size_t pi = 0; pi < procs.size(); ++pi) {
@@ -129,6 +141,9 @@ Comparison compare_schemes(std::span<const TaskGraph> graphs,
       c.relative[pi][si] = mean(rel);
       c.makespan[pi][si] = mean(m);
       c.sched_seconds[pi][si] = mean(t);
+      c.relative_samples[pi][si] = std::move(rel);
+      c.makespan_samples[pi][si] = std::move(m);
+      c.sched_samples[pi][si] = std::move(t);
     }
   }
   return c;

@@ -15,6 +15,7 @@
 
 #include "cluster/cluster.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/analysis.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "schedule/event_sim.hpp"
@@ -38,6 +39,11 @@ struct SchemeRun {
   /// Counters, phase timers, and sample series collected while planning
   /// and executing this run (see docs/observability.md for the taxonomy).
   obs::MetricsSnapshot counters;
+  /// Post-mortem analytics of the realized schedule (utilization, locality
+  /// breakdown, critical path, start-delay blame, backfill effectiveness),
+  /// computed under the same locality model the simulation used. Feed it to
+  /// obs::write_html_report / obs::text_report for rendering.
+  obs::ScheduleAnalysis analysis;
 };
 
 /// Plans and executes \p scheme (a registry name) on \p g / \p cluster.
@@ -61,6 +67,12 @@ struct Comparison {
   std::vector<std::vector<double>> makespan;
   /// Mean scheduling times [pi][si] (seconds).
   std::vector<std::vector<double>> sched_seconds;
+  /// Raw per-graph samples behind the means, [pi][si][gi] — the inputs of
+  /// the benchmark telemetry's median / nonparametric-CI statistics
+  /// (bench/bench_util.hpp).
+  std::vector<std::vector<std::vector<double>>> relative_samples;
+  std::vector<std::vector<std::vector<double>>> makespan_samples;
+  std::vector<std::vector<std::vector<double>>> sched_samples;
 };
 
 /// Runs every scheme on every graph for every processor count.

@@ -1,0 +1,50 @@
+#pragma once
+/// \file report.hpp
+/// Self-contained schedule reports rendered from a ScheduleAnalysis:
+///  * an HTML/SVG post-mortem — Gantt colored by locality class, per-
+///    processor utilization bars, idle-hole histogram, critical-path
+///    decomposition and a top-N start-delay blame table — written as
+///    strict XHTML (single file, no external assets) so tooling and the
+///    test suite can parse it;
+///  * a plain-text summary for terminals and logs.
+///
+/// Producers: `locmps-inspect` (tools/inspect.cpp) and the bench
+/// harness's `--report-out` flag (bench/bench_util.hpp).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "obs/analysis.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps::obs {
+
+/// Report knobs.
+struct ReportOptions {
+  std::string title = "Schedule report";
+  std::string subtitle;            ///< e.g. scheme / workload description
+  std::size_t top_blame = 15;      ///< rows of the blame table
+  std::size_t gantt_width = 1160;  ///< Gantt plot width in pixels
+};
+
+/// Writes the HTML report for \p a (computed from \p g and \p s).
+/// The output is `<!DOCTYPE html>` followed by one well-formed XML
+/// document (strict XHTML): every element closed, attributes quoted,
+/// text escaped — validated by tests/test_report.cpp.
+void write_html_report(std::ostream& os, const TaskGraph& g,
+                       const Schedule& s, const ScheduleAnalysis& a,
+                       const ReportOptions& opt = {});
+
+/// Convenience: the HTML report as a string.
+std::string html_report(const TaskGraph& g, const Schedule& s,
+                        const ScheduleAnalysis& a,
+                        const ReportOptions& opt = {});
+
+/// Multi-line plain-text summary of \p a.
+std::string text_report(const ScheduleAnalysis& a);
+
+/// Escapes &, <, >, " and ' for XML/XHTML text and attribute content.
+std::string xml_escape(std::string_view in);
+
+}  // namespace locmps::obs

@@ -56,6 +56,19 @@ std::vector<double> Timeline::candidate_times(double from) const {
   return times;
 }
 
+std::vector<Timeline::Hole> Timeline::holes(ProcId q, double horizon) const {
+  std::vector<Hole> out;
+  if (horizon <= 0.0) return out;
+  double cursor = 0.0;
+  for (const Interval& iv : busy_[q]) {
+    if (iv.start >= horizon) break;
+    if (iv.start > cursor) out.push_back(Hole{cursor, iv.start});
+    cursor = std::max(cursor, std::min(iv.end, horizon));
+  }
+  if (cursor < horizon) out.push_back(Hole{cursor, horizon});
+  return out;
+}
+
 std::vector<Timeline::FreeProc> Timeline::available_at(double t) const {
   std::vector<FreeProc> out;
   available_at(t, out);

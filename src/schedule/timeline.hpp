@@ -60,6 +60,20 @@ class Timeline {
   /// Allocation-free variant for hot loops: fills \p out.
   void available_at(double t, std::vector<FreeProc>& out) const;
 
+  /// An idle window on one processor.
+  struct Hole {
+    double start;
+    double end;
+  };
+
+  /// Idle windows of processor \p q within [0, horizon), in time order:
+  /// the gap before the first booking, every gap between bookings, and the
+  /// trailing gap up to \p horizon. Zero-length gaps (abutting bookings)
+  /// are not reported; bookings are clamped to the horizon, so a booking
+  /// ending exactly at \p horizon produces no trailing hole. A fully
+  /// packed timeline yields an empty vector, as does horizon <= 0.
+  std::vector<Hole> holes(ProcId q, double horizon) const;
+
  private:
   struct Interval {
     double start;

@@ -37,6 +37,43 @@ double mean(std::span<const double> xs) { return summarize(xs).mean; }
 
 double geomean(std::span<const double> xs) { return summarize(xs).geomean; }
 
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+MedianCI median_ci(std::span<const double> xs, double confidence) {
+  MedianCI ci;
+  if (xs.empty()) return ci;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  ci.median = n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+
+  // Binomial(n, 1/2) pmf, computed by recurrence to avoid overflow.
+  std::vector<double> pmf(n + 1);
+  pmf[0] = std::pow(0.5, static_cast<double>(n));
+  for (std::size_t k = 1; k <= n; ++k)
+    pmf[k] = pmf[k - 1] * static_cast<double>(n - k + 1) /
+             static_cast<double>(k);
+  // Coverage of [x_(k), x_(n+1-k)] (1-based) is P(k <= B <= n-k); find the
+  // smallest symmetric trim that still covers the requested level.
+  std::size_t best_k = 1;
+  double best_cov = 0.0;
+  for (std::size_t k = 1; 2 * k <= n + 1; ++k) {
+    double cov = 0.0;
+    for (std::size_t b = k; b + k <= n; ++b) cov += pmf[b];
+    if (k == 1) best_cov = cov;
+    if (cov >= confidence) {
+      best_k = k;
+      best_cov = cov;
+    } else {
+      break;  // coverage only shrinks as k grows
+    }
+  }
+  ci.lo = v[best_k - 1];
+  ci.hi = v[n - best_k];
+  ci.coverage = best_cov;
+  return ci;
+}
+
 double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::vector<double> v(xs.begin(), xs.end());

@@ -30,4 +30,25 @@ double geomean(std::span<const double> xs);
 /// \p q-quantile (0 <= q <= 1) by linear interpolation on the sorted copy.
 double quantile(std::span<const double> xs, double q);
 
+/// Median (the 0.5-quantile); 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// Distribution-free confidence interval for the median.
+struct MedianCI {
+  double median = 0.0;
+  double lo = 0.0;  ///< lower order-statistic bound
+  double hi = 0.0;  ///< upper order-statistic bound
+  /// Achieved coverage of [lo, hi] (>= the requested level when the sample
+  /// is large enough; the widest achievable min/max interval otherwise).
+  double coverage = 0.0;
+};
+
+/// Order-statistic (binomial, distribution-free) confidence interval for
+/// the median at the requested \p confidence level: the symmetric interval
+/// [x_(k), x_(n+1-k)] with the smallest k whose exact binomial coverage
+/// P(k <= B < n+1-k), B ~ Binomial(n, 1/2), reaches \p confidence. For
+/// samples too small to reach the level, returns [min, max] with its
+/// achieved coverage. An empty span yields a zero MedianCI.
+MedianCI median_ci(std::span<const double> xs, double confidence = 0.95);
+
 }  // namespace locmps

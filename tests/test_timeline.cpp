@@ -84,6 +84,89 @@ TEST(Timeline, ZeroLengthBookingIsNoOp) {
   EXPECT_TRUE(tl.is_free(0, 0.0, 100.0));
 }
 
+TEST(TimelineHoles, EmptyTimelineIsOneHole) {
+  const Timeline tl(1);
+  const auto holes = tl.holes(0, 10.0);
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(holes[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(holes[0].end, 10.0);
+}
+
+TEST(TimelineHoles, NonPositiveHorizonHasNoHoles) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 2.0, 4.0);
+  EXPECT_TRUE(tl.holes(0, 0.0).empty());
+  EXPECT_TRUE(tl.holes(0, -1.0).empty());
+}
+
+TEST(TimelineHoles, FullyPackedTimelineHasNoHoles) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 0.0, 4.0);
+  tl.occupy(ProcessorSet::of(1, {0}), 4.0, 10.0);
+  EXPECT_TRUE(tl.holes(0, 10.0).empty());
+}
+
+TEST(TimelineHoles, AbuttingBookingsProduceNoZeroLengthHole) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 0.0, 3.0);
+  tl.occupy(ProcessorSet::of(1, {0}), 3.0, 6.0);
+  const auto holes = tl.holes(0, 8.0);
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(holes[0].start, 6.0);
+  EXPECT_DOUBLE_EQ(holes[0].end, 8.0);
+  for (const auto& h : holes) EXPECT_GT(h.end, h.start);
+}
+
+TEST(TimelineHoles, HoleAbutsHorizonExactly) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 0.0, 4.0);
+  const auto holes = tl.holes(0, 10.0);
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(holes[0].start, 4.0);
+  EXPECT_DOUBLE_EQ(holes[0].end, 10.0);
+}
+
+TEST(TimelineHoles, BusyWindowCrossingHorizonIsClamped) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 0.0, 4.0);
+  tl.occupy(ProcessorSet::of(1, {0}), 8.0, 15.0);  // runs past the horizon
+  const auto holes = tl.holes(0, 10.0);
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(holes[0].start, 4.0);
+  EXPECT_DOUBLE_EQ(holes[0].end, 8.0);
+}
+
+TEST(TimelineHoles, BusyWindowStartingAtHorizonIsIgnored) {
+  Timeline tl(1);
+  tl.occupy(ProcessorSet::of(1, {0}), 10.0, 12.0);
+  const auto holes = tl.holes(0, 10.0);
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_DOUBLE_EQ(holes[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(holes[0].end, 10.0);
+}
+
+TEST(TimelineHoles, MiddleAndTailHolesEnumeratedInOrder) {
+  Timeline tl(2);
+  tl.occupy(ProcessorSet::of(2, {0}), 2.0, 4.0);
+  tl.occupy(ProcessorSet::of(2, {0}), 6.0, 7.0);
+  const auto holes = tl.holes(0, 9.0);
+  ASSERT_EQ(holes.size(), 3u);
+  EXPECT_DOUBLE_EQ(holes[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(holes[0].end, 2.0);
+  EXPECT_DOUBLE_EQ(holes[1].start, 4.0);
+  EXPECT_DOUBLE_EQ(holes[1].end, 6.0);
+  EXPECT_DOUBLE_EQ(holes[2].start, 7.0);
+  EXPECT_DOUBLE_EQ(holes[2].end, 9.0);
+  // Busy + idle covers the horizon exactly.
+  double idle = 0.0;
+  for (const auto& h : holes) idle += h.end - h.start;
+  EXPECT_DOUBLE_EQ(idle + 3.0, 9.0);
+  // The untouched processor is one full-horizon hole.
+  const auto other = tl.holes(1, 9.0);
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_DOUBLE_EQ(other[0].end - other[0].start, 9.0);
+}
+
 TEST(Timeline, BookingOutOfOrderKeepsSortedState) {
   Timeline tl(1);
   tl.occupy(ProcessorSet::of(1, {0}), 10.0, 12.0);

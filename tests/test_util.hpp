@@ -276,4 +276,211 @@ inline Json parse_json(std::string_view text) {
   return detail::JsonParser(text).parse_document();
 }
 
+// ---------------------------------------------------------------------------
+// Minimal strict XML parser, used to validate the HTML/SVG schedule
+// reports (obs/report.hpp emits strict XHTML: every element closed,
+// attributes quoted, text escaped). Throws std::runtime_error on any
+// malformed input. No DTD/PI support — strip the `<!DOCTYPE html>` line
+// before parsing (see parse_xhtml_report).
+
+struct Xml {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<Xml> children;
+  std::string text;  ///< concatenated character data of this element
+
+  /// Attribute value by name; nullptr when absent.
+  const std::string* attr(std::string_view name) const {
+    for (const auto& [k, v] : attrs)
+      if (k == name) return &v;
+    return nullptr;
+  }
+  /// Depth-first search for the element with id="\p id"; nullptr if none.
+  const Xml* find_by_id(std::string_view id) const {
+    const std::string* a = attr("id");
+    if (a != nullptr && *a == id) return this;
+    for (const Xml& c : children)
+      if (const Xml* hit = c.find_by_id(id)) return hit;
+    return nullptr;
+  }
+  /// Depth-first count of elements with tag \p t (including this one).
+  std::size_t count_tag(std::string_view t) const {
+    std::size_t n = tag == t ? 1 : 0;
+    for (const Xml& c : children) n += c.count_tag(t);
+    return n;
+  }
+};
+
+namespace detail {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : s_(text) {}
+
+  Xml parse_document() {
+    skip_ws();
+    Xml root = parse_element();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* why) const {
+    throw std::runtime_error("xml: " + std::string(why) + " at offset " +
+                             std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  static bool name_char(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':' ||
+           c == '.';
+  }
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && name_char(s_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected a name");
+    return std::string(s_.substr(start, pos_ - start));
+  }
+  void append_entity(std::string& out) {
+    // At '&'. Only the five predefined entities and numeric refs.
+    ++pos_;
+    const std::size_t semi = s_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 8)
+      fail("unterminated entity reference");
+    const std::string_view ent = s_.substr(pos_, semi - pos_);
+    pos_ = semi + 1;
+    if (ent == "amp") out += '&';
+    else if (ent == "lt") out += '<';
+    else if (ent == "gt") out += '>';
+    else if (ent == "quot") out += '"';
+    else if (ent == "apos") out += '\'';
+    else if (!ent.empty() && ent[0] == '#') {
+      const bool hex = ent.size() > 1 && ent[1] == 'x';
+      const std::string num(ent.substr(hex ? 2 : 1));
+      char* end = nullptr;
+      const long code = std::strtol(num.c_str(), &end, hex ? 16 : 10);
+      if (end == nullptr || *end != '\0' || code <= 0)
+        fail("bad numeric character reference");
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+    } else {
+      fail("unknown entity reference");
+    }
+  }
+  std::string parse_attr_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("unquoted attribute value");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated attribute value");
+      const char c = s_[pos_];
+      if (c == quote) {
+        ++pos_;
+        return out;
+      }
+      if (c == '<') fail("raw '<' in attribute value");
+      if (c == '&') {
+        append_entity(out);
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+  }
+
+  Xml parse_element() {
+    if (peek() != '<') fail("expected '<'");
+    ++pos_;
+    Xml el;
+    el.tag = parse_name();
+    while (true) {
+      skip_ws();
+      const char c = peek();
+      if (c == '/') {
+        ++pos_;
+        if (peek() != '>') fail("malformed empty-element tag");
+        ++pos_;
+        return el;
+      }
+      if (c == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key = parse_name();
+      skip_ws();
+      if (peek() != '=') fail("attribute without value");
+      ++pos_;
+      skip_ws();
+      el.attrs.emplace_back(std::move(key), parse_attr_value());
+    }
+    // Content: character data, child elements, comments.
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated element");
+      const char c = s_[pos_];
+      if (c == '<') {
+        if (s_.substr(pos_, 4) == "<!--") {
+          const std::size_t end = s_.find("-->", pos_ + 4);
+          if (end == std::string_view::npos) fail("unterminated comment");
+          pos_ = end + 3;
+          continue;
+        }
+        if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+          pos_ += 2;
+          const std::string close = parse_name();
+          if (close != el.tag) fail("mismatched closing tag");
+          skip_ws();
+          if (peek() != '>') fail("malformed closing tag");
+          ++pos_;
+          return el;
+        }
+        el.children.push_back(parse_element());
+        continue;
+      }
+      if (c == '&') {
+        append_entity(el.text);
+        continue;
+      }
+      el.text += c;
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses \p text as one XML document (strict; throws on any error).
+inline Xml parse_xml(std::string_view text) {
+  return detail::XmlParser(text).parse_document();
+}
+
+/// Parses the output of obs::write_html_report: requires and strips the
+/// leading `<!DOCTYPE html>` line, then parses the rest as XML.
+inline Xml parse_xhtml_report(std::string_view report) {
+  constexpr std::string_view kDoctype = "<!DOCTYPE html>\n";
+  if (report.substr(0, kDoctype.size()) != kDoctype)
+    throw std::runtime_error("report does not start with <!DOCTYPE html>");
+  return parse_xml(report.substr(kDoctype.size()));
+}
+
 }  // namespace locmps::test

@@ -1,0 +1,253 @@
+/// \file inspect.cpp
+/// locmps-inspect: schedule post-mortem CLI.
+///
+/// Plans and executes one scheme on a workload (a taskgraph v1 file or a
+/// seeded synthetic DAG), runs the analytics of obs/analysis.hpp over the
+/// realized schedule, and renders the result as a terminal summary and —
+/// with --report-out — a self-contained HTML report (obs/report.hpp).
+/// With --obs-out the run also streams the PR-1 JSONL decision trace,
+/// reads it back, joins it into the analysis (backfill attribution) and
+/// cross-checks the analyzer's aggregate local/remote redistribution
+/// volumes against the run's comm-model counters and the trace.
+///
+/// Usage: see usage() below or `locmps-inspect --help`.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "graph/io.hpp"
+#include "obs/analysis.hpp"
+#include "obs/events.hpp"
+#include "obs/report.hpp"
+#include "schedulers/registry.hpp"
+#include "util/rng.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+using namespace locmps;
+
+void usage(std::ostream& os) {
+  os << "locmps-inspect: post-mortem analytics for one scheduled run\n"
+        "\n"
+        "Workload (default: one seeded synthetic DAG, Section IV-A):\n"
+        "  --graph <file>         read a taskgraph v1 text file instead\n"
+        "  --seed <n>             synthetic generator seed (default 20060901)\n"
+        "  --ccr <x>              communication/computation ratio (default "
+        "0.5)\n"
+        "\n"
+        "Platform and scheme:\n"
+        "  --procs <n>            cluster size (default 32)\n"
+        "  --bandwidth-mbps <x>   link bandwidth (default 100, fast "
+        "ethernet)\n"
+        "  --no-overlap           communication blocks computation\n"
+        "  --scheme <name>        scheduler registry name (default "
+        "loc-mps)\n"
+        "\n"
+        "Outputs:\n"
+        "  --report-out <file>    write the self-contained HTML report\n"
+        "  --obs-out <file>       write the JSONL decision trace, join it\n"
+        "                         back and cross-check the locality "
+        "totals\n"
+        "  --trace <file>         join an existing JSONL trace instead\n"
+        "  --title <text>         report title\n"
+        "  --quiet                suppress the terminal summary\n"
+        "  --help                 this text\n";
+}
+
+struct Options {
+  std::string graph_file;
+  std::uint64_t seed = 20060901;
+  double ccr = 0.5;
+  std::size_t procs = 32;
+  double bandwidth_mbps = 100.0;
+  bool overlap = true;
+  std::string scheme = "loc-mps";
+  std::string report_out;
+  std::string obs_out;
+  std::string trace_in;
+  std::string title;
+  bool quiet = false;
+};
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "locmps-inspect: " << flag << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (a == "--graph") {
+      if ((v = need(i, "--graph")) == nullptr) return std::nullopt;
+      o.graph_file = v;
+    } else if (a == "--seed") {
+      if ((v = need(i, "--seed")) == nullptr) return std::nullopt;
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--ccr") {
+      if ((v = need(i, "--ccr")) == nullptr) return std::nullopt;
+      o.ccr = std::strtod(v, nullptr);
+    } else if (a == "--procs") {
+      if ((v = need(i, "--procs")) == nullptr) return std::nullopt;
+      o.procs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--bandwidth-mbps") {
+      if ((v = need(i, "--bandwidth-mbps")) == nullptr) return std::nullopt;
+      o.bandwidth_mbps = std::strtod(v, nullptr);
+    } else if (a == "--no-overlap") {
+      o.overlap = false;
+    } else if (a == "--scheme") {
+      if ((v = need(i, "--scheme")) == nullptr) return std::nullopt;
+      o.scheme = v;
+    } else if (a == "--report-out") {
+      if ((v = need(i, "--report-out")) == nullptr) return std::nullopt;
+      o.report_out = v;
+    } else if (a == "--obs-out") {
+      if ((v = need(i, "--obs-out")) == nullptr) return std::nullopt;
+      o.obs_out = v;
+    } else if (a == "--trace") {
+      if ((v = need(i, "--trace")) == nullptr) return std::nullopt;
+      o.trace_in = v;
+    } else if (a == "--title") {
+      if ((v = need(i, "--title")) == nullptr) return std::nullopt;
+      o.title = v;
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else {
+      std::cerr << "locmps-inspect: unknown argument '" << a
+                << "' (--help for usage)\n";
+      return std::nullopt;
+    }
+  }
+  if (o.procs == 0) {
+    std::cerr << "locmps-inspect: --procs must be positive\n";
+    return std::nullopt;
+  }
+  return o;
+}
+
+TaskGraph load_workload(const Options& o) {
+  if (!o.graph_file.empty()) {
+    std::ifstream in(o.graph_file);
+    if (!in)
+      throw std::runtime_error("cannot open graph file: " + o.graph_file);
+    return read_text(in);
+  }
+  SyntheticParams p;
+  p.ccr = o.ccr;
+  p.max_procs = std::max<std::size_t>(o.procs, 32);
+  p.bandwidth_Bps = o.bandwidth_mbps * 1e6 / 8.0;
+  Rng rng(o.seed);
+  return make_synthetic_dag(p, rng);
+}
+
+/// Joins \p trace_path into \p run's analysis and cross-checks the
+/// analyzer's aggregate volumes against the trace and the run counters.
+/// Returns false (after printing the discrepancy) when they disagree.
+bool join_and_reconcile(SchemeRun& run, const std::string& trace_path,
+                        bool quiet) {
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::cerr << "locmps-inspect: cannot read trace " << trace_path << "\n";
+    return false;
+  }
+  const auto records = obs::read_trace(in);
+  const auto digest = obs::summarize_trace(records, run.analysis.num_tasks);
+  obs::join_trace(run.analysis, digest);
+
+  const double analyzer = run.analysis.locality.remote_bytes;
+  const double counter = run.counters.counter("sim.remote_bytes");
+  const double traced = digest.transfer_bytes;
+  const double scale = std::max({1.0, analyzer, counter, traced});
+  const bool ok = std::abs(analyzer - counter) <= 1e-9 * scale &&
+                  std::abs(analyzer - traced) <= 1e-9 * scale;
+  if (!ok) {
+    std::cerr << "locmps-inspect: remote-volume mismatch: analyzer "
+              << analyzer << " B, counter sim.remote_bytes " << counter
+              << " B, trace " << traced << " B\n";
+  } else if (!quiet) {
+    std::cout << "reconciled      analyzer remote volume == sim counters == "
+                 "trace ("
+              << fmt(analyzer / 1e6, 2) << " MB over "
+              << digest.transfer_events << " transfers)\n";
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) return 2;
+  const Options& o = *opts;
+
+  try {
+    const TaskGraph g = load_workload(o);
+    const Cluster cluster(o.procs, o.bandwidth_mbps * 1e6 / 8.0, o.overlap);
+
+    SchemeRun run;
+    if (!o.obs_out.empty()) {
+      std::ofstream jsonl(o.obs_out);
+      if (!jsonl) {
+        std::cerr << "locmps-inspect: cannot open " << o.obs_out << "\n";
+        return 2;
+      }
+      obs::JsonlSink sink(jsonl);
+      run = evaluate_scheme(o.scheme, g, cluster, {}, &sink);
+    } else {
+      run = evaluate_scheme(o.scheme, g, cluster, {});
+    }
+
+    bool reconciled = true;
+    if (!o.obs_out.empty())
+      reconciled = join_and_reconcile(run, o.obs_out, o.quiet);
+    else if (!o.trace_in.empty())
+      reconciled = join_and_reconcile(run, o.trace_in, o.quiet);
+
+    if (!o.quiet) {
+      std::cout << "scheme          " << o.scheme << " on " << o.procs
+                << " procs (" << fmt(o.bandwidth_mbps, 0) << " Mbps, "
+                << (o.overlap ? "overlap" : "no overlap") << "), "
+                << g.num_tasks() << "-task workload\n";
+      std::cout << obs::text_report(run.analysis);
+    }
+
+    if (!o.report_out.empty()) {
+      obs::ReportOptions ropt;
+      ropt.title = !o.title.empty()
+                       ? o.title
+                       : o.scheme + " schedule on " +
+                             std::to_string(o.procs) + " processors";
+      std::ostringstream sub;
+      sub << g.num_tasks() << " tasks, " << g.num_edges() << " edges, "
+          << fmt(o.bandwidth_mbps, 0) << " Mbps "
+          << (o.overlap ? "overlap" : "no-overlap") << " platform";
+      ropt.subtitle = sub.str();
+      std::ofstream html(o.report_out);
+      if (!html) {
+        std::cerr << "locmps-inspect: cannot open " << o.report_out << "\n";
+        return 2;
+      }
+      obs::write_html_report(html, g, run.schedule, run.analysis, ropt);
+      if (!o.quiet)
+        std::cout << "report          " << o.report_out << "\n";
+    }
+    return reconciled ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "locmps-inspect: " << e.what() << "\n";
+    return 2;
+  }
+}
