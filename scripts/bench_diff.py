@@ -20,7 +20,8 @@ regression; the comparison is additionally suppressed when the candidate
 value still lies inside the baseline's order-statistic confidence interval
 (a shift indistinguishable from sampling noise is not actionable).
 `sched_seconds` regressions use --sched-threshold. Exits 1 when any
-regression is found, 2 on malformed input, else 0.
+regression is found, 2 on malformed or unreadable input, 3 when the
+baseline file does not exist (commit one first), else 0.
 """
 
 import argparse
@@ -28,10 +29,19 @@ import json
 import sys
 
 
-def load(path):
+def load(path, role="candidate"):
     try:
         with open(path) as f:
             return json.load(f)
+    except FileNotFoundError:
+        if role == "baseline":
+            print(f"bench_diff: baseline {path} does not exist.\n"
+                  f"  Run the bench with `--bench-out {path}` and commit "
+                  "the result to establish a baseline.", file=sys.stderr)
+            sys.exit(3)
+        print(f"bench_diff: cannot read {path}: file not found",
+              file=sys.stderr)
+        sys.exit(2)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
@@ -67,7 +77,8 @@ def main():
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args()
 
-    base_doc, cand_doc = load(args.baseline), load(args.candidate)
+    base_doc = load(args.baseline, role="baseline")
+    cand_doc = load(args.candidate)
     base, cand = rows(base_doc), rows(cand_doc)
     if not base or not cand:
         print("bench_diff: no results in one of the inputs", file=sys.stderr)

@@ -1,0 +1,109 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace locmps {
+
+FaultPlan::FaultPlan(std::size_t processors, std::vector<FaultEvent> events)
+    : processors_(processors), events_(std::move(events)) {
+  event_of_proc_.assign(processors_, -1);
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.fail_at != b.fail_at) return a.fail_at < b.fail_at;
+              return a.proc < b.proc;
+            });
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (e.proc >= processors_)
+      throw std::invalid_argument("FaultPlan: processor index " +
+                                  std::to_string(e.proc) + " out of range");
+    if (!(e.fail_at >= 0.0))
+      throw std::invalid_argument("FaultPlan: negative failure onset");
+    if (!(e.repair_at > e.fail_at))
+      throw std::invalid_argument(
+          "FaultPlan: repair_at must be strictly after fail_at");
+    if (event_of_proc_[e.proc] != -1)
+      throw std::invalid_argument("FaultPlan: processor " +
+                                  std::to_string(e.proc) +
+                                  " fails more than once");
+    event_of_proc_[e.proc] = static_cast<std::int32_t>(i);
+  }
+}
+
+const FaultEvent* FaultPlan::event_of(ProcId q) const {
+  if (q >= event_of_proc_.size() || event_of_proc_[q] < 0) return nullptr;
+  return &events_[static_cast<std::size_t>(event_of_proc_[q])];
+}
+
+bool FaultPlan::alive(ProcId q, double t) const {
+  const FaultEvent* e = event_of(q);
+  return e == nullptr || t < e->fail_at || t >= e->repair_at;
+}
+
+bool FaultPlan::first_onset(ProcId q, double begin, double end,
+                            double* out) const {
+  const FaultEvent* e = event_of(q);
+  if (e == nullptr || e->fail_at < begin || e->fail_at >= end) return false;
+  *out = e->fail_at;
+  return true;
+}
+
+double FaultPlan::repaired_at(ProcId q, double t) const {
+  const FaultEvent* e = event_of(q);
+  if (e == nullptr || t < e->fail_at || t >= e->repair_at) return t;
+  return e->repair_at;
+}
+
+ProcessorSet FaultPlan::failed_by(double t) const {
+  ProcessorSet s(processors_);
+  for (const FaultEvent& e : events_)
+    if (e.fail_at <= t) s.insert(e.proc);
+  return s;
+}
+
+FaultPlan make_fault_plan(std::size_t processors,
+                          const FaultPlanParams& prm) {
+  if (processors == 0)
+    throw std::invalid_argument("make_fault_plan: empty cluster");
+  if (!(prm.fail_fraction >= 0.0) || !(prm.fail_fraction <= 1.0))
+    throw std::invalid_argument(
+        "make_fault_plan: fail_fraction must be in [0, 1]");
+  if (!(prm.horizon_s > 0.0))
+    throw std::invalid_argument("make_fault_plan: horizon_s must be > 0");
+  if (prm.repairs && !(prm.repair_delay_s > 0.0))
+    throw std::invalid_argument(
+        "make_fault_plan: repair_delay_s must be > 0 when repairs are on");
+
+  const std::size_t protect = std::min(prm.min_survivors, processors);
+  std::size_t failures = static_cast<std::size_t>(
+      std::llround(prm.fail_fraction * static_cast<double>(processors)));
+  failures = std::min(failures, processors - protect);
+
+  Rng rng(prm.seed);
+  // Partial Fisher-Yates over the processor indices: the first `failures`
+  // entries of `ids` are a uniform sample without replacement.
+  std::vector<ProcId> ids(processors);
+  for (std::size_t i = 0; i < processors; ++i)
+    ids[i] = static_cast<ProcId>(i);
+  std::vector<FaultEvent> events;
+  events.reserve(failures);
+  for (std::size_t i = 0; i < failures; ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(processors) - 1));
+    std::swap(ids[i], ids[j]);
+    FaultEvent e;
+    e.proc = ids[i];
+    e.fail_at = rng.uniform(0.0, prm.horizon_s);
+    if (prm.repairs)
+      e.repair_at = e.fail_at + rng.uniform(0.5, 1.5) * prm.repair_delay_s;
+    events.push_back(e);
+  }
+  return FaultPlan(processors, std::move(events));
+}
+
+}  // namespace locmps

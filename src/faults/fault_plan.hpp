@@ -1,0 +1,113 @@
+#pragma once
+/// \file fault_plan.hpp
+/// Deterministic fail-stop fault injection for the execution simulator.
+///
+/// A FaultPlan is a seeded, immutable script of processor failures: each
+/// event takes one processor down at a wall-clock instant (fail-stop — the
+/// processor vanishes mid-computation, it does not produce wrong results)
+/// and optionally brings it back at a repair instant. The event simulator
+/// consults the plan while replaying a schedule: a task computing on a
+/// processor when it fails is killed, and an in-flight redistribution whose
+/// endpoints include the failing processor times out. Because the plan is a
+/// pure function of (cluster size, parameters, seed), a faulty execution is
+/// exactly reproducible — the property the recovery tests and the
+/// determinism acceptance check rely on.
+///
+/// Failure model notes:
+///  * At most one failure interval per processor (fail-stop; a repaired
+///    node may be reused but does not fail again within one plan).
+///  * Output data of a *completed* task survives its processors' failure
+///    (checkpointed to disk at task completion). Only computation in
+///    progress and transfers in flight at the failure onset are lost.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cluster/processor_set.hpp"
+
+namespace locmps {
+
+/// Repair time of a processor that never comes back.
+inline constexpr double kNeverRepaired =
+    std::numeric_limits<double>::infinity();
+
+/// One fail-stop failure of one processor.
+struct FaultEvent {
+  ProcId proc = 0;
+  double fail_at = 0.0;                ///< onset instant (>= 0)
+  double repair_at = kNeverRepaired;   ///< strictly after fail_at
+};
+
+/// An immutable, validated script of processor failures.
+class FaultPlan {
+ public:
+  /// Empty plan (no failures) over a cluster of \p processors.
+  explicit FaultPlan(std::size_t processors = 0) : processors_(processors) {}
+
+  /// Validates and adopts \p events: every proc index in range, onsets
+  /// non-negative, repair strictly after onset, at most one event per
+  /// processor. Throws std::invalid_argument otherwise.
+  FaultPlan(std::size_t processors, std::vector<FaultEvent> events);
+
+  std::size_t processors() const { return processors_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// True if processor \p q is up at instant \p t (not inside any
+  /// [fail_at, repair_at) interval).
+  bool alive(ProcId q, double t) const;
+
+  /// Earliest failure onset of \p q inside [begin, end); false if none.
+  bool first_onset(ProcId q, double begin, double end, double* out) const;
+
+  /// When the failure of \p q covering instant \p t is repaired.
+  /// Returns \p t itself if q is alive at t, kNeverRepaired if the
+  /// covering failure never repairs.
+  double repaired_at(ProcId q, double t) const;
+
+  /// The failure event of \p q, or null if q never fails.
+  const FaultEvent* event_of(ProcId q) const;
+
+  /// Processors whose failure onset is <= t (repaired or not): the set a
+  /// runtime at instant t knows to distrust.
+  ProcessorSet failed_by(double t) const;
+
+ private:
+  std::size_t processors_ = 0;
+  std::vector<FaultEvent> events_;          // sorted by (fail_at, proc)
+  std::vector<std::int32_t> event_of_proc_; // index into events_, -1 = none
+};
+
+/// Knobs of the seeded fault-plan generator.
+struct FaultPlanParams {
+  /// Fraction of the cluster that fails (rounded to nearest, clamped so at
+  /// least min_survivors processors never fail).
+  double fail_fraction = 0.25;
+
+  /// Failure onsets are drawn uniformly from [0, horizon_s). Pick the
+  /// fault-free makespan (or a fraction of it) so failures actually land
+  /// inside the execution window.
+  double horizon_s = 100.0;
+
+  /// Whether failed processors come back.
+  bool repairs = false;
+
+  /// Mean outage length: repair_at = fail_at + u * repair_delay_s with u
+  /// uniform in [0.5, 1.5). Ignored when repairs == false.
+  double repair_delay_s = 10.0;
+
+  /// Processors that are never picked to fail, bounding degradation.
+  std::size_t min_survivors = 1;
+
+  /// Seed of the generator; the plan is a pure function of (processors,
+  /// params) — same inputs, same plan, bit for bit.
+  std::uint64_t seed = 42;
+};
+
+/// Draws a deterministic FaultPlan for a cluster of \p processors.
+/// Throws std::invalid_argument on nonsensical parameters.
+FaultPlan make_fault_plan(std::size_t processors, const FaultPlanParams& prm);
+
+}  // namespace locmps

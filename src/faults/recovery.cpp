@@ -1,0 +1,320 @@
+#include "faults/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schedule/event_sim.hpp"
+
+namespace locmps {
+
+namespace {
+
+const char* kind_str(TaskKill::Kind k) {
+  switch (k) {
+    case TaskKill::Kind::kDeadAtStart:
+      return "dead_at_start";
+    case TaskKill::Kind::kCompute:
+      return "compute";
+    case TaskKill::Kind::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(RecoveryPolicy p) {
+  return p == RecoveryPolicy::kRetryInPlace ? "retry" : "replan";
+}
+
+void join_fault_plan(obs::ScheduleAnalysis& a, const FaultPlan& plan) {
+  a.fault_windows.clear();
+  for (const FaultEvent& e : plan.events()) {
+    obs::FaultWindow w;
+    w.proc = e.proc;
+    w.fail_s = e.fail_at;
+    w.repair_s = e.repair_at == kNeverRepaired ? -1.0 : e.repair_at;
+    a.fault_windows.push_back(w);
+  }
+  std::sort(a.fault_windows.begin(), a.fault_windows.end(),
+            [](const obs::FaultWindow& x, const obs::FaultWindow& y) {
+              if (x.fail_s != y.fail_s) return x.fail_s < y.fail_s;
+              return x.proc < y.proc;
+            });
+}
+
+RecoveryResult run_with_faults(const TaskGraph& g, const Cluster& cluster,
+                               const FaultPlan& plan,
+                               const RecoveryOptions& opt) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = cluster.processors;
+  if (plan.processors() != P)
+    throw std::invalid_argument(
+        "run_with_faults: fault plan sized for a different cluster");
+
+  obs::ObsContext* const obs = opt.obs;
+  obs::MetricsRegistry* const met = obs::metrics_of(obs);
+  obs::ScopedTimer run_timer(met, "recovery.run");
+  CommModel comm(cluster);
+  LocMPSScheduler planner(opt.planner);
+  planner.attach_observability(obs);
+
+  RecoveryResult out;
+  out.masked = ProcessorSet(P);
+  if (met != nullptr)
+    met->set("fault.injected", static_cast<double>(plan.events().size()));
+
+  SchedulerResult plan0 = planner.schedule(g, cluster);
+  out.planned_makespan = plan0.estimated_makespan;
+  Schedule current = std::move(plan0.schedule);
+
+  // One noise factor per task, fixed for the whole loop: every round
+  // replays the same reality, which is what makes recovery deterministic.
+  const std::vector<double> noise =
+      make_noise_factors(n, opt.runtime_noise, opt.seed);
+  std::vector<double> release(n, 0.0);
+  std::vector<std::size_t> attempts(n, 0);
+  std::vector<char> announced(P, 0);
+  ProcessorSet survivors = cluster.all();
+
+  SimOptions sim;
+  sim.noise_factors = &noise;
+  sim.release_times = &release;
+  sim.faults = &plan;
+
+  // Emits one "fault.fail" per processor whose failure the runtime has now
+  // observed (onset <= up_to).
+  auto announce = [&](double up_to) {
+    for (const FaultEvent& e : plan.events()) {
+      if (e.fail_at > up_to || announced[e.proc] != 0) continue;
+      announced[e.proc] = 1;
+      if (met != nullptr) met->add("fault.procs_failed");
+      if (obs::wants_events(obs))
+        obs->sink->emit(
+            obs::Event("fault.fail")
+                .with("proc", e.proc)
+                .with("at", e.fail_at)
+                .with("repairs", e.repair_at != kNeverRepaired)
+                .with("repair_at",
+                      e.repair_at == kNeverRepaired ? -1.0 : e.repair_at));
+    }
+  };
+
+  auto giveup = [&](SimResult&& run, std::string why) {
+    out.completed = false;
+    out.error = std::move(why);
+    out.executed = std::move(run.executed);
+    out.makespan = out.executed.makespan();
+    if (met != nullptr) {
+      met->add("recovery.giveups");
+      met->set("recovery.rounds", static_cast<double>(out.rounds));
+      met->set("recovery.masked_procs",
+               static_cast<double>(out.masked.count()));
+    }
+    if (obs::wants_events(obs))
+      obs->sink->emit(obs::Event("recovery.giveup")
+                          .with("reason", out.error)
+                          .with("rounds",
+                                static_cast<std::uint64_t>(out.rounds)));
+    return out;
+  };
+
+  while (out.rounds < opt.max_rounds) {
+    ++out.rounds;
+    SimResult run = simulate_execution(g, current, comm, sim);
+    if (run.clean()) {
+      if (obs != nullptr) {
+        // Re-run the final, clean round with observability attached so the
+        // usual "sim.*" counters and transfer events describe exactly the
+        // realized execution (faulty rounds stay silent — their transfers
+        // never completed as accounted).
+        SimOptions fin = sim;
+        fin.obs = obs;
+        run = simulate_execution(g, current, comm, fin);
+      }
+      out.executed = std::move(run.executed);
+      out.makespan = run.makespan;
+      out.completed = true;
+      if (met != nullptr) {
+        met->set("recovery.rounds", static_cast<double>(out.rounds));
+        met->set("recovery.masked_procs",
+                 static_cast<double>(out.masked.count()));
+      }
+      if (obs::wants_events(obs))
+        obs->sink->emit(
+            obs::Event("recovery.done")
+                .with("rounds", static_cast<std::uint64_t>(out.rounds))
+                .with("kills", static_cast<std::uint64_t>(out.kills))
+                .with("retries", static_cast<std::uint64_t>(out.retries))
+                .with("replans", static_cast<std::uint64_t>(out.replans))
+                .with("wasted_s", out.wasted_proc_seconds)
+                .with("makespan", out.makespan));
+      return out;
+    }
+
+    // The recovery decision happens at the earliest kill: later kills are
+    // not yet observable (the work is still running) — they replay
+    // identically next round and are handled then.
+    const double t_k = run.kills.front().at;
+    const double eps = 1e-9 * std::max(1.0, std::fabs(t_k));
+    announce(t_k);
+
+    std::vector<const TaskKill*> now;
+    std::vector<const TaskKill*> later;
+    for (const TaskKill& k : run.kills)
+      (k.at <= t_k + eps ? now : later).push_back(&k);
+
+    for (const TaskKill* k : now) {
+      ++out.kills;
+      if (k->kind == TaskKill::Kind::kTransfer) ++out.transfer_timeouts;
+      out.wasted_proc_seconds += k->wasted_s;
+      if (met != nullptr) {
+        met->add("fault.kills");
+        if (k->kind == TaskKill::Kind::kTransfer)
+          met->add("fault.transfer_timeouts");
+        met->add("fault.wasted_proc_seconds", k->wasted_s);
+      }
+      if (obs::wants_events(obs))
+        obs->sink->emit(obs::Event("fault.kill")
+                            .with("task", k->task)
+                            .with("proc", k->proc)
+                            .with("at", k->at)
+                            .with("start", k->start)
+                            .with("kind", kind_str(k->kind))
+                            .with("wasted_s", k->wasted_s));
+    }
+
+    if (opt.policy == RecoveryPolicy::kRetryInPlace) {
+      for (const TaskKill* k : now) {
+        const TaskId t = k->task;
+        if (++attempts[t] > opt.max_retries)
+          return giveup(std::move(run),
+                        "task " + g.task(t).name + " killed " +
+                            std::to_string(attempts[t]) +
+                            " times, exceeding max_retries=" +
+                            std::to_string(opt.max_retries));
+        // The task restarts on its original processors once they are all
+        // usable again, plus an exponential backoff.
+        double resume = k->at;
+        bool never_repaired = false;
+        ProcId never_q = 0;
+        current.at(t).procs.for_each([&](ProcId q) {
+          if (plan.alive(q, k->at)) return;
+          const double r = plan.repaired_at(q, k->at);
+          if (r == kNeverRepaired) {
+            if (!never_repaired) {
+              never_repaired = true;
+              never_q = q;
+            }
+          } else {
+            resume = std::max(resume, r);
+          }
+        });
+        if (never_repaired)
+          return giveup(std::move(run),
+                        "processor " + std::to_string(never_q) +
+                            " never repairs; retry-in-place cannot re-run "
+                            "task " +
+                            g.task(t).name);
+        const double backoff =
+            opt.backoff_base_s *
+            std::pow(opt.backoff_factor,
+                     static_cast<double>(attempts[t] - 1));
+        release[t] = std::max(release[t], resume + backoff);
+        ++out.retries;
+        out.backoff_seconds += backoff;
+        if (met != nullptr) {
+          met->add("recovery.retries");
+          met->add("recovery.backoff_seconds", backoff);
+        }
+        if (obs::wants_events(obs))
+          obs->sink->emit(
+              obs::Event("recovery.retry")
+                  .with("task", t)
+                  .with("attempt",
+                        static_cast<std::uint64_t>(attempts[t]))
+                  .with("at", k->at)
+                  .with("resume", release[t]));
+      }
+    } else {
+      // Degraded-cluster replan: distrust every processor known failed by
+      // the decision instant (monotone — each replan masks at least one
+      // new onset, bounding the number of replans by the cluster size).
+      out.masked |= plan.failed_by(t_k);
+      survivors = cluster.all();
+      survivors -= out.masked;
+      const std::size_t alive_procs = survivors.count();
+      if (alive_procs < std::max<std::size_t>(1, opt.min_procs))
+        return giveup(std::move(run),
+                      "cluster degraded below minimum width: " +
+                          std::to_string(alive_procs) + " survivors < " +
+                          std::to_string(std::max<std::size_t>(
+                              1, opt.min_procs)) +
+                          " required");
+
+      // Freeze everything already committed at the decision instant: tasks
+      // that started (or finished) by t_k keep their realized windows, and
+      // work in flight that a *later* onset will kill keeps running — that
+      // kill is not observable yet and is handled when it replays.
+      Schedule committed(n, P);
+      std::vector<char> frozen(n, 0);
+      std::size_t n_frozen = 0;
+      for (TaskId t = 0; t < n; ++t) {
+        const Placement& pe = run.executed.at(t);
+        if (pe.scheduled() && pe.start <= t_k + eps) {
+          frozen[t] = 1;
+          committed.place(t, pe.busy_from, pe.start, pe.finish, pe.procs);
+          ++n_frozen;
+        }
+      }
+      for (const TaskKill* k : later) {
+        if (k->kind != TaskKill::Kind::kCompute || k->start > t_k + eps)
+          continue;
+        frozen[k->task] = 1;
+        committed.place(k->task, k->busy_from, k->start, k->planned_finish,
+                        current.at(k->task).procs);
+        ++n_frozen;
+      }
+
+      for (TaskId t = 0; t < n; ++t)
+        if (frozen[t] == 0) release[t] = std::max(release[t], t_k);
+
+      FixedPrefix fixed;
+      fixed.frozen = std::move(frozen);
+      fixed.placements = &committed;
+      fixed.not_before = t_k;
+      fixed.available = &survivors;
+      SchedulerResult re = planner.schedule_with_fixed(g, cluster, fixed);
+      current = std::move(re.schedule);
+      ++out.replans;
+      if (met != nullptr) {
+        met->add("recovery.replans");
+        met->set("recovery.masked_procs",
+                 static_cast<double>(out.masked.count()));
+      }
+      if (obs::wants_events(obs))
+        obs->sink->emit(
+            obs::Event("recovery.replan")
+                .with("at", t_k)
+                .with("survivors",
+                      static_cast<std::uint64_t>(alive_procs))
+                .with("masked",
+                      static_cast<std::uint64_t>(out.masked.count()))
+                .with("frozen", static_cast<std::uint64_t>(n_frozen))
+                .with("estimated", re.estimated_makespan));
+    }
+  }
+
+  SimResult last;
+  last.executed = Schedule(n, P);
+  return giveup(std::move(last),
+                "recovery did not converge within max_rounds=" +
+                    std::to_string(opt.max_rounds));
+}
+
+}  // namespace locmps

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace locmps {
 
@@ -27,37 +28,132 @@ void write_text(std::ostream& os, const TaskGraph& g) {
 }
 
 namespace {
-[[noreturn]] void bad(const std::string& what) {
-  throw std::runtime_error("read_text: " + what);
+
+/// Line-addressed parse failure. Every malformed input — negative weights,
+/// dangling edge endpoints, duplicate task ids, truncated files — lands
+/// here; the reader never asserts or leaves fields uninitialized.
+[[noreturn]] void bad_at(std::size_t lineno, const std::string& what) {
+  throw std::runtime_error("read_text: line " + std::to_string(lineno) +
+                           ": " + what);
 }
+
 }  // namespace
 
 TaskGraph read_text(std::istream& is) {
-  std::string word, version;
-  if (!(is >> word >> version) || word != "taskgraph" || version != "v1")
-    bad("missing 'taskgraph v1' header");
+  std::size_t lineno = 0;
+  std::string line;
+
+  auto bad = [&](const std::string& what) { bad_at(lineno, what); };
+  // Next non-blank line as a token stream; names what was expected when
+  // the file ends early.
+  auto next_line = [&](const char* expected) -> std::istringstream {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") != std::string::npos)
+        return std::istringstream(line);
+    }
+    bad_at(lineno + 1, std::string("truncated file: expected ") + expected);
+  };
+  auto want_count = [&](std::istringstream& ls,
+                        const char* what) -> std::size_t {
+    long long v = 0;
+    if (!(ls >> v))
+      bad(std::string("expected an integer ") + what);
+    if (v < 0) bad(std::string("negative ") + what);
+    return static_cast<std::size_t>(v);
+  };
+  auto end_of_record = [&](std::istringstream& ls) {
+    std::string extra;
+    if (ls >> extra) bad("trailing tokens after record: '" + extra + "'");
+  };
+
+  {
+    std::istringstream ls = next_line("'taskgraph v1' header");
+    std::string word, version;
+    ls >> word >> version;
+    if (word != "taskgraph" || version != "v1")
+      bad("missing 'taskgraph v1' header");
+    end_of_record(ls);
+  }
+
   std::size_t n = 0;
-  if (!(is >> word >> n) || word != "tasks") bad("missing 'tasks <N>'");
+  {
+    std::istringstream ls = next_line("'tasks <N>'");
+    std::string word;
+    ls >> word;
+    if (word != "tasks") bad("expected 'tasks <N>'");
+    n = want_count(ls, "task count");
+    end_of_record(ls);
+  }
+
   TaskGraph g;
+  std::unordered_set<std::string> names;
+  names.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    std::string name;
-    std::size_t len = 0;
-    if (!(is >> word >> name >> len) || word != "task")
-      bad("malformed task line");
+    std::istringstream ls = next_line("a 'task' record");
+    std::string word, name;
+    ls >> word;
+    if (word != "task") bad("expected 'task <name> <len> <times...>'");
+    if (!(ls >> name)) bad("task record missing a name");
+    if (!names.insert(name).second) bad("duplicate task id '" + name + "'");
+    const std::size_t len = want_count(ls, "profile length");
+    if (len == 0) bad("profile length must be >= 1");
     std::vector<double> times(len);
-    for (auto& v : times)
-      if (!(is >> v)) bad("truncated profile");
-    g.add_task(std::move(name), ExecutionProfile(std::move(times)));
+    for (std::size_t k = 0; k < len; ++k) {
+      if (!(ls >> times[k]))
+        bad("truncated profile: expected " + std::to_string(len) +
+            " execution times, got " + std::to_string(k));
+      if (!(times[k] > 0.0))
+        bad("execution time " + std::to_string(k + 1) +
+            " of task '" + name + "' must be positive");
+    }
+    end_of_record(ls);
+    try {
+      g.add_task(std::move(name), ExecutionProfile(std::move(times)));
+    } catch (const std::exception& e) {
+      bad(std::string("invalid execution profile: ") + e.what());
+    }
   }
+
   std::size_t m = 0;
-  if (!(is >> word >> m) || word != "edges") bad("missing 'edges <M>'");
-  for (std::size_t i = 0; i < m; ++i) {
-    TaskId src = 0, dst = 0;
-    double vol = 0.0;
-    if (!(is >> word >> src >> dst >> vol) || word != "edge")
-      bad("malformed edge line");
-    g.add_edge(src, dst, vol);
+  {
+    std::istringstream ls = next_line("'edges <M>'");
+    std::string word;
+    ls >> word;
+    if (word != "edges") bad("expected 'edges <M>'");
+    m = want_count(ls, "edge count");
+    end_of_record(ls);
   }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    std::istringstream ls = next_line("an 'edge' record");
+    std::string word;
+    ls >> word;
+    if (word != "edge") bad("expected 'edge <src> <dst> <volume>'");
+    long long src = 0, dst = 0;
+    if (!(ls >> src) || !(ls >> dst)) bad("malformed edge endpoints");
+    if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= n ||
+        static_cast<std::size_t>(dst) >= n)
+      bad("edge endpoint out of range (dangling edge " +
+          std::to_string(src) + " -> " + std::to_string(dst) + " with " +
+          std::to_string(n) + " tasks)");
+    double vol = 0.0;
+    if (!(ls >> vol)) bad("edge record missing a volume");
+    if (!(vol >= 0.0)) bad("edge volume must be non-negative");
+    end_of_record(ls);
+    try {
+      g.add_edge(static_cast<TaskId>(src), static_cast<TaskId>(dst), vol);
+    } catch (const std::exception& e) {
+      bad(std::string("invalid edge: ") + e.what());
+    }
+  }
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") != std::string::npos)
+      bad("unexpected content after the last edge record");
+  }
+
   const std::string diag = g.validate();
   if (!diag.empty()) bad("invalid graph: " + diag);
   return g;

@@ -296,6 +296,21 @@ void join_backfill_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
   }
 }
 
+void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
+  FaultStats& f = a.faults;
+  f.injected = snap.counter("fault.injected");
+  f.procs_failed = snap.counter("fault.procs_failed");
+  f.kills = snap.counter("fault.kills");
+  f.transfer_timeouts = snap.counter("fault.transfer_timeouts");
+  f.wasted_proc_seconds = snap.counter("fault.wasted_proc_seconds");
+  f.retries = snap.counter("recovery.retries");
+  f.replans = snap.counter("recovery.replans");
+  f.masked_procs = snap.counter("recovery.masked_procs");
+  f.backoff_seconds = snap.counter("recovery.backoff_seconds");
+  f.rounds = snap.counter("recovery.rounds");
+  f.present = f.injected > 0.0;
+}
+
 // ---------------------------------------------------------------------------
 // Decision-trace ingestion.
 
@@ -494,8 +509,29 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records,
     } else if (r.ev == "sim.transfer") {
       ++ts.transfer_events;
       ts.transfer_bytes += r.num("bytes");
+    } else if (r.ev == "fault.fail") {
+      FaultWindow w;
+      w.proc = static_cast<ProcId>(r.num("proc"));
+      w.fail_s = r.num("at");
+      w.repair_s = r.flag("repairs") ? r.num("repair_at", -1.0) : -1.0;
+      ts.fault_windows.push_back(w);
+    } else if (r.ev == "fault.kill") {
+      ++ts.fault_kills;
+      if (const std::string* k = r.str("kind");
+          k != nullptr && *k == "transfer")
+        ++ts.fault_transfer_timeouts;
+      ts.fault_wasted_s += r.num("wasted_s");
+    } else if (r.ev == "recovery.retry") {
+      ++ts.recovery_retries;
+    } else if (r.ev == "recovery.replan") {
+      ++ts.recovery_replans;
     }
   }
+  std::sort(ts.fault_windows.begin(), ts.fault_windows.end(),
+            [](const FaultWindow& x, const FaultWindow& y) {
+              if (x.fail_s != y.fail_s) return x.fail_s < y.fail_s;
+              return x.proc < y.proc;
+            });
   for (std::size_t t = 0; t < num_tasks; ++t) {
     if (!placed[t]) continue;
     ts.final_local_bytes += local[t];
@@ -505,6 +541,7 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records,
 }
 
 void join_trace(ScheduleAnalysis& a, const TraceSummary& t) {
+  if (a.fault_windows.empty()) a.fault_windows = t.fault_windows;
   for (TaskBlame& b : a.blame) {
     if (b.kind != BlameKind::Processor) continue;
     if (b.culprit == kNoTask) continue;

@@ -150,6 +150,32 @@ struct BackfillStats {
   double prune_rate = 0.0;     ///< cutoffs / tasks_placed
 };
 
+/// One processor-failure window, for the report's fault timeline lane.
+/// Filled from a FaultPlan (faults/recovery.hpp join_fault_plan) or from
+/// the "fault.fail" events of a decision trace.
+struct FaultWindow {
+  ProcId proc = 0;
+  double fail_s = 0.0;
+  double repair_s = -1.0;  ///< < 0: never repaired
+};
+
+/// Fault-injection and recovery accounting, joined from the run's
+/// "fault.*" / "recovery.*" counters (join_fault_stats) — absent for
+/// fault-free runs.
+struct FaultStats {
+  bool present = false;
+  double injected = 0.0;           ///< fault.injected (plan events)
+  double procs_failed = 0.0;       ///< fault.procs_failed (observed onsets)
+  double kills = 0.0;              ///< fault.kills
+  double transfer_timeouts = 0.0;  ///< fault.transfer_timeouts
+  double wasted_proc_seconds = 0.0;  ///< fault.wasted_proc_seconds
+  double retries = 0.0;            ///< recovery.retries
+  double replans = 0.0;            ///< recovery.replans
+  double masked_procs = 0.0;       ///< recovery.masked_procs
+  double backoff_seconds = 0.0;    ///< recovery.backoff_seconds
+  double rounds = 0.0;             ///< recovery.rounds
+};
+
 /// Analyzer knobs.
 struct AnalysisOptions {
   /// Charge only the exact block-cyclic remote volume per edge (matches
@@ -179,6 +205,11 @@ struct ScheduleAnalysis {
 
   BackfillStats backfill;
 
+  FaultStats faults;
+  /// Failure windows of the run's FaultPlan, sorted by (fail_s, proc);
+  /// empty for fault-free runs. Drawn as the Gantt fault lane.
+  std::vector<FaultWindow> fault_windows;
+
   /// Blame entries with delay_s > 0, sorted by descending delay, at most
   /// \p n of them (the report's top-N blame table).
   std::vector<TaskBlame> top_blame(std::size_t n) const;
@@ -192,6 +223,9 @@ ScheduleAnalysis analyze_schedule(const TaskGraph& g, const Schedule& s,
 
 /// Fills \p a.backfill from the run's "locbs.*" counters.
 void join_backfill_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
+
+/// Fills \p a.faults from the run's "fault.*" / "recovery.*" counters.
+void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
 // ---------------------------------------------------------------------------
 // Decision-trace ingestion (the PR-1 JSONL stream).
@@ -225,6 +259,17 @@ struct TraceSummary {
   /// Per-task: was the final placement a backfill (started before the
   /// chart end)? Empty fields stay false.
   std::vector<char> backfilled;
+
+  // Fault/recovery digest ("fault.*" / "recovery.*" events). Must
+  // reconcile with the same run's counters and RecoveryResult fields
+  // (tools/inspect.cpp cross-checks this for faulty runs).
+  std::size_t fault_kills = 0;             ///< "fault.kill" lines
+  std::size_t fault_transfer_timeouts = 0; ///< ... with kind == "transfer"
+  double fault_wasted_s = 0.0;             ///< summed wasted_s fields
+  std::size_t recovery_retries = 0;        ///< "recovery.retry" lines
+  std::size_t recovery_replans = 0;        ///< "recovery.replan" lines
+  /// Failure windows from "fault.fail" events, sorted by (fail_s, proc).
+  std::vector<FaultWindow> fault_windows;
 };
 
 /// Digests \p records for a schedule of \p num_tasks tasks.

@@ -77,7 +77,7 @@ const char kStyle[] = R"css(
     --loc-none: #e1e0d9; --loc-local: #86b6ef; --loc-partial: #2a78d6;
     --loc-remote: #104281;
     --cp-compute: #2a78d6; --cp-redist: #eb6834; --cp-wait: #e1e0d9;
-    --bar: #2a78d6;
+    --bar: #2a78d6; --fault: #c0392b;
     margin: 0; padding: 24px; background: var(--page); color: var(--ink);
     font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
   }
@@ -89,7 +89,7 @@ const char kStyle[] = R"css(
       --loc-none: #2c2c2a; --loc-local: #6da7ec; --loc-partial: #2a78d6;
       --loc-remote: #184f95;
       --cp-compute: #3987e5; --cp-redist: #d95926; --cp-wait: #2c2c2a;
-      --bar: #3987e5;
+      --bar: #3987e5; --fault: #e05a4b;
     }
   }
   h1 { font-size: 20px; margin: 0 0 4px 0; }
@@ -122,6 +122,7 @@ const char kStyle[] = R"css(
   .loc-partial { fill: var(--loc-partial); }
   .loc-remote { fill: var(--loc-remote); }
   .recv { opacity: 0.35; }
+  .fault { fill: var(--fault); opacity: 0.28; }
   .gantt-grid { stroke: var(--grid); stroke-width: 1; }
   .gantt-label { fill: var(--muted); font-size: 10px;
                  font-family: system-ui, sans-serif; }
@@ -204,7 +205,66 @@ void render_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
          << "</title></rect>\n";
     });
   }
+
+  // Fault lane: each fail-stop window shades its processor row from the
+  // onset to the repair (or the end of the chart when never repaired).
+  for (const FaultWindow& fw : a.fault_windows) {
+    if (fw.proc >= P || fw.fail_s >= horizon) continue;
+    const double end_t =
+        fw.repair_s >= 0.0 ? std::min(fw.repair_s, horizon) : horizon;
+    const double y = static_cast<double>(fw.proc) * (row_h + row_gap);
+    const double x = gutter + fw.fail_s * scale;
+    const double w = std::max(0.5, (end_t - fw.fail_s) * scale);
+    std::ostringstream tip;
+    tip << "p" << fw.proc << " failed at " << fmt(fw.fail_s, 3) << "s";
+    if (fw.repair_s >= 0.0)
+      tip << ", repaired at " << fmt(fw.repair_s, 3) << "s";
+    else
+      tip << ", never repaired";
+    os << "<rect class=\"fault\" x=\"" << fmt(x, 2) << "\" y=\"" << fmt(y, 1)
+       << "\" width=\"" << fmt(w, 2) << "\" height=\"" << fmt(row_h, 1)
+       << "\"><title>" << xml_escape(tip.str()) << "</title></rect>\n";
+  }
   os << "</svg>\n";
+}
+
+void render_faults(std::ostream& os, const ScheduleAnalysis& a) {
+  const FaultStats& fs = a.faults;
+  os << "<div class=\"panel\"><table>\n"
+     << "<tr><th>fault accounting</th><th class=\"num\">value</th></tr>\n"
+     << "<tr><td>failures injected</td><td class=\"num\">"
+     << fmt(fs.injected, 0) << "</td></tr>\n"
+     << "<tr><td>failures observed</td><td class=\"num\">"
+     << fmt(fs.procs_failed, 0) << "</td></tr>\n"
+     << "<tr><td>task kills</td><td class=\"num\">" << fmt(fs.kills, 0)
+     << "</td></tr>\n"
+     << "<tr><td>transfer timeouts</td><td class=\"num\">"
+     << fmt(fs.transfer_timeouts, 0) << "</td></tr>\n"
+     << "<tr><td>wasted proc-seconds</td><td class=\"num\">"
+     << fmt(fs.wasted_proc_seconds, 3) << "</td></tr>\n"
+     << "<tr><td>retries</td><td class=\"num\">" << fmt(fs.retries, 0)
+     << "</td></tr>\n"
+     << "<tr><td>backoff charged (s)</td><td class=\"num\">"
+     << fmt(fs.backoff_seconds, 3) << "</td></tr>\n"
+     << "<tr><td>degraded replans</td><td class=\"num\">"
+     << fmt(fs.replans, 0) << "</td></tr>\n"
+     << "<tr><td>processors masked</td><td class=\"num\">"
+     << fmt(fs.masked_procs, 0) << "</td></tr>\n"
+     << "<tr><td>recovery rounds</td><td class=\"num\">" << fmt(fs.rounds, 0)
+     << "</td></tr>\n</table>\n";
+  if (!a.fault_windows.empty()) {
+    os << "<table>\n<tr><th>proc</th><th class=\"num\">failed (s)</th>"
+          "<th class=\"num\">repaired (s)</th></tr>\n";
+    for (const FaultWindow& fw : a.fault_windows) {
+      os << "<tr><td>p" << fw.proc << "</td><td class=\"num\">"
+         << fmt(fw.fail_s, 3) << "</td><td class=\"num\">"
+         << (fw.repair_s >= 0.0 ? fmt(fw.repair_s, 3)
+                                : std::string("&#8212;"))
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  os << "</div>\n";
 }
 
 void render_utilization(std::ostream& os, const ScheduleAnalysis& a) {
@@ -382,6 +442,13 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
     tile(os, pct(a.backfill.hit_rate), "backfill hit rate");
     tile(os, pct(a.backfill.prune_rate), "scan prune rate");
   }
+  if (a.faults.present) {
+    tile(os, fmt(a.faults.kills, 0), "task kills");
+    tile(os, fmt(a.faults.wasted_proc_seconds, 2) + " s",
+         "wasted proc-time");
+    tile(os, fmt(a.faults.retries + a.faults.replans, 0),
+         "recovery actions");
+  }
   os << "</div>\n";
 
   os << "<h2>Schedule (Gantt, colored by input locality)</h2>\n";
@@ -390,7 +457,10 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
   swatch(os, "loc-partial", "partially remote");
   swatch(os, "loc-remote", "fully remote");
   swatch(os, "loc-none", "no input data");
-  os << "<span>faded slice = receive window</span></div>\n";
+  os << "<span>faded slice = receive window</span>";
+  if (!a.fault_windows.empty())
+    swatch(os, "fault", "processor failure window");
+  os << "</div>\n";
   os << "<div class=\"panel\">\n";
   render_gantt(os, g, s, a, opt);
   os << "</div>\n";
@@ -424,6 +494,11 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
        << "<tr><th>scan cutoffs</th><th class=\"num\">"
        << fmt(a.backfill.cutoffs, 0) << " (" << pct(a.backfill.prune_rate)
        << ")</th></tr>\n</table></div>\n";
+  }
+
+  if (a.faults.present || !a.fault_windows.empty()) {
+    os << "<h2>Fault timeline and recovery accounting</h2>\n";
+    render_faults(os, a);
   }
 
   os << "<p class=\"footer\">Generated by locmps schedule analytics "
@@ -466,6 +541,15 @@ std::string text_report(const ScheduleAnalysis& a) {
   }
   os << "start blame     " << data << " data-bound, " << proc
      << " processor-bound, " << backfill << " backfill-displaced task(s)\n";
+  if (a.faults.present)
+    os << "faults          " << fmt(a.faults.procs_failed, 0)
+       << " processor failure(s), " << fmt(a.faults.kills, 0)
+       << " task kill(s) (" << fmt(a.faults.transfer_timeouts, 0)
+       << " transfer timeout(s)), " << fmt(a.faults.wasted_proc_seconds, 3)
+       << " proc-seconds wasted; recovery: " << fmt(a.faults.retries, 0)
+       << " retry(ies), " << fmt(a.faults.replans, 0)
+       << " degraded replan(s), " << fmt(a.faults.masked_procs, 0)
+       << " proc(s) masked in " << fmt(a.faults.rounds, 0) << " round(s)\n";
   if (a.backfill.present)
     os << "backfill        " << fmt(a.backfill.hits, 0) << "/"
        << fmt(a.backfill.tasks_placed, 0) << " placements backfilled ("

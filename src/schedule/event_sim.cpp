@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -25,6 +26,10 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
     throw std::invalid_argument("simulate_execution: incomplete schedule");
   const std::size_t n = g.num_tasks();
   const std::size_t P = s.num_procs();
+  const FaultPlan* const fp = opt.faults;
+  if (fp != nullptr && fp->processors() != P)
+    throw std::invalid_argument(
+        "simulate_execution: fault plan sized for a different cluster");
 
   // Per-task multiplicative runtime perturbation.
   std::vector<double> noise;
@@ -52,6 +57,7 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
   std::vector<double> proc_free(P, 0.0);  // computation availability
   std::vector<double> port_free(P, 0.0);  // transfer-port availability
   std::vector<double> ft(n, 0.0);
+  std::vector<char> dead(n, 0);  // killed by a fault, or skipped orphan
   SimResult res;
   res.executed = Schedule(n, P);
 
@@ -62,6 +68,34 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
 
   for (TaskId t : order) {
     const Placement& plc = s.at(t);
+    // A task whose ancestor was killed never gets its inputs: skip it.
+    if (fp != nullptr) {
+      bool orphan = false;
+      for (EdgeId e : g.in_edges(t))
+        if (dead[g.edge(e).src] != 0) {
+          orphan = true;
+          break;
+        }
+      if (orphan) {
+        dead[t] = 1;
+        ++res.skipped;
+        continue;
+      }
+    }
+    // Earliest failure that intersects this task's computation or one of
+    // its incoming transfers. Strict < keeps the first offer on ties, so
+    // the pick is deterministic (edges in order, procs ascending).
+    double kill_at = std::numeric_limits<double>::infinity();
+    ProcId kill_proc = 0;
+    TaskKill::Kind kill_kind = TaskKill::Kind::kCompute;
+    auto offer_kill = [&](double at, ProcId q, TaskKill::Kind k) {
+      if (at < kill_at) {
+        kill_at = at;
+        kill_proc = q;
+        kill_kind = k;
+      }
+    };
+
     double ready = 0.0;  // processors of t free for computation
     plc.procs.for_each(
         [&](ProcId q) { ready = std::max(ready, proc_free[q]); });
@@ -86,6 +120,12 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
       const double dur =
           comm.transfer_duration(rv, s.at(ed.src).np(), plc.np());
       double start = ft[ed.src];
+      // Under fault injection a (re)planned consumer requests its inputs no
+      // earlier than its release: a redistribution that timed out is
+      // re-attempted after the recovery decision, not replayed into the
+      // past (completed producers' data persists on disk).
+      if (fp != nullptr && opt.release_times != nullptr)
+        start = std::max(start, (*opt.release_times)[t]);
       if (!comm.overlap()) start = std::max(start, serial_clock);
       if (opt.single_port) {
         auto raise = [&](ProcId q) { start = std::max(start, port_free[q]); };
@@ -93,6 +133,21 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
         plc.procs.for_each(raise);
       }
       const double end = start + dur;
+      if (fp != nullptr) {
+        // A failure onset at either endpoint strictly inside the transfer
+        // window times the redistribution out and kills the consumer. A
+        // transfer *starting* at or after the onset is a re-attempt: the
+        // completed producer's data survives on disk, so it succeeds.
+        auto scan = [&](const ProcessorSet& ps) {
+          ps.for_each([&](ProcId q) {
+            const FaultEvent* ev = fp->event_of(q);
+            if (ev != nullptr && ev->fail_at > start && ev->fail_at < end)
+              offer_kill(ev->fail_at, q, TaskKill::Kind::kTransfer);
+          });
+        };
+        scan(s.at(ed.src).procs);
+        scan(plc.procs);
+      }
       if (opt.single_port) {
         auto claim = [&](ProcId q) { port_free[q] = end; };
         s.at(ed.src).procs.for_each(claim);
@@ -123,11 +178,48 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
     const double st = comm.overlap() ? std::max(ready, data_arrived)
                                      : std::max(serial_clock, data_arrived);
     const double et = g.task(t).profile.time(plc.np()) * noise[t];
-    ft[t] = st + et;
+    const double fin = st + et;
+    if (fp != nullptr) {
+      plc.procs.for_each([&](ProcId q) {
+        if (!fp->alive(q, st)) {
+          offer_kill(st, q, TaskKill::Kind::kDeadAtStart);
+        } else {
+          double f = 0.0;
+          if (fp->first_onset(q, st, fin, &f))
+            offer_kill(f, q, TaskKill::Kind::kCompute);
+        }
+      });
+      if (kill_at < std::numeric_limits<double>::infinity()) {
+        TaskKill k;
+        k.task = t;
+        k.proc = kill_proc;
+        k.at = kill_at;
+        k.kind = kill_kind;
+        k.busy_from = std::min(busy_from, st);
+        k.start = st;
+        k.planned_finish = fin;
+        if (kill_kind == TaskKill::Kind::kCompute) {
+          k.wasted_s = (kill_at - st) * static_cast<double>(plc.np());
+          // The processors were busy on the doomed task until the kill.
+          plc.procs.for_each([&](ProcId q) {
+            proc_free[q] = std::max(proc_free[q], kill_at);
+          });
+        }
+        res.kills.push_back(k);
+        dead[t] = 1;
+        continue;
+      }
+    }
+    ft[t] = fin;
     if (!comm.overlap()) busy_from = std::min(busy_from, st);
     plc.procs.for_each([&](ProcId q) { proc_free[q] = ft[t]; });
     res.executed.place(t, std::min(busy_from, st), st, ft[t], plc.procs);
   }
+  std::sort(res.kills.begin(), res.kills.end(),
+            [](const TaskKill& a, const TaskKill& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.task < b.task;
+            });
   res.makespan = res.executed.makespan();
   if (obs::MetricsRegistry* const met = obs::metrics_of(obs);
       met != nullptr) {

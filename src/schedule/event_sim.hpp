@@ -16,6 +16,7 @@
 
 #include <optional>
 
+#include "faults/fault_plan.hpp"
 #include "obs/events.hpp"
 #include "schedule/schedule.hpp"
 #include "util/rng.hpp"
@@ -64,6 +65,16 @@ struct SimOptions {
   /// attached, emits one "sim.transfer" event per network transfer.
   /// Null (default) costs one branch per task.
   obs::ObsContext* obs = nullptr;
+
+  /// Optional fail-stop fault script (see faults/fault_plan.hpp). When set,
+  /// a task whose processors fail mid-computation is killed (reported in
+  /// SimResult::kills, not placed in the executed schedule), a task whose
+  /// processors are already down at its derived start is dead on arrival,
+  /// and an in-flight redistribution touching a failing endpoint times out,
+  /// killing the destination task. Transitive successors of killed tasks
+  /// are skipped (SimResult::skipped). Null reproduces the fault-free
+  /// replay bit for bit.
+  const FaultPlan* faults = nullptr;
 };
 
 /// The multiplicative runtime factors simulate_execution derives from
@@ -71,12 +82,47 @@ struct SimOptions {
 std::vector<double> make_noise_factors(std::size_t num_tasks, double noise,
                                        std::uint64_t seed);
 
+/// One task killed by a processor failure during the replay.
+struct TaskKill {
+  /// Why the task died.
+  enum class Kind {
+    kDeadAtStart,  ///< a placement processor was already down at start
+    kCompute,      ///< a placement processor failed mid-computation
+    kTransfer,     ///< an incoming redistribution's endpoint failed in flight
+  };
+
+  TaskId task = kNoTask;
+  ProcId proc = 0;   ///< the processor whose failure killed the task
+  double at = 0.0;   ///< kill instant (failure onset, or start for DOA)
+  Kind kind = Kind::kCompute;
+
+  /// The windows the task would have had, for freezing in-flight work when
+  /// a recovery decision predates this kill (see faults/recovery.cpp).
+  double busy_from = 0.0;
+  double start = 0.0;
+  double planned_finish = 0.0;
+
+  /// Processor-seconds thrown away: np * (at - start) for mid-computation
+  /// kills, 0 otherwise (the task never started computing).
+  double wasted_s = 0.0;
+};
+
 /// Result of executing a schedule.
 struct SimResult {
   Schedule executed;  ///< realized start/finish times (same placements)
   double makespan = 0.0;
   double total_transfer_bytes = 0.0;  ///< bytes that crossed the network
   double total_transfer_time = 0.0;   ///< summed transfer durations
+
+  /// Tasks killed by injected faults, sorted by (at, task). Empty when
+  /// SimOptions::faults is null or no failure intersected the execution.
+  std::vector<TaskKill> kills;
+  /// Tasks skipped because an ancestor was killed (their inputs never
+  /// materialized); like killed tasks they are absent from `executed`.
+  std::size_t skipped = 0;
+
+  /// True when every task executed (kills.empty() implies skipped == 0).
+  bool clean() const { return kills.empty(); }
 };
 
 /// Executes \p s for \p g on the communication model \p comm.

@@ -49,20 +49,28 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     comm.count_evals_into(met->cell_ptr("comm.cost_evals"));
   const ConcurrencyAnalysis conc(g);
 
-  // Saturation bound per task: min(P, Pbest) (Alg. 1 step 14); frozen
-  // tasks keep their committed processor count.
+  // On a degraded cluster (faults/recovery.hpp) non-frozen tasks can only
+  // be as wide as the survivor set.
+  const std::size_t usable =
+      (fixed != nullptr && fixed->available != nullptr)
+          ? fixed->available->count()
+          : P;
+
+  // Saturation bound per task: min(P, Pbest) (Alg. 1 step 14), further
+  // capped at the survivor count on a degraded cluster; frozen tasks keep
+  // their committed processor count.
   Allocation best_alloc(n, 1);
   std::vector<std::size_t> cap(n);
   for (TaskId t = 0; t < n; ++t) {
-    cap[t] = std::min(P, g.task(t).profile.pbest());
+    cap[t] = std::min(usable, g.task(t).profile.pbest());
     if (fixed != nullptr && fixed->is_frozen(t)) {
       best_alloc[t] = fixed->placements->at(t).np();
       cap[t] = best_alloc[t];
     }
   }
-  // Widening bound for communication edges: P unless frozen.
+  // Widening bound for communication edges: the usable width unless frozen.
   auto ecap = [&](TaskId t) {
-    return (fixed != nullptr && fixed->is_frozen(t)) ? cap[t] : P;
+    return (fixed != nullptr && fixed->is_frozen(t)) ? cap[t] : usable;
   };
 
   LocBSResult best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
@@ -324,7 +332,8 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         if (e == kNoEdge) continue;
         const Edge& ed = g.edge(e);
         if (marked_edge[e] || best_run.dag.edge_time(e) <= 0.0) continue;
-        if (best_alloc[ed.src] < P || best_alloc[ed.dst] < P) {
+        if (best_alloc[ed.src] < ecap(ed.src) ||
+            best_alloc[ed.dst] < ecap(ed.dst)) {
           exhausted = false;
           break;
         }

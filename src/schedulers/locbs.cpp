@@ -50,9 +50,24 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
   if (met != nullptr) met->add("locbs.calls");
   if (np.size() != n)
     throw std::invalid_argument("locbs: allocation size mismatch");
-  for (std::size_t t = 0; t < n; ++t)
+  if (fixed != nullptr && fixed->available != nullptr &&
+      fixed->available->capacity() != P)
+    throw std::invalid_argument(
+        "locbs: FixedPrefix availability mask sized for a different cluster");
+  // Non-frozen allocations must fit the survivor set when a degraded
+  // cluster mask is active; frozen placements predate the failures and
+  // may legitimately be wider.
+  const std::size_t usable =
+      (fixed != nullptr && fixed->available != nullptr)
+          ? fixed->available->count()
+          : P;
+  for (std::size_t t = 0; t < n; ++t) {
     if (np[t] < 1 || np[t] > P)
       throw std::invalid_argument("locbs: np out of range");
+    if (np[t] > usable && !(fixed != nullptr && fixed->is_frozen(t)))
+      throw std::invalid_argument(
+          "locbs: np exceeds the available (non-failed) processors");
+  }
 
   const bool overlap = comm.overlap();
 
@@ -278,6 +293,8 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       std::fill(until_of.begin(), until_of.end(), -1.0);
       eligible.clear();
       for (const auto& f : avail) {
+        // Masked-out (failed) processors take no new work.
+        if (fixed != nullptr && !fixed->usable(f.proc)) continue;
         // Necessary condition: the processor must stay free at least until
         // tau + exec (the busy window can only end later than that).
         if (f.until >= tau + exec) {

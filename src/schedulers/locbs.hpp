@@ -55,9 +55,20 @@ struct FixedPrefix {
   /// Wall-clock instant of the replan: no non-frozen task may acquire
   /// processors earlier than this (the past cannot be scheduled into).
   double not_before = 0.0;
+  /// Survivor mask for degraded-cluster replans (faults/recovery.hpp):
+  /// when set, non-frozen tasks may only use these processors and their
+  /// allocations are capped at the survivor count. Frozen placements are
+  /// exempt — work committed before a failure may sit on since-failed
+  /// processors. Null (default) = every processor is usable.
+  const ProcessorSet* available = nullptr;
 
   bool is_frozen(TaskId t) const {
     return t < frozen.size() && frozen[t] != 0;
+  }
+
+  /// True if processor \p q may be assigned to non-frozen tasks.
+  bool usable(ProcId q) const {
+    return available == nullptr || available->contains(q);
   }
 };
 

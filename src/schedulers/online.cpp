@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "schedule/event_sim.hpp"
@@ -55,6 +56,21 @@ OnlineResult run_online(const TaskGraph& g, const Cluster& cluster,
       }
     }
     if (trigger == kNoTask || replans >= opt.max_replans) {
+      if (trigger != kNoTask) {
+        // The safety valve tripped with deviations still outstanding: the
+        // run proceeds on a stale plan. Surface that instead of silently
+        // absorbing it.
+        out.cap_hit = true;
+        if (obs::MetricsRegistry* const met = obs::metrics_of(opt.obs);
+            met != nullptr)
+          met->add("online.replan_cap_hit");
+        if (obs::wants_events(opt.obs))
+          opt.obs->sink->emit(
+              obs::Event("online.replan_cap_hit")
+                  .with("replans", static_cast<std::uint64_t>(replans))
+                  .with("trigger", trigger)
+                  .with("deviation_at", trigger_ft));
+      }
       out.executed = run.executed;
       out.makespan = run.makespan;
       break;

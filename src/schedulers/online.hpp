@@ -33,6 +33,11 @@ struct OnlineOptions {
 
   /// Safety valve on the number of replans.
   std::size_t max_replans = 64;
+
+  /// Optional observability: records "online.replan_cap_hit" (counter +
+  /// trace event) when max_replans trips while deviations still warrant
+  /// replanning. Null disables instrumentation.
+  obs::ObsContext* obs = nullptr;
 };
 
 /// Outcome of one online execution.
@@ -42,6 +47,9 @@ struct OnlineResult {
   double static_makespan = 0.0; ///< realized makespan of the static plan
   double planned_makespan = 0.0;  ///< the initial plan's estimate
   std::size_t replans = 0;      ///< replanning rounds triggered
+  /// True when the max_replans safety valve tripped: the run finished on a
+  /// stale plan even though a deviation still warranted replanning.
+  bool cap_hit = false;
 };
 
 /// Plans with LoC-MPS, executes with noise, and replans online whenever a

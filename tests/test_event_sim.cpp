@@ -180,6 +180,64 @@ TEST(EventSim, ExplicitNoiseFactorsOverrideSeed) {
   EXPECT_THROW(simulate_execution(g, s, m, opt), std::invalid_argument);
 }
 
+TEST(EventSim, ReleaseTimesComposeWithSinglePort) {
+  // Two remote producers feed one consumer through a single-port network
+  // while a release time also holds the consumer back; the executed
+  // schedule must still be a valid Schedule.
+  const TaskGraph g = test::diamond(5.0, 4, 2000.0);
+  const Cluster c(4, 100.0);
+  const CommModel m(c);
+  Schedule s(4, 4);
+  s.place(0, 0, 0, 5, ProcessorSet::of(4, {0}));
+  s.place(1, 25, 25, 30, ProcessorSet::of(4, {1}));
+  s.place(2, 25, 25, 30, ProcessorSet::of(4, {2}));
+  s.place(3, 70, 70, 75, ProcessorSet::of(4, {3}));
+  std::vector<double> release{0.0, 0.0, 31.0, 40.0};
+  SimOptions opt;
+  opt.release_times = &release;
+  opt.single_port = true;
+  const SimResult single = simulate_execution(g, s, m, opt);
+  EXPECT_EQ(single.executed.validate(g, m), "");
+  EXPECT_GE(single.executed.at(2).start, 31.0);
+  EXPECT_GE(single.executed.at(3).start, 40.0);
+
+  // Against a multi-port network under the same release times, the
+  // single-port run serializes the two 20 s transfers into t3 and can
+  // only be later.
+  opt.single_port = false;
+  const SimResult multi = simulate_execution(g, s, m, opt);
+  EXPECT_EQ(multi.executed.validate(g, m), "");
+  EXPECT_GT(single.executed.at(3).start, multi.executed.at(3).start);
+  EXPECT_GE(single.makespan, multi.makespan);
+}
+
+TEST(EventSim, NoiseFactorsOverrideKeepsScheduleValid) {
+  // Explicit stretch factors (>= 1) override runtime_noise entirely and
+  // the stretched execution still passes full Schedule validation.
+  const TaskGraph g = test::diamond(5.0, 4, 1000.0);
+  const Cluster c(4, 100.0);
+  const CommModel m(c);
+  Schedule s(4, 4);
+  s.place(0, 0, 0, 5, ProcessorSet::of(4, {0}));
+  s.place(1, 15, 15, 20, ProcessorSet::of(4, {1}));
+  s.place(2, 15, 15, 20, ProcessorSet::of(4, {2}));
+  s.place(3, 30, 30, 35, ProcessorSet::of(4, {0}));
+  std::vector<double> factors{1.5, 1.0, 2.0, 1.0};
+  SimOptions opt;
+  opt.noise_factors = &factors;
+  opt.runtime_noise = 0.9;  // must be ignored in favor of the factors
+  opt.seed = 1234;
+  const SimResult r = simulate_execution(g, s, m, opt);
+  EXPECT_EQ(r.executed.validate(g, m), "");
+  EXPECT_DOUBLE_EQ(r.executed.at(0).finish - r.executed.at(0).start, 7.5);
+  EXPECT_DOUBLE_EQ(r.executed.at(2).finish - r.executed.at(2).start, 10.0);
+  // Same options, same result: the override leaves nothing to the seed.
+  SimOptions opt2 = opt;
+  opt2.seed = 99;
+  const SimResult r2 = simulate_execution(g, s, m, opt2);
+  EXPECT_DOUBLE_EQ(r.makespan, r2.makespan);
+}
+
 TEST(EventSim, MakeNoiseFactorsIsDeterministicAndBounded) {
   const auto a = make_noise_factors(64, 0.3, 7);
   const auto b = make_noise_factors(64, 0.3, 7);

@@ -1,0 +1,270 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "schedule/event_sim.hpp"
+#include "test_util.hpp"
+
+namespace locmps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan: validation and queries.
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  EXPECT_THROW(FaultPlan(2, {{2, 1.0, kNeverRepaired}}),
+               std::invalid_argument);  // proc out of range
+  EXPECT_THROW(FaultPlan(2, {{0, -1.0, kNeverRepaired}}),
+               std::invalid_argument);  // negative onset
+  EXPECT_THROW(FaultPlan(2, {{0, 5.0, 5.0}}),
+               std::invalid_argument);  // repair not after onset
+  EXPECT_THROW(FaultPlan(2, {{0, 1.0, kNeverRepaired},
+                             {0, 2.0, kNeverRepaired}}),
+               std::invalid_argument);  // two events on one proc
+}
+
+TEST(FaultPlan, AnswersLivenessQueries) {
+  const FaultPlan plan(3, {{1, 5.0, 8.0}, {2, 2.0, kNeverRepaired}});
+  EXPECT_TRUE(plan.alive(0, 100.0));  // never fails
+  EXPECT_TRUE(plan.alive(1, 4.9));
+  EXPECT_FALSE(plan.alive(1, 5.0));   // onset inclusive
+  EXPECT_FALSE(plan.alive(1, 7.9));
+  EXPECT_TRUE(plan.alive(1, 8.0));    // repair instant is up again
+  EXPECT_FALSE(plan.alive(2, 50.0));  // never repaired
+
+  EXPECT_DOUBLE_EQ(plan.repaired_at(1, 6.0), 8.0);
+  EXPECT_DOUBLE_EQ(plan.repaired_at(1, 1.0), 1.0);  // alive: now
+  EXPECT_DOUBLE_EQ(plan.repaired_at(2, 3.0), kNeverRepaired);
+
+  double onset = 0.0;
+  EXPECT_TRUE(plan.first_onset(1, 0.0, 10.0, &onset));
+  EXPECT_DOUBLE_EQ(onset, 5.0);
+  EXPECT_FALSE(plan.first_onset(1, 5.5, 10.0, &onset));  // window misses it
+  EXPECT_FALSE(plan.first_onset(0, 0.0, 1e9, &onset));
+
+  EXPECT_EQ(plan.event_of(0), nullptr);
+  ASSERT_NE(plan.event_of(2), nullptr);
+  EXPECT_DOUBLE_EQ(plan.event_of(2)->fail_at, 2.0);
+
+  const ProcessorSet at3 = plan.failed_by(3.0);
+  EXPECT_EQ(at3.count(), 1u);
+  EXPECT_TRUE(at3.contains(2));
+  EXPECT_EQ(plan.failed_by(10.0).count(), 2u);  // repair does not un-fail
+}
+
+TEST(FaultPlan, GeneratorIsDeterministicAndBounded) {
+  FaultPlanParams prm;
+  prm.fail_fraction = 0.5;
+  prm.horizon_s = 40.0;
+  prm.repairs = true;
+  prm.repair_delay_s = 5.0;
+  prm.min_survivors = 3;
+  prm.seed = 99;
+  const FaultPlan a = make_fault_plan(16, prm);
+  const FaultPlan b = make_fault_plan(16, prm);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].proc, b.events()[i].proc);
+    EXPECT_DOUBLE_EQ(a.events()[i].fail_at, b.events()[i].fail_at);
+    EXPECT_DOUBLE_EQ(a.events()[i].repair_at, b.events()[i].repair_at);
+  }
+  EXPECT_EQ(a.events().size(), 8u);  // 0.5 * 16
+  for (const FaultEvent& e : a.events()) {
+    EXPECT_GE(e.fail_at, 0.0);
+    EXPECT_LT(e.fail_at, prm.horizon_s);
+    EXPECT_GT(e.repair_at, e.fail_at);
+    EXPECT_GE(e.repair_at - e.fail_at, 0.5 * prm.repair_delay_s);
+    EXPECT_LE(e.repair_at - e.fail_at, 1.5 * prm.repair_delay_s);
+  }
+
+  prm.seed = 100;
+  const FaultPlan c = make_fault_plan(16, prm);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i)
+    differs = a.events()[i].proc != c.events()[i].proc ||
+              a.events()[i].fail_at != c.events()[i].fail_at;
+  EXPECT_TRUE(differs);  // the seed actually matters
+}
+
+TEST(FaultPlan, GeneratorHonorsMinSurvivors) {
+  FaultPlanParams prm;
+  prm.fail_fraction = 1.0;
+  prm.min_survivors = 2;
+  const FaultPlan p = make_fault_plan(4, prm);
+  EXPECT_EQ(p.events().size(), 2u);  // 4 - 2 survivors
+}
+
+// ---------------------------------------------------------------------------
+// Event-simulator kill semantics.
+
+SimOptions with_faults(const FaultPlan& plan) {
+  SimOptions opt;
+  opt.faults = &plan;
+  return opt;
+}
+
+TEST(EventSimFaults, NullAndEmptyPlansAreIdentityTransforms) {
+  const TaskGraph g = test::diamond(10.0, 4, 1000.0);
+  const Cluster c(4, 100.0);
+  const CommModel m(c);
+  Schedule s(4, 4);
+  s.place(0, 0, 0, 10, ProcessorSet::of(4, {0}));
+  s.place(1, 20, 20, 30, ProcessorSet::of(4, {1}));
+  s.place(2, 20, 20, 30, ProcessorSet::of(4, {2}));
+  s.place(3, 40, 40, 50, ProcessorSet::of(4, {0}));
+
+  const FaultPlan empty(4);
+  const SimResult plain = simulate_execution(g, s, m);
+  const SimResult faulted = simulate_execution(g, s, m, with_faults(empty));
+  EXPECT_TRUE(faulted.clean());
+  EXPECT_EQ(faulted.skipped, 0u);
+  EXPECT_DOUBLE_EQ(faulted.makespan, plain.makespan);
+  for (TaskId t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(faulted.executed.at(t).start, plain.executed.at(t).start);
+    EXPECT_DOUBLE_EQ(faulted.executed.at(t).finish,
+                     plain.executed.at(t).finish);
+  }
+}
+
+TEST(EventSimFaults, RejectsWrongSizedPlan) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {0}));
+  const FaultPlan wrong(3);
+  EXPECT_THROW(simulate_execution(g, s, m, with_faults(wrong)),
+               std::invalid_argument);
+}
+
+TEST(EventSimFaults, KillsComputeMidFlightAndSkipsSuccessors) {
+  const TaskGraph g = test::chain(3, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(3, 2);
+  const auto p0 = ProcessorSet::of(2, {0});
+  s.place(0, 0, 0, 5, p0);
+  s.place(1, 5, 5, 10, p0);
+  s.place(2, 10, 10, 15, p0);
+
+  // Proc 0 dies at t=7, mid-way through t1.
+  const FaultPlan plan(2, {{0, 7.0, kNeverRepaired}});
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  EXPECT_FALSE(r.clean());
+  ASSERT_EQ(r.kills.size(), 1u);
+  const TaskKill& k = r.kills.front();
+  EXPECT_EQ(k.task, 1u);
+  EXPECT_EQ(k.proc, 0u);
+  EXPECT_EQ(k.kind, TaskKill::Kind::kCompute);
+  EXPECT_DOUBLE_EQ(k.at, 7.0);
+  EXPECT_DOUBLE_EQ(k.start, 5.0);
+  EXPECT_DOUBLE_EQ(k.planned_finish, 10.0);
+  EXPECT_DOUBLE_EQ(k.wasted_s, 2.0);  // (7 - 5) * 1 proc
+  // t0 completed before the failure; t1 killed; t2 orphan-skipped.
+  EXPECT_TRUE(r.executed.at(0).scheduled());
+  EXPECT_FALSE(r.executed.at(1).scheduled());
+  EXPECT_FALSE(r.executed.at(2).scheduled());
+  EXPECT_EQ(r.skipped, 1u);
+}
+
+TEST(EventSimFaults, DeadProcessorKillsAtStart) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {1}));
+
+  // Proc 1 died long before t1's start and never comes back.
+  const FaultPlan plan(2, {{1, 1.0, kNeverRepaired}});
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  ASSERT_EQ(r.kills.size(), 1u);
+  EXPECT_EQ(r.kills[0].task, 1u);
+  EXPECT_EQ(r.kills[0].kind, TaskKill::Kind::kDeadAtStart);
+  EXPECT_DOUBLE_EQ(r.kills[0].at, 5.0);       // observed at the start
+  EXPECT_DOUBLE_EQ(r.kills[0].wasted_s, 0.0);  // nothing ran
+}
+
+TEST(EventSimFaults, RepairedProcessorRunsItsTask) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 5, 5, 10, ProcessorSet::of(2, {1}));
+
+  // Proc 1's outage [1, 4) ends before t1 starts: no kill.
+  const FaultPlan plan(2, {{1, 1.0, 4.0}});
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  EXPECT_TRUE(r.clean());
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+}
+
+TEST(EventSimFaults, FailureAfterFinishIsHarmless) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  const auto p0 = ProcessorSet::of(2, {0});
+  s.place(0, 0, 0, 5, p0);
+  s.place(1, 5, 5, 10, p0);
+  const FaultPlan plan(2, {{0, 10.0, kNeverRepaired}});  // at the finish
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(EventSimFaults, TransferTimesOutWhenAnEndpointDies) {
+  // 1000 B at 100 B/s: the transfer occupies [5, 15) between p0 and p1.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const Cluster c(2, 100.0);
+  const CommModel m(c);
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 15, 15, 20, ProcessorSet::of(2, {1}));
+
+  // The sender dies mid-transfer: the consumer's redistribution times out.
+  const FaultPlan plan(2, {{0, 8.0, kNeverRepaired}});
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  ASSERT_EQ(r.kills.size(), 1u);
+  EXPECT_EQ(r.kills[0].task, 1u);
+  EXPECT_EQ(r.kills[0].proc, 0u);
+  EXPECT_EQ(r.kills[0].kind, TaskKill::Kind::kTransfer);
+  EXPECT_DOUBLE_EQ(r.kills[0].at, 8.0);
+  EXPECT_DOUBLE_EQ(r.kills[0].wasted_s, 0.0);
+}
+
+TEST(EventSimFaults, TransferStartedAfterOnsetSucceeds) {
+  // Completed output data survives a later failure (it is on disk): a
+  // transfer whose window begins at/after the onset is a re-request and
+  // must not time out. Here the sender fails exactly when the transfer
+  // begins.
+  const TaskGraph g = test::chain(2, 5.0, 2, 1000.0);
+  const Cluster c(2, 100.0);
+  const CommModel m(c);
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 5, ProcessorSet::of(2, {0}));
+  s.place(1, 15, 15, 20, ProcessorSet::of(2, {1}));
+  const FaultPlan plan(2, {{0, 5.0, kNeverRepaired}});
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  EXPECT_TRUE(r.clean());
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+}
+
+TEST(EventSimFaults, KillsAreSortedByInstant) {
+  // Two independent tasks on two procs failing in reverse id order.
+  TaskGraph g;
+  g.add_task("a", test::serial(10.0, 2));
+  g.add_task("b", test::serial(10.0, 2));
+  const CommModel m{Cluster(2)};
+  Schedule s(2, 2);
+  s.place(0, 0, 0, 10, ProcessorSet::of(2, {0}));
+  s.place(1, 0, 0, 10, ProcessorSet::of(2, {1}));
+  const FaultPlan plan(2, {{0, 8.0, kNeverRepaired}, {1, 3.0, kNeverRepaired}});
+  const SimResult r = simulate_execution(g, s, m, with_faults(plan));
+  ASSERT_EQ(r.kills.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.kills[0].at, 3.0);
+  EXPECT_EQ(r.kills[0].task, 1u);
+  EXPECT_DOUBLE_EQ(r.kills[1].at, 8.0);
+  EXPECT_EQ(r.kills[1].task, 0u);
+}
+
+}  // namespace
+}  // namespace locmps

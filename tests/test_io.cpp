@@ -53,6 +53,95 @@ TEST(GraphIO, RejectsCyclicInput) {
   EXPECT_THROW(read_text(ss), std::runtime_error);
 }
 
+std::string read_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    read_text(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(GraphIO, EveryMalformedInputNamesItsLine) {
+  struct BadCase {
+    const char* name;
+    const char* text;
+    const char* line;    // the "line N" tag the message must carry
+    const char* phrase;  // the diagnostic it must contain
+  };
+  const BadCase cases[] = {
+      {"bad header", "taskgraph v2\n", "line 1", "header"},
+      {"empty file", "", "line 1", "truncated file"},
+      {"file ends mid-tasks", "taskgraph v1\ntasks 2\ntask a 1 1.0\n",
+       "line 4", "truncated file"},
+      {"file ends before edges",
+       "taskgraph v1\ntasks 1\ntask a 1 1.0\n", "line 4",
+       "truncated file"},
+      {"negative task count", "taskgraph v1\ntasks -1\n", "line 2",
+       "negative task count"},
+      {"trailing tokens on a record", "taskgraph v1\ntasks 1 junk\n",
+       "line 2", "trailing tokens"},
+      {"duplicate task id",
+       "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask a 1 1.0\nedges 0\n",
+       "line 4", "duplicate task id 'a'"},
+      {"negative execution time",
+       "taskgraph v1\ntasks 1\ntask a 1 -1.0\nedges 0\n", "line 3",
+       "must be positive"},
+      {"zero execution time",
+       "taskgraph v1\ntasks 1\ntask a 1 0\nedges 0\n", "line 3",
+       "must be positive"},
+      {"truncated profile",
+       "taskgraph v1\ntasks 1\ntask a 3 1.0 2.0\nedges 0\n", "line 3",
+       "truncated profile"},
+      {"zero-length profile",
+       "taskgraph v1\ntasks 1\ntask a 0\nedges 0\n", "line 3",
+       "profile length"},
+      {"malformed edge endpoints",
+       "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 1\n"
+       "edge 0\n",
+       "line 6", "malformed edge endpoints"},
+      {"dangling edge endpoint",
+       "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 1\n"
+       "edge 0 5 0\n",
+       "line 6", "dangling"},
+      {"negative edge endpoint",
+       "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 1\n"
+       "edge -1 1 0\n",
+       "line 6", "dangling"},
+      {"negative edge volume",
+       "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 1\n"
+       "edge 0 1 -5\n",
+       "line 6", "non-negative"},
+      {"self loop",
+       "taskgraph v1\ntasks 1\ntask a 1 1.0\nedges 1\nedge 0 0 0\n",
+       "line 5", "invalid edge"},
+      {"content after the last edge",
+       "taskgraph v1\ntasks 1\ntask a 1 1.0\nedges 0\nsurprise\n",
+       "line 5", "unexpected content"},
+      {"cycle",
+       "taskgraph v1\ntasks 2\ntask a 1 1.0\ntask b 1 1.0\nedges 2\n"
+       "edge 0 1 0\nedge 1 0 0\n",
+       "line 7", "invalid graph"},
+  };
+  for (const BadCase& bc : cases) {
+    SCOPED_TRACE(bc.name);
+    const std::string err = read_error(bc.text);
+    ASSERT_FALSE(err.empty()) << "input was accepted";
+    EXPECT_NE(err.find(bc.line), std::string::npos) << err;
+    EXPECT_NE(err.find(bc.phrase), std::string::npos) << err;
+  }
+}
+
+TEST(GraphIO, BlankLinesAndIndentationAreTolerated) {
+  std::stringstream ss(
+      "taskgraph v1\n\n  tasks 2\ntask a 1 1.0\n\ntask b 1 2.0\n"
+      "edges 1\n  edge 0 1 10\n\n");
+  const TaskGraph g = read_text(ss);
+  EXPECT_EQ(g.num_tasks(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
 TEST(GraphIO, RoundTripsEveryWorkloadFamily) {
   // The text format must capture any graph the library can generate.
   std::vector<TaskGraph> graphs;

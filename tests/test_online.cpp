@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <tuple>
+#include <vector>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "schedule/event_sim.hpp"
 #include "test_util.hpp"
 #include "workloads/synthetic.hpp"
@@ -139,6 +144,39 @@ TEST(Online, RespectsMaxReplans) {
   opt.max_replans = 3;
   const OnlineResult r = run_online(g, Cluster(8), opt);
   EXPECT_LE(r.replans, 3u);
+}
+
+/// Captures event names only — enough to see the cap-hit trip fire.
+class NameSink final : public obs::EventSink {
+ public:
+  void emit(const obs::Event& e) override { names.push_back(e.name()); }
+  std::vector<std::string> names;
+};
+
+TEST(Online, SurfacesTheReplanCapTrip) {
+  const TaskGraph g = noisy_workload(9);
+  obs::MetricsRegistry met;
+  NameSink sink;
+  obs::ObsContext ctx{&met, &sink};
+  OnlineOptions opt;
+  opt.runtime_noise = 0.5;
+  opt.replan_threshold = 0.01;  // everything deviates
+  opt.max_replans = 1;          // ...so a tiny cap must trip
+  opt.obs = &ctx;
+  const OnlineResult r = run_online(g, Cluster(8), opt);
+  EXPECT_TRUE(r.cap_hit);
+  EXPECT_EQ(r.replans, 1u);
+  EXPECT_EQ(met.snapshot().counter("online.replan_cap_hit"), 1.0);
+  EXPECT_EQ(std::count(sink.names.begin(), sink.names.end(),
+                       "online.replan_cap_hit"),
+            1);
+
+  // A generous cap that is never reached must not raise the flag.
+  obs::MetricsRegistry met2;
+  opt.max_replans = 1000;
+  opt.obs = nullptr;
+  const OnlineResult ok = run_online(g, Cluster(8), opt);
+  EXPECT_FALSE(ok.cap_hit);
 }
 
 class OnlineProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -9,6 +9,10 @@
 /// reads it back, joins it into the analysis (backfill attribution) and
 /// cross-checks the analyzer's aggregate local/remote redistribution
 /// volumes against the run's comm-model counters and the trace.
+/// With --fault-rate the run executes under injected fail-stop processor
+/// failures (src/faults/), recovers with the selected policy, and the
+/// cross-check additionally reconciles the "fault.*"/"recovery.*" counters
+/// against the decision trace and the RecoveryResult.
 ///
 /// Usage: see usage() below or `locmps-inspect --help`.
 
@@ -22,10 +26,13 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "faults/recovery.hpp"
 #include "graph/io.hpp"
+#include "network/comm_model.hpp"
 #include "obs/analysis.hpp"
 #include "obs/events.hpp"
 #include "obs/report.hpp"
+#include "schedulers/loc_mps.hpp"
 #include "schedulers/registry.hpp"
 #include "util/rng.hpp"
 #include "workloads/synthetic.hpp"
@@ -51,6 +58,15 @@ void usage(std::ostream& os) {
         "  --scheme <name>        scheduler registry name (default "
         "loc-mps)\n"
         "\n"
+        "Fault injection (uses the loc-mps planner, ignoring --scheme):\n"
+        "  --fault-rate <x>       fraction of processors that fail-stop\n"
+        "                         (default 0: fault-free)\n"
+        "  --fault-seed <n>       fault-plan seed (default 7)\n"
+        "  --fault-repair         failed processors come back after a "
+        "delay\n"
+        "  --fault-policy <p>     recovery policy: replan (default) or "
+        "retry\n"
+        "\n"
         "Outputs:\n"
         "  --report-out <file>    write the self-contained HTML report\n"
         "  --obs-out <file>       write the JSONL decision trace, join it\n"
@@ -70,6 +86,10 @@ struct Options {
   double bandwidth_mbps = 100.0;
   bool overlap = true;
   std::string scheme = "loc-mps";
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 7;
+  bool fault_repair = false;
+  std::string fault_policy = "replan";
   std::string report_out;
   std::string obs_out;
   std::string trace_in;
@@ -112,6 +132,17 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (a == "--scheme") {
       if ((v = need(i, "--scheme")) == nullptr) return std::nullopt;
       o.scheme = v;
+    } else if (a == "--fault-rate") {
+      if ((v = need(i, "--fault-rate")) == nullptr) return std::nullopt;
+      o.fault_rate = std::strtod(v, nullptr);
+    } else if (a == "--fault-seed") {
+      if ((v = need(i, "--fault-seed")) == nullptr) return std::nullopt;
+      o.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--fault-repair") {
+      o.fault_repair = true;
+    } else if (a == "--fault-policy") {
+      if ((v = need(i, "--fault-policy")) == nullptr) return std::nullopt;
+      o.fault_policy = v;
     } else if (a == "--report-out") {
       if ((v = need(i, "--report-out")) == nullptr) return std::nullopt;
       o.report_out = v;
@@ -134,6 +165,15 @@ std::optional<Options> parse(int argc, char** argv) {
   }
   if (o.procs == 0) {
     std::cerr << "locmps-inspect: --procs must be positive\n";
+    return std::nullopt;
+  }
+  if (o.fault_rate < 0.0 || o.fault_rate > 1.0) {
+    std::cerr << "locmps-inspect: --fault-rate must be in [0, 1]\n";
+    return std::nullopt;
+  }
+  if (o.fault_policy != "replan" && o.fault_policy != "retry") {
+    std::cerr << "locmps-inspect: --fault-policy must be 'replan' or "
+                 "'retry'\n";
     return std::nullopt;
   }
   return o;
@@ -187,6 +227,144 @@ bool join_and_reconcile(SchemeRun& run, const std::string& trace_path,
   return ok;
 }
 
+/// Executes the workload under injected fail-stop failures, recovers with
+/// the selected policy, and reconciles the fault/recovery accounting
+/// across its three independent books: the metrics counters, the decision
+/// trace, and the RecoveryResult. Returns the process exit code.
+int run_fault_mode(const Options& o, const TaskGraph& g,
+                   const Cluster& cluster) {
+  const CommModel comm(cluster);
+
+  // Failures land inside the busy part of the schedule: the horizon is a
+  // fraction of the fault-free planned makespan.
+  const LocMPSScheduler probe;
+  const double base = probe.schedule(g, cluster).estimated_makespan;
+  FaultPlanParams fpp;
+  fpp.fail_fraction = o.fault_rate;
+  fpp.horizon_s = std::max(1e-6, 0.6 * base);
+  fpp.repairs = o.fault_repair;
+  fpp.repair_delay_s = std::max(1e-6, 0.25 * base);
+  fpp.seed = o.fault_seed;
+  const FaultPlan plan = make_fault_plan(cluster.processors, fpp);
+
+  obs::MetricsRegistry met;
+  std::ofstream jsonl;
+  std::optional<obs::JsonlSink> sink;
+  obs::ObsContext ctx{&met, nullptr};
+  if (!o.obs_out.empty()) {
+    jsonl.open(o.obs_out);
+    if (!jsonl) {
+      std::cerr << "locmps-inspect: cannot open " << o.obs_out << "\n";
+      return 2;
+    }
+    sink.emplace(jsonl);
+    ctx.sink = &*sink;
+  }
+
+  RecoveryOptions ro;
+  ro.policy = o.fault_policy == "retry" ? RecoveryPolicy::kRetryInPlace
+                                        : RecoveryPolicy::kDegradedReplan;
+  ro.obs = &ctx;
+  const RecoveryResult res = run_with_faults(g, cluster, plan, ro);
+  sink.reset();
+  jsonl.close();
+
+  if (!o.quiet)
+    std::cout << "fault mode      rate " << fmt(o.fault_rate, 2) << ", "
+              << plan.events().size() << " failure(s) injected, policy "
+              << o.fault_policy
+              << (o.fault_repair ? ", repairs on" : ", no repairs") << "\n";
+  if (!res.completed) {
+    std::cerr << "locmps-inspect: recovery gave up after " << res.rounds
+              << " round(s): " << res.error << "\n";
+    return 1;
+  }
+  const std::string diag = res.executed.validate(g, comm);
+  if (!diag.empty()) {
+    std::cerr << "locmps-inspect: recovered schedule invalid: " << diag
+              << "\n";
+    return 1;
+  }
+
+  obs::ScheduleAnalysis a = obs::analyze_schedule(g, res.executed, comm);
+  const obs::MetricsSnapshot snap = met.snapshot();
+  obs::join_backfill_stats(a, snap);
+  obs::join_fault_stats(a, snap);
+  join_fault_plan(a, plan);
+
+  bool ok = true;
+  auto book = [&](const char* what, double counter, double traced,
+                  double result) {
+    const double scale = std::max(
+        {1.0, std::fabs(counter), std::fabs(traced), std::fabs(result)});
+    if (std::fabs(counter - traced) > 1e-9 * scale ||
+        std::fabs(counter - result) > 1e-9 * scale) {
+      std::cerr << "locmps-inspect: " << what << " mismatch: counter "
+                << counter << ", trace " << traced << ", result " << result
+                << "\n";
+      ok = false;
+    }
+  };
+  if (!o.obs_out.empty()) {
+    std::ifstream in(o.obs_out);
+    if (!in) {
+      std::cerr << "locmps-inspect: cannot read trace " << o.obs_out
+                << "\n";
+      return 1;
+    }
+    const auto records = obs::read_trace(in);
+    const auto digest = obs::summarize_trace(records, a.num_tasks);
+    obs::join_trace(a, digest);
+    book("fault.kills", snap.counter("fault.kills"),
+         static_cast<double>(digest.fault_kills),
+         static_cast<double>(res.kills));
+    book("fault.transfer_timeouts",
+         snap.counter("fault.transfer_timeouts"),
+         static_cast<double>(digest.fault_transfer_timeouts),
+         static_cast<double>(res.transfer_timeouts));
+    book("fault.wasted_proc_seconds",
+         snap.counter("fault.wasted_proc_seconds"), digest.fault_wasted_s,
+         res.wasted_proc_seconds);
+    book("recovery.retries", snap.counter("recovery.retries"),
+         static_cast<double>(digest.recovery_retries),
+         static_cast<double>(res.retries));
+    book("recovery.replans", snap.counter("recovery.replans"),
+         static_cast<double>(digest.recovery_replans),
+         static_cast<double>(res.replans));
+    // The final clean round is the only simulated round with observability
+    // attached, so the analyzer's remote volume must equal both books.
+    book("remote volume", snap.counter("sim.remote_bytes"),
+         digest.transfer_bytes, a.locality.remote_bytes);
+    if (ok && !o.quiet)
+      std::cout << "reconciled      fault/recovery counters == trace == "
+                   "result; analyzer remote volume == sim counters\n";
+  }
+
+  if (!o.quiet) std::cout << obs::text_report(a);
+
+  if (!o.report_out.empty()) {
+    obs::ReportOptions ropt;
+    ropt.title = !o.title.empty() ? o.title
+                                  : "loc-mps under faults on " +
+                                        std::to_string(o.procs) +
+                                        " processors";
+    std::ostringstream sub;
+    sub << g.num_tasks() << " tasks, fault rate " << fmt(o.fault_rate, 2)
+        << ", policy " << o.fault_policy << ", realized makespan "
+        << fmt(res.makespan, 3) << " s (planned "
+        << fmt(res.planned_makespan, 3) << " s)";
+    ropt.subtitle = sub.str();
+    std::ofstream html(o.report_out);
+    if (!html) {
+      std::cerr << "locmps-inspect: cannot open " << o.report_out << "\n";
+      return 2;
+    }
+    obs::write_html_report(html, g, res.executed, a, ropt);
+    if (!o.quiet) std::cout << "report          " << o.report_out << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +375,8 @@ int main(int argc, char** argv) {
   try {
     const TaskGraph g = load_workload(o);
     const Cluster cluster(o.procs, o.bandwidth_mbps * 1e6 / 8.0, o.overlap);
+
+    if (o.fault_rate > 0.0) return run_fault_mode(o, g, cluster);
 
     SchemeRun run;
     if (!o.obs_out.empty()) {
