@@ -28,6 +28,7 @@
 /// times, the git SHA and a UTC timestamp. scripts/bench_diff.py compares
 /// two such files and flags regressions.
 
+#include <algorithm>
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
@@ -77,6 +78,37 @@ inline std::vector<std::size_t> proc_sweep() {
   std::vector<std::size_t> ps;
   for (std::size_t p = 4; p <= maxp; p *= 2) ps.push_back(p);
   return ps;
+}
+
+/// Speculative-probe thread counts to sweep: `--threads <csv>` /
+/// `--threads=<csv>` (e.g. `--threads 1,2,4,8`), falling back to the
+/// LOCMPS_BENCH_THREADS environment variable, then to \p fallback. The
+/// sweep feeds SchedulerOptions::threads, which changes only planning
+/// wall-clock — every count yields bit-identical schedules
+/// (docs/parallelism.md), so the swept panels stay diffable.
+inline std::vector<std::size_t> thread_sweep(
+    int argc, char** argv, std::vector<std::size_t> fallback = {1, 4}) {
+  std::string spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc)
+      spec = argv[++i];
+    else if (arg.rfind("--threads=", 0) == 0)
+      spec = arg.substr(10);
+  }
+  if (spec.empty())
+    if (const char* env = std::getenv("LOCMPS_BENCH_THREADS"))
+      if (*env != '\0') spec = env;
+  if (spec.empty()) return fallback;
+  std::vector<std::size_t> counts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const long v = std::atol(spec.substr(pos, comma - pos).c_str());
+    if (v > 0) counts.push_back(static_cast<std::size_t>(v));
+    pos = comma + 1;
+  }
+  return counts.empty() ? fallback : counts;
 }
 
 inline void banner(const std::string& what) {

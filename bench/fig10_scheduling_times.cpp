@@ -44,6 +44,52 @@ void panel(const char* name, const TaskGraph& g, const char* csv) {
   ratio.print(std::cout);
 }
 
+/// Planning-time scaling of the speculative LoC-MPS probe pool
+/// (docs/parallelism.md) on a suite of large synthetic DAGs. Every thread
+/// count produces bit-identical schedules, so the panels differ only in
+/// sched_seconds; the per-count panel labels keep scripts/bench_diff.py's
+/// (label, scheme, procs) join stable across runs.
+void thread_sweep_panel(const std::vector<std::size_t>& thread_counts) {
+  const auto procs = bench::proc_sweep();
+  std::vector<TaskGraph> graphs;
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = procs.back();
+  Rng rng(777001);
+  for (std::size_t i = 0; i < bench::suite_size(); ++i)
+    graphs.push_back(make_synthetic_dag(p, rng));
+
+  std::cout << "\n=== Fig 10c: LoC-MPS planning time vs probe threads"
+            << " (synthetic suite, " << graphs.size() << " graphs) ===\n";
+  std::vector<Comparison> runs;
+  for (std::size_t t : thread_counts) {
+    SchedulerOptions so;
+    so.threads = t;
+    runs.push_back(compare_schemes(graphs, {"loc-mps"}, procs, kMyrinetBps,
+                                   true, {}, 1, so));
+    bench::telemetry().record(
+        "c (synthetic, threads=" + std::to_string(t) + ")", runs.back(),
+        graphs);
+  }
+
+  Table t({"P", "threads", "sched(s)", "speedup", "makespan(s)"});
+  for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+    const double base = runs.front().sched_seconds[pi][0];
+    for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      const double st = runs[ti].sched_seconds[pi][0];
+      t.add_row({std::to_string(procs[pi]),
+                 std::to_string(thread_counts[ti]), fmt(st, 4),
+                 fmt(st > 0 ? base / st : 0.0, 2),
+                 fmt(runs[ti].makespan[pi][0], 2)});
+    }
+  }
+  t.print(std::cout);
+  t.maybe_write_csv("fig10c.csv");
+  std::cout << "(speedup = sched time at threads=" << thread_counts.front()
+            << " / sched time at the row's count; schedules are"
+               " bit-identical across counts)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +109,7 @@ int main(int argc, char** argv) {
   sp.max_procs = procs.back();
   panel("a (CCSD T1)", make_ccsd_t1(tp), "fig10a.csv");
   panel("b (Strassen 4096)", make_strassen(sp), "fig10b.csv");
+  thread_sweep_panel(bench::thread_sweep(argc, argv));
   bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   return 0;

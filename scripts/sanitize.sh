@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
-# Runs the full test suite under AddressSanitizer + UBSan.
+# Runs the test suite under a sanitizer preset.
 #
-#   scripts/sanitize.sh [extra ctest args...]
+#   scripts/sanitize.sh [asan|tsan] [extra ctest args...]
 #
-# Uses the `asan-ubsan` CMake preset (build dir: build-asan; benches and
-# examples are skipped to keep the instrumented build fast). Any extra
-# arguments are forwarded to ctest, e.g. `-R Obs` to scope the run.
+# `asan` (the default) uses the `asan-ubsan` CMake preset (build dir:
+# build-asan); `tsan` uses the `tsan` preset (build dir: build-tsan) to
+# race-check the speculative LoC-MPS probe pool (docs/parallelism.md).
+# Benches and examples are skipped in both to keep the instrumented builds
+# fast. Any extra arguments are forwarded to ctest, e.g. `-R Obs` to scope
+# the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$(nproc)"
-ctest --preset asan-ubsan -j "$(nproc)" "$@"
+preset=asan-ubsan
+case "${1:-}" in
+  asan) shift ;;
+  tsan) preset=tsan; shift ;;
+esac
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)" "$@"

@@ -47,13 +47,14 @@ void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
 
 SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
                           const Cluster& cluster, const SimOptions& sim,
-                          obs::EventSink* sink) {
+                          obs::EventSink* sink,
+                          const SchedulerOptions& sched_opt) {
   // One registry per run: compare_schemes fans runs out over threads, so
   // the registry must not be shared across evaluations.
   obs::MetricsRegistry metrics;
   obs::ObsContext obs{&metrics, sink};
 
-  const SchedulerPtr sched = make_scheduler(scheme);
+  const SchedulerPtr sched = make_scheduler(scheme, sched_opt);
   sched->attach_observability(&obs);
   Stopwatch sw;
   SchedulerResult planned = sched->schedule(g, cluster);
@@ -101,7 +102,8 @@ Comparison compare_schemes(std::span<const TaskGraph> graphs,
                            const std::vector<std::string>& schemes,
                            const std::vector<std::size_t>& procs,
                            double bandwidth_Bps, bool overlap,
-                           const SimOptions& sim, std::size_t threads) {
+                           const SimOptions& sim, std::size_t threads,
+                           const SchedulerOptions& sched_opt) {
   Comparison c;
   c.schemes = schemes;
   c.procs = procs;
@@ -125,8 +127,8 @@ Comparison compare_schemes(std::span<const TaskGraph> graphs,
     parallel_for(graphs.size() * ns, workers, [&](std::size_t idx) {
       const std::size_t gi = idx / ns;
       const std::size_t si = idx % ns;
-      const SchemeRun run =
-          evaluate_scheme(schemes[si], graphs[gi], cluster, sim);
+      const SchemeRun run = evaluate_scheme(schemes[si], graphs[gi], cluster,
+                                            sim, nullptr, sched_opt);
       ms[idx] = run.makespan;
       st[idx] = run.scheduling_seconds;
     });

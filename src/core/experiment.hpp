@@ -52,9 +52,13 @@ struct SchemeRun {
 /// scheduler and the executor, and its snapshot lands in
 /// SchemeRun::counters. Pass \p sink to additionally stream the
 /// structured decision trace (JSONL via obs::JsonlSink) as it happens.
+/// \p sched_opt tunes the scheduler itself (e.g. speculative-probe
+/// threads for LoC-MPS-backed schemes); every setting produces the same
+/// schedule (see docs/parallelism.md), so results stay comparable.
 SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
                           const Cluster& cluster, const SimOptions& sim = {},
-                          obs::EventSink* sink = nullptr);
+                          obs::EventSink* sink = nullptr,
+                          const SchedulerOptions& sched_opt = {});
 
 /// Aggregated scheme x processor-count comparison over a graph suite.
 struct Comparison {
@@ -89,7 +93,8 @@ Comparison compare_schemes(std::span<const TaskGraph> graphs,
                            const std::vector<std::size_t>& procs,
                            double bandwidth_Bps, bool overlap = true,
                            const SimOptions& sim = {},
-                           std::size_t threads = 0);
+                           std::size_t threads = 0,
+                           const SchedulerOptions& sched_opt = {});
 
 /// Renders a Comparison's relative performance as a paper-style table
 /// (rows = processor counts, columns = schemes).

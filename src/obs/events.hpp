@@ -100,6 +100,27 @@ class JsonlSink final : public EventSink {
 /// exporter (quotes, backslashes, control characters).
 std::string json_escape(std::string_view in);
 
+/// Buffers events in memory for deferred, ordered replay. The parallel
+/// LoC-MPS probes record into one private EventBuffer each and the
+/// orchestrator replays the buffers into the session sink in candidate
+/// order after the batch barrier, so a threaded run's trace is identical
+/// to the sequential one (docs/parallelism.md).
+class EventBuffer final : public EventSink {
+ public:
+  void emit(const Event& e) override { events_.push_back(e); }
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Re-emits every buffered event into \p sink, in emission order.
+  void replay_into(EventSink& sink) const {
+    for (const Event& e : events_) sink.emit(e);
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
 /// The handle instrumented layers carry. Either member may be null; the
 /// whole context pointer is null when observability is off (the zero-cost
 /// default).

@@ -140,6 +140,14 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Folds another registry's snapshot into this one: counters and timer
+  /// totals/counts add up; timer spans and series points are NOT
+  /// transferred (they are relative to the donor's epoch, which differs
+  /// from ours). Used by the parallel LoC-MPS reduction to merge per-probe
+  /// registries into the session registry in candidate order
+  /// (docs/parallelism.md).
+  void merge_from(const MetricsSnapshot& snap);
+
  private:
   friend class ScopedTimer;
 

@@ -1,15 +1,22 @@
 #include "schedulers/loc_mps.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <tuple>
 #include <utility>
 
 #include "graph/algorithms.hpp"
+#include "util/thread_pool.hpp"
 
 namespace locmps {
 
@@ -22,6 +29,49 @@ struct EntryPoint {
   TaskId task = kNoTask;
   EdgeId edge = kNoEdge;
 };
+
+/// A precomputed iteration-0 refinement: the entry point selected on the
+/// incumbent's critical path under a given marks state, the allocation
+/// after its widening, and the critical-path diagnosis that chose it. The
+/// speculative batch predictor derives one per look-ahead round without
+/// any LoCBS evaluation (round j's marks assume rounds 0..j-1 failed).
+struct FirstStep {
+  Allocation np;
+  EntryPoint ep;
+  bool widened_src = false;
+  bool widened_dst = false;
+  double cp_len = 0.0;
+  double comp_cost = 0.0;
+  double comm_cost = 0.0;
+  bool comp_dominates = true;
+};
+
+/// Outcome of one look-ahead walk (Alg. 1 steps 15-30): the best
+/// allocation it adopted, how many LoCBS evaluations it consumed, and
+/// whether it beat the incumbent it started from.
+struct WalkResult {
+  bool improved = false;
+  bool aborted = false;  ///< stopped early because an earlier probe won
+  Allocation alloc;
+  double sl = 0.0;
+  std::size_t used = 0;
+};
+
+/// Private observability of one speculative probe: a registry and an event
+/// buffer the orchestrator merges into the session context in candidate
+/// order after the batch barrier (docs/parallelism.md).
+struct ProbeObs {
+  obs::MetricsRegistry reg;
+  obs::EventBuffer buf;
+  obs::ObsContext ctx;
+};
+
+/// Worker count: the option, with 0 meaning one per hardware thread.
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
 
 }  // namespace
 
@@ -48,6 +98,8 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   if (met != nullptr)
     comm.count_evals_into(met->cell_ptr("comm.cost_evals"));
   const ConcurrencyAnalysis conc(g);
+  // Search tracing for development; enable with LOCMPS_DEBUG=1.
+  const bool debug = std::getenv("LOCMPS_DEBUG") != nullptr;
 
   // On a degraded cluster (faults/recovery.hpp) non-frozen tasks can only
   // be as wide as the survivor set.
@@ -89,13 +141,15 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
 
   // Chooses the best candidate task on the critical path: among the
   // top fraction by execution-time gain, the one with the lowest
-  // concurrency ratio (Section III-C).
+  // concurrency ratio (Section III-C). Takes the marks state explicitly so
+  // speculative probes can run it against their own snapshot.
   auto pick_task = [&](const CriticalPathInfo& cp, const Allocation& np,
+                       const std::vector<char>& mtask,
                        bool respect_marks) -> TaskId {
     std::vector<TaskId> cand;
     for (TaskId t : cp.tasks) {
       if (np[t] >= cap[t]) continue;
-      if (respect_marks && marked_task[t]) continue;
+      if (respect_marks && mtask[t]) continue;
       cand.push_back(t);
     }
     if (cand.empty()) return kNoTask;
@@ -121,12 +175,13 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   // Chooses the heaviest refinable communication edge on the critical path
   // (Section III-D). Returns kNoEdge if none qualifies.
   auto pick_edge = [&](const CriticalPathInfo& cp, const ScheduleDag& dag,
-                       const Allocation& np, bool respect_marks) -> EdgeId {
+                       const Allocation& np, const std::vector<char>& medge,
+                       bool respect_marks) -> EdgeId {
     EdgeId best = kNoEdge;
     double best_w = 0.0;
     for (EdgeId e : cp.edges) {
       if (e == kNoEdge) continue;  // pseudo-edge
-      if (respect_marks && marked_edge[e]) continue;
+      if (respect_marks && medge[e]) continue;
       const Edge& ed = g.edge(e);
       if (np[ed.src] >= ecap(ed.src) && np[ed.dst] >= ecap(ed.dst)) continue;
       const double w = dag.edge_time(e);
@@ -158,79 +213,209 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   };
 
   const bool comm_aware = !opt_.locbs.comm_blind;
+  const std::size_t n_threads = resolve_threads(opt_.threads);
+  const bool speculative = n_threads > 1;
 
-  // Main repeat-until loop (Alg. 1 steps 5-40).
-  std::size_t round = 0;
-  while (calls < opt_.max_locbs_calls) {
-    ++round;
-    Allocation np = best_alloc;
-    const double old_sl = best_sl;
-    LocBSResult cur = best_run;
-    std::optional<EntryPoint> entry;
-    if (obs::wants_events(obs))
-      obs->sink->emit(obs::Event("locmps.lookahead_begin")
-                          .with("round", static_cast<std::uint64_t>(round))
-                          .with("best", best_sl));
+  // Purity-backed memo for speculative probes: with (graph, comm model,
+  // options, prefix) fixed for the run, locbs() is a pure function of the
+  // allocation, so repeated probe allocations replay the cached result and
+  // its counter deltas instead of recomputing. Events cannot be replayed
+  // this way without reordering them, so the memo stands down whenever a
+  // sink is attached; threads = 1 never uses it (the sequential reference
+  // path stays untouched).
+  struct MemoEntry {
+    LocBSResult result;
+    obs::MetricsSnapshot deltas;
+  };
+  std::map<Allocation, MemoEntry> memo;
+  std::mutex memo_mu;
+  const bool memo_enabled = speculative && !obs::wants_events(obs);
+  constexpr std::size_t kMemoCap = 4096;
 
-    for (std::size_t iter = 0; iter < opt_.look_ahead_depth; ++iter) {
-      CriticalPathInfo cp;
-      {
-        obs::ScopedTimer cp_timer(met, "locmps.critical_path");
-        cp = cur.dag.critical_path();
+  // Every LoCBS evaluation funnels through here. \p wobs / \p wcomm are
+  // the caller's observability context and its comm model (the session's
+  // on the direct path, a probe's own on a speculative walk).
+  auto eval_locbs = [&](const Allocation& np, obs::ObsContext* wobs,
+                        const CommModel& wcomm) -> LocBSResult {
+    if (!memo_enabled) return locbs(g, np, wcomm, opt_.locbs, fixed, wobs);
+    {
+      const std::lock_guard<std::mutex> lk(memo_mu);
+      const auto it = memo.find(np);
+      if (it != memo.end()) {
+        if (obs::MetricsRegistry* wmet = obs::metrics_of(wobs))
+          wmet->merge_from(it->second.deltas);
+        return it->second.result;
       }
-      const bool comp_dominates = !comm_aware || cp.comp_cost >= cp.comm_cost;
-      const bool respect_marks = iter == 0 || opt_.marks_bind_lookahead;
+    }
+    if (obs::metrics_of(wobs) == nullptr)
+      return locbs(g, np, wcomm, opt_.locbs, fixed, nullptr);
+    // Miss with metrics on: run under a scratch registry so this call's
+    // exact counter/timer deltas can be captured for replay on later hits,
+    // then fold them into the caller's registry.
+    obs::MetricsRegistry scratch;
+    obs::ObsContext sctx{&scratch, nullptr};
+    CommModel scomm(cluster);
+    scomm.count_evals_into(scratch.cell_ptr("comm.cost_evals"));
+    LocBSResult res = locbs(g, np, scomm, opt_.locbs, fixed, &sctx);
+    obs::MetricsSnapshot deltas = scratch.snapshot();
+    obs::metrics_of(wobs)->merge_from(deltas);
+    {
+      const std::lock_guard<std::mutex> lk(memo_mu);
+      if (memo.size() >= kMemoCap) memo.clear();
+      memo.emplace(np, MemoEntry{res, std::move(deltas)});
+    }
+    return res;
+  };
 
-      bool refined = false;
+  // Replicates a walk's iteration-0 selection (Alg. 1 steps 8-14) against
+  // the given marks state without evaluating it. Returns false when
+  // nothing on the critical path is refinable.
+  auto first_step = [&](const CriticalPathInfo& cp, const ScheduleDag& dag,
+                        const std::vector<char>& mtask,
+                        const std::vector<char>& medge,
+                        FirstStep& fs) -> bool {
+    fs.np = best_alloc;
+    fs.cp_len = cp.length;
+    fs.comp_cost = cp.comp_cost;
+    fs.comm_cost = cp.comm_cost;
+    fs.comp_dominates = !comm_aware || cp.comp_cost >= cp.comm_cost;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const bool task_branch = (attempt == 0) == fs.comp_dominates;
+      if (task_branch) {
+        const TaskId t = pick_task(cp, fs.np, mtask, /*respect_marks=*/true);
+        if (t != kNoTask) {
+          fs.np[t] += 1;
+          fs.ep = EntryPoint{true, t, kNoEdge};
+          return true;
+        }
+      } else if (comm_aware) {
+        const EdgeId e = pick_edge(cp, dag, fs.np, medge, true);
+        if (e != kNoEdge) {
+          std::tie(fs.widened_src, fs.widened_dst) = widen_edge(e, fs.np);
+          fs.ep = EntryPoint{false, kNoTask, e};
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  // One look-ahead walk (Alg. 1 steps 15-30) from a precomputed first
+  // step. Reads only const shared state plus its own marks snapshot and
+  // records through \p wobs / \p wcomm, so it is safe to run as a
+  // speculative probe on a pool worker. \p race, when given, carries the
+  // lowest improving candidate index: the walk publishes its own index on
+  // first adoption and aborts once a lower index is published (its results
+  // are then discarded by the candidate-order reduction anyway).
+  auto run_walk = [&](const FirstStep& fs, std::size_t round_no,
+                      const std::vector<char>& mtask,
+                      const std::vector<char>& medge, double start_best,
+                      const Allocation& base_alloc, std::size_t budget,
+                      obs::ObsContext* wobs, const CommModel& wcomm,
+                      std::size_t probe_index,
+                      std::atomic<std::size_t>* race) -> WalkResult {
+    obs::MetricsRegistry* const wmet = obs::metrics_of(wobs);
+    WalkResult r;
+    r.alloc = base_alloc;
+    r.sl = start_best;
+    Allocation np = base_alloc;
+    if (obs::wants_events(wobs))
+      wobs->sink->emit(obs::Event("locmps.lookahead_begin")
+                          .with("round", static_cast<std::uint64_t>(round_no))
+                          .with("best", start_best));
+    std::optional<LocBSResult> cur;
+    for (std::size_t iter = 0; iter < opt_.look_ahead_depth; ++iter) {
+      if (race != nullptr && iter > 0 &&
+          race->load(std::memory_order_relaxed) < probe_index) {
+        r.aborted = true;
+        break;
+      }
       EntryPoint ep;
       bool widened_src = false, widened_dst = false;
-      // Try the dominating-cost branch first, the other as a fallback, so a
-      // look-ahead step is only abandoned when nothing is refinable.
-      for (int attempt = 0; attempt < 2 && !refined; ++attempt) {
-        const bool task_branch = (attempt == 0) == comp_dominates;
-        if (task_branch) {
-          const TaskId t = pick_task(cp, np, respect_marks);
-          if (t != kNoTask) {
-            np[t] += 1;
-            ep = EntryPoint{true, t, kNoEdge};
-            refined = true;
+      double cp_len, comp_cost, comm_cost;
+      bool comp_dominates;
+      if (iter == 0) {
+        ep = fs.ep;
+        widened_src = fs.widened_src;
+        widened_dst = fs.widened_dst;
+        cp_len = fs.cp_len;
+        comp_cost = fs.comp_cost;
+        comm_cost = fs.comm_cost;
+        comp_dominates = fs.comp_dominates;
+        np = fs.np;
+      } else {
+        CriticalPathInfo cp;
+        {
+          obs::ScopedTimer cp_timer(wmet, "locmps.critical_path");
+          cp = cur->dag.critical_path();
+        }
+        comp_dominates = !comm_aware || cp.comp_cost >= cp.comm_cost;
+        cp_len = cp.length;
+        comp_cost = cp.comp_cost;
+        comm_cost = cp.comm_cost;
+        const bool respect_marks = opt_.marks_bind_lookahead;
+        bool refined = false;
+        // Try the dominating-cost branch first, the other as a fallback,
+        // so a look-ahead step is only abandoned when nothing is
+        // refinable.
+        for (int attempt = 0; attempt < 2 && !refined; ++attempt) {
+          const bool task_branch = (attempt == 0) == comp_dominates;
+          if (task_branch) {
+            const TaskId t = pick_task(cp, np, mtask, respect_marks);
+            if (t != kNoTask) {
+              np[t] += 1;
+              ep = EntryPoint{true, t, kNoEdge};
+              refined = true;
+            }
+          } else if (comm_aware) {
+            const EdgeId e = pick_edge(cp, cur->dag, np, medge,
+                                       respect_marks);
+            if (e != kNoEdge) {
+              std::tie(widened_src, widened_dst) = widen_edge(e, np);
+              ep = EntryPoint{false, kNoTask, e};
+              refined = true;
+            }
           }
-        } else if (comm_aware) {
-          const EdgeId e = pick_edge(cp, cur.dag, np, respect_marks);
-          if (e != kNoEdge) {
-            std::tie(widened_src, widened_dst) = widen_edge(e, np);
-            ep = EntryPoint{false, kNoTask, e};
-            refined = true;
+        }
+        if (!refined) break;
+      }
+      if (wmet != nullptr)
+        wmet->add(ep.is_task ? "locmps.widened_tasks"
+                             : "locmps.widened_edges");
+
+      cur = eval_locbs(np, wobs, wcomm);
+      ++r.used;
+      const bool adopted = cur->makespan < r.sl;
+      if (adopted) {
+        r.alloc = np;
+        r.sl = cur->makespan;
+        if (!r.improved) {
+          r.improved = true;
+          if (race != nullptr) {
+            // Publish the lowest improving index (fetch-min) so probes of
+            // later candidates can stop wasting work.
+            std::size_t prev = race->load(std::memory_order_relaxed);
+            while (prev > probe_index &&
+                   !race->compare_exchange_weak(prev, probe_index,
+                                                std::memory_order_relaxed)) {
+            }
           }
         }
       }
-      if (!refined) break;
-      if (iter == 0) entry = ep;
-      if (met != nullptr)
-        met->add(ep.is_task ? "locmps.widened_tasks"
-                            : "locmps.widened_edges");
-
-      cur = locbs(g, np, comm, opt_.locbs, fixed, obs);
-      ++calls;
-      const bool adopted = cur.makespan < best_sl;
-      if (adopted) {
-        best_alloc = np;
-        best_sl = cur.makespan;
-      }
-      if (obs::wants_events(obs)) {
+      if (obs::wants_events(wobs)) {
         // One event per refinement: the critical-path diagnosis, the
         // widening decision, and its outcome. Together with
         // locmps.lookahead_begin these replay into the final allocation
         // (tests/test_obs_events.cpp reconstructs it).
         if (ep.is_task) {
           const TaskId t = ep.task;
-          obs->sink->emit(
+          wobs->sink->emit(
               obs::Event("locmps.refine")
-                  .with("round", static_cast<std::uint64_t>(round))
+                  .with("round", static_cast<std::uint64_t>(round_no))
                   .with("iter", static_cast<std::uint64_t>(iter))
-                  .with("cp_len", cp.length)
-                  .with("comp_cost", cp.comp_cost)
-                  .with("comm_cost", cp.comm_cost)
+                  .with("cp_len", cp_len)
+                  .with("comp_cost", comp_cost)
+                  .with("comm_cost", comm_cost)
                   .with("dominant", comp_dominates ? "comp" : "comm")
                   .with("kind", "task")
                   .with("task", t)
@@ -238,18 +423,18 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
                   .with("gain", g.task(t).profile.time(np[t] - 1) -
                                     g.task(t).profile.time(np[t]))
                   .with("conc_ratio", conc.ratio(t))
-                  .with("makespan", cur.makespan)
+                  .with("makespan", cur->makespan)
                   .with("adopted", adopted)
-                  .with("best", best_sl));
+                  .with("best", r.sl));
         } else {
           const Edge& ed = g.edge(ep.edge);
-          obs->sink->emit(
+          wobs->sink->emit(
               obs::Event("locmps.refine")
-                  .with("round", static_cast<std::uint64_t>(round))
+                  .with("round", static_cast<std::uint64_t>(round_no))
                   .with("iter", static_cast<std::uint64_t>(iter))
-                  .with("cp_len", cp.length)
-                  .with("comp_cost", cp.comp_cost)
-                  .with("comm_cost", cp.comm_cost)
+                  .with("cp_len", cp_len)
+                  .with("comp_cost", comp_cost)
+                  .with("comm_cost", comm_cost)
                   .with("dominant", comp_dominates ? "comp" : "comm")
                   .with("kind", "edge")
                   .with("edge", ep.edge)
@@ -261,33 +446,39 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
                         static_cast<std::uint64_t>(np[ed.dst]))
                   .with("widened_src", widened_src)
                   .with("widened_dst", widened_dst)
-                  .with("makespan", cur.makespan)
+                  .with("makespan", cur->makespan)
                   .with("adopted", adopted)
-                  .with("best", best_sl));
+                  .with("best", r.sl));
         }
       }
-      if (calls >= opt_.max_locbs_calls) break;
+      if (r.used >= budget) break;
     }
+    return r;
+  };
 
-    if (!entry.has_value()) break;  // nothing on the CP is refinable
-
-    const bool improved = best_sl < old_sl;
-    // Search tracing for development; enable with LOCMPS_DEBUG=1.
-    static const bool debug = std::getenv("LOCMPS_DEBUG") != nullptr;
+  // Commit-or-mark for one completed look-ahead round (Alg. 1 steps
+  // 31-38): updates the incumbent and the marks, bumps the round counters,
+  // and emits the round's locmps.lookahead event.
+  auto finish_round = [&](std::size_t round_no, const EntryPoint& entry,
+                          double old_sl, const WalkResult& w,
+                          std::size_t calls_now) {
+    const bool improved = w.improved;
     if (debug)
       std::fprintf(stderr,
                    "loc-mps: old=%.6f best=%.6f %s entry=%s%u calls=%zu\n",
-                   old_sl, best_sl, improved ? "commit" : "mark",
-                   entry->is_task ? "t" : "e",
-                   entry->is_task ? entry->task : entry->edge, calls);
+                   old_sl, w.sl, improved ? "commit" : "mark",
+                   entry.is_task ? "t" : "e",
+                   entry.is_task ? entry.task : entry.edge, calls_now);
     if (!improved) {
       // Failed look-ahead: remember the entry point as a bad start.
-      if (entry->is_task)
-        marked_task[entry->task] = 1;
+      if (entry.is_task)
+        marked_task[entry.task] = 1;
       else
-        marked_edge[entry->edge] = 1;
+        marked_edge[entry.edge] = 1;
     } else {
-      // Commit: the improved allocation is in best_alloc; clear all marks.
+      // Commit: adopt the improved allocation and clear all marks.
+      best_alloc = w.alloc;
+      best_sl = w.sl;
       std::fill(marked_task.begin(), marked_task.end(), 0);
       std::fill(marked_edge.begin(), marked_edge.end(), 0);
     }
@@ -295,30 +486,23 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       met->add("locmps.rounds");
       met->add(improved ? "locmps.commits" : "locmps.reverts");
       if (!improved)
-        met->add(entry->is_task ? "locmps.marked_tasks"
-                                : "locmps.marked_edges");
+        met->add(entry.is_task ? "locmps.marked_tasks"
+                               : "locmps.marked_edges");
     }
     if (obs::wants_events(obs))
       obs->sink->emit(
           obs::Event("locmps.lookahead")
-              .with("round", static_cast<std::uint64_t>(round))
-              .with("entry_kind", entry->is_task ? "task" : "edge")
-              .with("entry", entry->is_task ? entry->task : entry->edge)
+              .with("round", static_cast<std::uint64_t>(round_no))
+              .with("entry_kind", entry.is_task ? "task" : "edge")
+              .with("entry", entry.is_task ? entry.task : entry.edge)
               .with("improved", improved)
               .with("old", old_sl)
               .with("best", best_sl));
+  };
 
-    // Re-realize the best allocation (unchanged allocations keep their
-    // schedule); its critical path drives termination.
-    {
-      best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
-      ++calls;
-    }
-    if (met != nullptr) {
-      met->sample("locmps.best_makespan", best_sl);
-      met->sample("locmps.locbs_calls", static_cast<double>(calls));
-    }
-
+  // Termination test (Alg. 1 step 40): every critical-path task saturated
+  // or marked, and (when comm-aware) every refinable path edge marked.
+  auto exhausted_now = [&]() -> bool {
     const CriticalPathInfo cp = best_run.dag.critical_path();
     bool exhausted = true;
     for (TaskId t : cp.tasks) {
@@ -339,7 +523,190 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         }
       }
     }
-    if (exhausted) break;
+    return exhausted;
+  };
+
+  std::optional<ThreadPool> pool;
+  if (speculative) {
+    pool.emplace(n_threads);
+    if (met != nullptr)
+      met->set("locmps.parallel.threads", static_cast<double>(n_threads));
+  }
+
+  // Main repeat-until loop (Alg. 1 steps 5-40). Sequentially this runs one
+  // look-ahead round per iteration; with threads > 1 it predicts the entry
+  // chain of the next `k` rounds (each assuming its predecessors fail),
+  // fans the walks out as speculative probes, and reduces the results in
+  // candidate order with the exact sequential tie-breaking — the first
+  // strictly-better candidate in enumeration order wins and everything
+  // after it is discarded as misspeculation (docs/parallelism.md).
+  std::size_t round = 0;
+  const std::size_t per_round = opt_.look_ahead_depth + 1;
+  std::size_t fanout = 1;  // adaptive: reset to 1 on a commit, doubled on
+                           // fully-failed batches, capped at n_threads
+  while (calls < opt_.max_locbs_calls) {
+    std::size_t k = speculative ? std::min(fanout, n_threads) : 1;
+    // A speculative batch needs budget for k full walks plus their
+    // re-realizations; when the remaining budget cannot absorb that, fall
+    // back to a single round carrying the exact sequential budget so
+    // budget-capped runs match threads = 1 bit for bit.
+    if (k > 1 && opt_.max_locbs_calls - calls < k * per_round + 1) k = 1;
+
+    CriticalPathInfo cp0;
+    {
+      obs::ScopedTimer cp_timer(met, "locmps.critical_path");
+      cp0 = best_run.dag.critical_path();
+    }
+
+    // Predict the entry chain: round j's entry point assumes rounds
+    // 0..j-1 of the batch fail and mark their entries.
+    std::vector<FirstStep> steps;
+    std::vector<std::vector<char>> mtask_at, medge_at;
+    {
+      std::vector<char> pmt = marked_task, pme = marked_edge;
+      for (std::size_t j = 0; j < k; ++j) {
+        FirstStep fs;
+        if (!first_step(cp0, best_run.dag, pmt, pme, fs)) break;
+        mtask_at.push_back(pmt);
+        medge_at.push_back(pme);
+        const EntryPoint ep = fs.ep;
+        steps.push_back(std::move(fs));
+        if (ep.is_task)
+          pmt[ep.task] = 1;
+        else
+          pme[ep.edge] = 1;
+      }
+    }
+    if (steps.empty()) {
+      // Nothing on the critical path is refinable: the final round opens
+      // and immediately ends (matching the sequential event stream).
+      ++round;
+      if (obs::wants_events(obs))
+        obs->sink->emit(obs::Event("locmps.lookahead_begin")
+                            .with("round", static_cast<std::uint64_t>(round))
+                            .with("best", best_sl));
+      break;
+    }
+
+    const std::size_t kk = steps.size();
+    bool stop = false;
+    bool committed = false;
+    if (kk == 1) {
+      // Direct path: one round recording straight into the session
+      // context, exactly the sequential reference algorithm.
+      ++round;
+      const double old_sl = best_sl;
+      const WalkResult w = run_walk(
+          steps[0], round, mtask_at[0], medge_at[0], best_sl, best_alloc,
+          opt_.max_locbs_calls - calls, obs, comm, 0, nullptr);
+      calls += w.used;
+      finish_round(round, steps[0].ep, old_sl, w, calls);
+      // Re-realize the best allocation (unchanged allocations keep their
+      // schedule); its critical path drives termination.
+      best_run = eval_locbs(best_alloc, obs, comm);
+      ++calls;
+      if (met != nullptr) {
+        met->sample("locmps.best_makespan", best_sl);
+        met->sample("locmps.locbs_calls", static_cast<double>(calls));
+      }
+      committed = w.improved;
+      stop = exhausted_now();
+    } else {
+      if (met != nullptr) {
+        met->add("locmps.parallel.batches");
+        met->add("locmps.parallel.probes", static_cast<double>(kk));
+      }
+      const Stopwatch batch_sw;
+      const std::size_t round_base = round;
+      const double start_best = best_sl;
+      std::atomic<std::size_t> first_improved{kk};  // kk = none yet
+      std::vector<WalkResult> results(kk);
+      std::vector<std::unique_ptr<ProbeObs>> pobs(kk);
+      for (std::size_t j = 0; j < kk; ++j) {
+        pobs[j] = std::make_unique<ProbeObs>();
+        pobs[j]->ctx.metrics = met != nullptr ? &pobs[j]->reg : nullptr;
+        pobs[j]->ctx.sink =
+            obs::wants_events(obs) ? &pobs[j]->buf : nullptr;
+      }
+      std::vector<std::future<void>> futs;
+      futs.reserve(kk);
+      for (std::size_t j = 0; j < kk; ++j) {
+        futs.push_back(pool->submit([&, j] {
+          if (first_improved.load(std::memory_order_relaxed) < j) {
+            results[j].aborted = true;  // dead on arrival; discarded below
+            return;
+          }
+          obs::ObsContext* pctx = obs != nullptr ? &pobs[j]->ctx : nullptr;
+          // Per-probe comm model: transfer_duration bumps an evaluation
+          // counter cell, which must live in the probe's own registry.
+          CommModel pcomm(cluster);
+          if (met != nullptr)
+            pcomm.count_evals_into(
+                pobs[j]->reg.cell_ptr("comm.cost_evals"));
+          results[j] = run_walk(steps[j], round_base + j + 1, mtask_at[j],
+                                medge_at[j], start_best, best_alloc,
+                                opt_.look_ahead_depth, pctx, pcomm, j,
+                                &first_improved);
+        }));
+      }
+      // Barrier. Wait for every probe before rethrowing so no worker can
+      // still be touching batch-local state.
+      std::exception_ptr err;
+      for (std::future<void>& f : futs) {
+        try {
+          f.get();
+        } catch (...) {
+          if (err == nullptr) err = std::current_exception();
+        }
+      }
+      if (err != nullptr) std::rethrow_exception(err);
+      if (met != nullptr)
+        met->add("locmps.parallel.wall_ms", batch_sw.seconds() * 1e3);
+
+      // Candidate-order reduction: process rounds in enumeration order;
+      // the first improving round wins and the rest of the batch is
+      // discarded (the sequential run would never have explored it).
+      std::size_t processed = 0;
+      for (std::size_t j = 0; j < kk; ++j) {
+        const WalkResult& w = results[j];
+        ++round;
+        ++processed;
+        // Merge this probe's telemetry exactly where the sequential run
+        // would have produced it.
+        if (met != nullptr) met->merge_from(pobs[j]->reg.snapshot());
+        if (obs::wants_events(obs)) pobs[j]->buf.replay_into(*obs->sink);
+        calls += w.used;
+        const double old_sl = best_sl;
+        finish_round(round, steps[j].ep, old_sl, w, calls);
+        // The sequential algorithm re-realizes the best allocation after
+        // every round; eval_locbs elides the recomputation on the memo
+        // path while keeping the call count and telemetry identical.
+        best_run = eval_locbs(best_alloc, obs, comm);
+        ++calls;
+        if (met != nullptr) {
+          met->sample("locmps.best_makespan", best_sl);
+          met->sample("locmps.locbs_calls", static_cast<double>(calls));
+        }
+        if (exhausted_now()) {
+          stop = true;
+          break;
+        }
+        if (w.improved) {
+          committed = true;
+          break;
+        }
+        if (calls >= opt_.max_locbs_calls) {
+          stop = true;
+          break;
+        }
+      }
+      if (met != nullptr && processed < kk)
+        met->add("locmps.parallel.misspeculated",
+                 static_cast<double>(kk - processed));
+    }
+    if (stop) break;
+    if (speculative)
+      fanout = committed ? 1 : std::min(n_threads, fanout * 2);
   }
 
   if (met != nullptr) {

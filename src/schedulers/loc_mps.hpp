@@ -44,6 +44,16 @@ struct LocMPSOptions {
   /// Safety valve: hard cap on LoCBS invocations (the algorithm converges
   /// long before this on the paper's workloads).
   std::size_t max_locbs_calls = 100000;
+
+  /// Worker threads for the speculative probe fan-out: the refinement loop
+  /// predicts the entry points of the next batch of look-ahead rounds and
+  /// evaluates the walks as parallel LoCBS probes, reducing the results in
+  /// candidate order with the exact sequential tie-breaking. Any value
+  /// produces schedules, locbs-call counts, counters, and traces
+  /// bit-identical to threads = 1 (docs/parallelism.md documents the
+  /// contract and the `locmps.parallel.*` counters). 0 = one worker per
+  /// hardware thread.
+  std::size_t threads = 1;
 };
 
 /// The LoC-MPS scheduling scheme.

@@ -15,18 +15,33 @@
 namespace locmps {
 
 SchedulerPtr make_scheduler(const std::string& name) {
-  if (name == "loc-mps") return std::make_unique<LocMPSScheduler>();
+  return make_scheduler(name, SchedulerOptions{});
+}
+
+SchedulerPtr make_scheduler(const std::string& name,
+                            const SchedulerOptions& sopt) {
+  if (name == "loc-mps") {
+    LocMPSOptions opt;
+    opt.threads = sopt.threads;
+    return std::make_unique<LocMPSScheduler>(opt);
+  }
   if (name == "loc-mps-nbf") {
     LocMPSOptions opt;
     opt.locbs.backfill = false;
+    opt.threads = sopt.threads;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-noloc") {
     LocMPSOptions opt;
     opt.locbs.locality = false;
+    opt.threads = sopt.threads;
     return std::make_unique<LocMPSScheduler>(opt);
   }
-  if (name == "icaslb") return std::make_unique<ICASLBScheduler>();
+  if (name == "icaslb") {
+    LocMPSOptions opt;
+    opt.threads = sopt.threads;
+    return std::make_unique<ICASLBScheduler>(opt);
+  }
   if (name == "cpr") return std::make_unique<CPRScheduler>();
   if (name == "cpa") return std::make_unique<CPAScheduler>();
   if (name == "tsas") return std::make_unique<TSASScheduler>();

@@ -23,6 +23,12 @@ namespace locmps {
 /// Throws std::invalid_argument for unknown names.
 SchedulerPtr make_scheduler(const std::string& name);
 
+/// Same, applying scheme-independent knobs: SchedulerOptions::threads
+/// reaches the LoC-MPS-backed schemes (loc-mps, loc-mps-nbf,
+/// loc-mps-noloc, icaslb); schemes without internal parallelism ignore it.
+SchedulerPtr make_scheduler(const std::string& name,
+                            const SchedulerOptions& opt);
+
 /// The scheme line-up of the paper's comparison figures, in plot order:
 /// loc-mps, icaslb, cpr, cpa, task, data.
 std::vector<std::string> paper_schemes();

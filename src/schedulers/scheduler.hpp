@@ -18,6 +18,17 @@ namespace locmps {
 /// Processor allocation: np(t) for every task.
 using Allocation = std::vector<std::size_t>;
 
+/// Scheme-independent construction knobs, applied by the registry factory
+/// (make_scheduler) to every scheduler that supports them.
+struct SchedulerOptions {
+  /// Worker threads a scheduler may use internally. LoC-MPS-backed
+  /// schemes fan their speculative LoCBS probes across this many workers;
+  /// every setting produces bit-identical schedules (the determinism
+  /// contract of docs/parallelism.md). 1 = the sequential reference path;
+  /// 0 = one worker per hardware thread.
+  std::size_t threads = 1;
+};
+
 /// Output of a scheduling scheme.
 struct SchedulerResult {
   Schedule schedule;           ///< complete placement of every task

@@ -1,0 +1,66 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A fixed-size worker pool for the speculative LoCBS probe fan-out
+/// (schedulers/loc_mps.cpp) and other deterministic parallel reductions.
+///
+/// Design rules (docs/parallelism.md):
+///  * The pool never reorders results: callers submit jobs, keep the
+///    returned futures in submission order, and reduce in that order.
+///    Determinism is the caller's contract; the pool only promises that
+///    every submitted job runs exactly once.
+///  * Jobs must not touch shared mutable state except through their own
+///    synchronization (the probe jobs write disjoint result slots and
+///    share one std::atomic).
+///  * A pool of size <= 1 still owns one worker thread; parallel_map
+///    short-circuits to an inline loop in that case so single-threaded
+///    configurations pay no synchronization at all.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace locmps {
+
+/// Fixed-size thread pool with a FIFO job queue.
+class ThreadPool {
+ public:
+  /// Spawns \p threads workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (pending jobs still run) and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues \p job; the future becomes ready when it finishes (or holds
+  /// the exception it threw).
+  std::future<void> submit(std::function<void()> job);
+
+  /// Runs fn(0), fn(1), ..., fn(count-1) across the pool and waits for all
+  /// of them. Runs inline (in index order) when the pool has one worker or
+  /// count <= 1. If any invocation throws, the exception of the
+  /// lowest-index failing invocation is rethrown after every invocation
+  /// has completed — the deterministic choice.
+  void parallel_map(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace locmps

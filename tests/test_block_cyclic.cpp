@@ -110,6 +110,47 @@ TEST_P(BlockCyclicProperty, SymmetricInSourceAndDestination) {
   }
 }
 
+TEST_P(BlockCyclicProperty, IdenticalRandomLayoutsMoveNothing) {
+  // src == dst ⇒ every block already sits on its owner, whatever the
+  // set's size, membership, or ordering position.
+  Rng rng(GetParam() ^ 0x5151);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t P = 1 + rng.uniform_int(0, 63);
+    std::vector<ProcId> all(P);
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t s = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> procs(all.begin(), all.begin() + s);
+    std::sort(procs.begin(), procs.end());
+    ASSERT_DOUBLE_EQ(remote_fraction(procs, procs), 0.0) << "s=" << s;
+  }
+}
+
+TEST_P(BlockCyclicProperty, RespectsLocalShareUpperBound) {
+  // At most min(s, d) of the lcm(s, d) position pairs can be local (each
+  // shared processor aligns at most gcd-many positions, and there are at
+  // most min(s, d) shared processors). LoCBS's redistribution pruning
+  // uses exactly this bound, so it must never be violated.
+  Rng rng(GetParam() ^ 0x77aa);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t P = 2 + rng.uniform_int(0, 40);
+    std::vector<ProcId> all(P);
+    std::iota(all.begin(), all.end(), 0);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t s = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> src(all.begin(), all.begin() + s);
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::size_t d = 1 + rng.uniform_int(0, static_cast<int>(P) - 1);
+    std::vector<ProcId> dst(all.begin(), all.begin() + d);
+    std::sort(src.begin(), src.end());
+    std::sort(dst.begin(), dst.end());
+    const double L = static_cast<double>(std::lcm(s, d));
+    const double max_local = static_cast<double>(std::min(s, d)) / L;
+    ASSERT_GE(remote_fraction(src, dst), 1.0 - max_local - 1e-12)
+        << "s=" << s << " d=" << d;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockCyclicProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
 

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "test_util.hpp"
+#include "util/rng.hpp"
 #include "workloads/strassen.hpp"
 #include "workloads/synthetic.hpp"
 #include "workloads/tce.hpp"
@@ -169,6 +173,66 @@ TEST(GraphIO, RoundTripsEveryWorkloadFamily) {
     ASSERT_EQ(h.num_tasks(), g.num_tasks());
     ASSERT_EQ(h.num_edges(), g.num_edges());
     EXPECT_DOUBLE_EQ(h.total_serial_work(), g.total_serial_work());
+  }
+}
+
+/// Random DAG with irregular names, profile lengths, weights, and fan-out;
+/// edges only run from lower to higher ids, so the result is acyclic by
+/// construction.
+TaskGraph fuzz_graph(Rng& rng) {
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 39));
+  TaskGraph g;
+  for (std::size_t t = 0; t < n; ++t) {
+    std::string name = "n" + std::to_string(t);
+    const int decorations = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < decorations; ++i)
+      name += static_cast<char>('a' + rng.uniform_int(0, 25));
+    const std::size_t len =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    std::vector<double> times(len);
+    for (double& v : times) v = rng.uniform(1e-3, 1e3);
+    g.add_task(std::move(name), ExecutionProfile(std::move(times)));
+  }
+  const double density = rng.uniform(0.0, 0.5);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(density)) {
+        const double vol = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.0, 1e9);
+        g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j), vol);
+      }
+  return g;
+}
+
+TEST(GraphIO, FuzzedGraphsRoundTripExactly) {
+  // write_text uses setprecision(17), so every double must survive the
+  // trip bit-for-bit: names, profile tables, edge endpoints, and volumes.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed * 0x9e37u);
+    const TaskGraph g = fuzz_graph(rng);
+    std::stringstream ss;
+    write_text(ss, g);
+    const TaskGraph h = read_text(ss);
+    ASSERT_EQ(h.num_tasks(), g.num_tasks());
+    ASSERT_EQ(h.num_edges(), g.num_edges());
+    for (TaskId t : g.task_ids()) {
+      ASSERT_EQ(h.task(t).name, g.task(t).name);
+      ASSERT_EQ(h.task(t).profile.table(), g.task(t).profile.table());
+      ASSERT_EQ(h.in_degree(t), g.in_degree(t));
+      ASSERT_EQ(h.out_degree(t), g.out_degree(t));
+    }
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      const EdgeId id = static_cast<EdgeId>(e);
+      ASSERT_EQ(h.edge(id).src, g.edge(id).src);
+      ASSERT_EQ(h.edge(id).dst, g.edge(id).dst);
+      ASSERT_EQ(h.edge(id).volume_bytes, g.edge(id).volume_bytes);
+    }
+    // A second trip must be a fixed point: identical text both times.
+    std::stringstream again;
+    write_text(again, h);
+    std::stringstream first;
+    write_text(first, g);
+    ASSERT_EQ(again.str(), first.str());
   }
 }
 

@@ -1,0 +1,310 @@
+/// Determinism-equivalence wall for the parallel speculative LoCBS probes
+/// (schedulers/loc_mps.cpp) and the thread pool underneath them.
+///
+/// The contract under test (docs/parallelism.md): for every workload and
+/// every thread count, LoC-MPS produces schedules bit-identical to the
+/// sequential reference — same placements (start/finish/processor sets),
+/// same makespan, same locbs-call count — and the observability output
+/// reconciles too: counters (minus the locmps.parallel.* accounting),
+/// sample-series values, and the full decision-event stream are equal.
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "schedulers/loc_mps.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/strassen.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/tce.hpp"
+
+using namespace locmps;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, ParallelMapVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_map(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_map(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Every invocation must complete before the rethrow, and the surfaced
+  // exception is the lowest failing index — the deterministic choice.
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_map(64, [&](std::size_t i) {
+      ++completed;
+      if (i == 7 || i == 3 || i == 50)
+        throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "parallel_map should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  EXPECT_EQ(completed, 64);
+}
+
+TEST(ThreadPool, SubmitFutureCarriesResultAndException) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; }).get();
+  EXPECT_TRUE(ran);
+  auto f = pool.submit([] { throw std::logic_error("probe died"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism equivalence
+
+/// Everything one instrumented LoC-MPS run produces.
+struct RunCapture {
+  SchedulerResult result;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::Event> events;
+};
+
+RunCapture run_locmps(const TaskGraph& g, const Cluster& cluster,
+                      std::size_t threads, bool with_sink,
+                      std::size_t max_locbs_calls = 100000) {
+  LocMPSOptions opt;
+  opt.threads = threads;
+  opt.max_locbs_calls = max_locbs_calls;
+  LocMPSScheduler sched(opt);
+  obs::MetricsRegistry reg;
+  obs::EventBuffer buf;
+  obs::ObsContext ctx{&reg, with_sink ? &buf : nullptr};
+  sched.attach_observability(&ctx);
+  RunCapture cap{sched.schedule(g, cluster), {}, {}};
+  cap.metrics = reg.snapshot();
+  cap.events = buf.events();
+  return cap;
+}
+
+/// Counters that legitimately differ across thread counts: the
+/// locmps.parallel.* accounting of the fan-out itself.
+bool digest_excluded(const std::string& name) {
+  return name.rfind("locmps.parallel.", 0) == 0;
+}
+
+void expect_same_counters(const obs::MetricsSnapshot& ref,
+                          const obs::MetricsSnapshot& par,
+                          const std::string& label) {
+  auto filter = [](const obs::MetricsSnapshot& s) {
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto& kv : s.counters)
+      if (!digest_excluded(kv.first)) out.push_back(kv);
+    return out;
+  };
+  const auto a = filter(ref), b = filter(par);
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << label;
+    if (a[i].second == b[i].second) continue;
+    // Byte-volume counters are floating-point sums whose addition tree
+    // changes when per-probe subtotals are merged; they reconcile within
+    // ULPs. Every other counter must be bit-equal (docs/parallelism.md).
+    EXPECT_TRUE(a[i].first.ends_with("_bytes"))
+        << label << ": " << a[i].first << " differs (" << a[i].second
+        << " vs " << b[i].second << ")";
+    EXPECT_NEAR(a[i].second, b[i].second, 1e-9 * std::abs(a[i].second))
+        << label << ": " << a[i].first;
+  }
+}
+
+void expect_same_series_values(const obs::MetricsSnapshot& ref,
+                               const obs::MetricsSnapshot& par,
+                               const std::string& label) {
+  ASSERT_EQ(ref.series.size(), par.series.size()) << label;
+  for (std::size_t i = 0; i < ref.series.size(); ++i) {
+    EXPECT_EQ(ref.series[i].name, par.series[i].name) << label;
+    ASSERT_EQ(ref.series[i].points.size(), par.series[i].points.size())
+        << label << ": " << ref.series[i].name;
+    // Timestamps are wall-clock and differ; the recorded values must not.
+    for (std::size_t p = 0; p < ref.series[i].points.size(); ++p)
+      EXPECT_EQ(ref.series[i].points[p].value, par.series[i].points[p].value)
+          << label << ": " << ref.series[i].name << "[" << p << "]";
+  }
+}
+
+void expect_same_events(const std::vector<obs::Event>& ref,
+                        const std::vector<obs::Event>& par,
+                        const std::string& label) {
+  ASSERT_EQ(ref.size(), par.size()) << label;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].name(), par[i].name())
+        << label << ": event " << i;
+    EXPECT_TRUE(ref[i].fields() == par[i].fields())
+        << label << ": fields of event " << i << " (" << ref[i].name()
+        << ")";
+  }
+}
+
+void expect_identical(const RunCapture& ref, const RunCapture& par,
+                      const TaskGraph& g, const std::string& label) {
+  EXPECT_EQ(ref.result.estimated_makespan, par.result.estimated_makespan)
+      << label;
+  EXPECT_EQ(ref.result.iterations, par.result.iterations) << label;
+  ASSERT_EQ(ref.result.allocation, par.result.allocation) << label;
+  for (TaskId t : g.task_ids()) {
+    const Placement& a = ref.result.schedule.at(t);
+    const Placement& b = par.result.schedule.at(t);
+    EXPECT_EQ(a.busy_from, b.busy_from) << label << ": task " << t;
+    EXPECT_EQ(a.start, b.start) << label << ": task " << t;
+    EXPECT_EQ(a.finish, b.finish) << label << ": task " << t;
+    EXPECT_TRUE(a.procs == b.procs) << label << ": task " << t;
+  }
+  EXPECT_EQ(ref.metrics.counter("locmps.locbs_calls"),
+            par.metrics.counter("locmps.locbs_calls"))
+      << label;
+  expect_same_counters(ref.metrics, par.metrics, label);
+  expect_same_series_values(ref.metrics, par.metrics, label);
+  expect_same_events(ref.events, par.events, label);
+}
+
+/// The seeded workload sweep: synthetic DAGs across CCR regimes, Strassen,
+/// and a TCE CCSD T1 instance (scaled to test size).
+std::vector<std::pair<std::string, TaskGraph>> sweep_workloads() {
+  std::vector<std::pair<std::string, TaskGraph>> ws;
+  for (const double ccr : {0.0, 0.5, 2.0}) {
+    SyntheticParams p;
+    p.ccr = ccr;
+    p.max_procs = 16;
+    const auto suite =
+        make_synthetic_suite(p, 2, 9000 + static_cast<std::uint64_t>(
+                                             ccr * 10.0));
+    for (std::size_t i = 0; i < suite.size(); ++i)
+      ws.emplace_back("synthetic ccr=" + std::to_string(ccr) + " #" +
+                          std::to_string(i),
+                      suite[i]);
+  }
+  StrassenParams sp;
+  sp.n = 512;
+  sp.max_procs = 16;
+  ws.emplace_back("strassen 512", make_strassen(sp));
+  TCEParams tp;
+  tp.occupied = 8;
+  tp.virt = 32;
+  tp.max_procs = 16;
+  ws.emplace_back("ccsd t1 (8,32)", make_ccsd_t1(tp));
+  return ws;
+}
+
+TEST(ParallelLocMPS, ThreadSweepIsBitIdenticalWithTrace) {
+  // Full-fidelity mode (event sink attached): every probe runs for real
+  // and the buffered traces are replayed in candidate order.
+  const Cluster cluster(16);
+  for (const auto& [label, g] : sweep_workloads()) {
+    const RunCapture ref = run_locmps(g, cluster, 1, /*with_sink=*/true);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      const RunCapture par = run_locmps(g, cluster, threads, true);
+      expect_identical(ref, par, g,
+                       label + " @" + std::to_string(threads) + "t");
+    }
+  }
+}
+
+TEST(ParallelLocMPS, MetricsOnlyModeMatchesViaMemo) {
+  // Without a sink the speculative path may elide repeated pure
+  // evaluations through the allocation-keyed memo; counters and schedules
+  // must still be bit-identical to the sequential reference.
+  const Cluster cluster(16);
+  for (const auto& [label, g] : sweep_workloads()) {
+    const RunCapture ref = run_locmps(g, cluster, 1, /*with_sink=*/false);
+    for (const std::size_t threads : {4u, 8u}) {
+      const RunCapture par = run_locmps(g, cluster, threads, false);
+      expect_identical(ref, par, g,
+                       label + " memo@" + std::to_string(threads) + "t");
+    }
+  }
+}
+
+TEST(ParallelLocMPS, RepeatedThreadedRunsAreIdentical) {
+  // The reduction must also be deterministic run-to-run (no dependence on
+  // which probe finished or populated the memo first).
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 16;
+  Rng rng(4242);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster cluster(16);
+  const RunCapture a = run_locmps(g, cluster, 4, false);
+  const RunCapture b = run_locmps(g, cluster, 4, false);
+  expect_identical(a, b, g, "repeat@4t");
+}
+
+TEST(ParallelLocMPS, BudgetCappedRunsMatchSequential) {
+  // Tight budgets force the sequential fallback; the threaded scheduler
+  // must honor the cap with the exact sequential behavior.
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 16;
+  Rng rng(17);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster cluster(16);
+  for (const std::size_t cap : {5u, 25u, 60u}) {
+    const RunCapture ref = run_locmps(g, cluster, 1, true, cap);
+    EXPECT_LE(ref.result.iterations, cap + 2);
+    for (const std::size_t threads : {2u, 8u}) {
+      const RunCapture par = run_locmps(g, cluster, threads, true, cap);
+      expect_identical(ref, par, g,
+                       "budget=" + std::to_string(cap) + " @" +
+                           std::to_string(threads) + "t");
+    }
+  }
+}
+
+TEST(ParallelLocMPS, ParallelCountersExposeTheFanOut) {
+  // A workload with failed look-aheads ramps the speculative fan-out, so
+  // a threaded run must account its batches/probes, while the sequential
+  // reference reports none of the locmps.parallel.* family.
+  SyntheticParams p;
+  p.ccr = 1.0;
+  p.max_procs = 16;
+  Rng rng(4242);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  const Cluster cluster(16);
+  const RunCapture ref = run_locmps(g, cluster, 1, false);
+  for (const auto& kv : ref.metrics.counters)
+    EXPECT_FALSE(digest_excluded(kv.first)) << kv.first;
+  ASSERT_GE(ref.metrics.counter("locmps.reverts"), 2.0)
+      << "workload too easy to exercise speculation";
+
+  const RunCapture par = run_locmps(g, cluster, 4, false);
+  EXPECT_EQ(par.metrics.counter("locmps.parallel.threads"), 4.0);
+  EXPECT_GE(par.metrics.counter("locmps.parallel.batches"), 1.0);
+  // Every batch fans out at least two probes, and misspeculated probes
+  // (discarded by the reduction) are the price of the speculation.
+  EXPECT_GE(par.metrics.counter("locmps.parallel.probes"),
+            2.0 * par.metrics.counter("locmps.parallel.batches"));
+  EXPECT_GT(par.metrics.counter("locmps.parallel.wall_ms"), 0.0);
+}
+
+}  // namespace

@@ -57,6 +57,10 @@ void usage(std::ostream& os) {
         "  --no-overlap           communication blocks computation\n"
         "  --scheme <name>        scheduler registry name (default "
         "loc-mps)\n"
+        "  --threads <n>          speculative LoCBS probe threads (0 = one\n"
+        "                         per hardware thread; default 1). Any\n"
+        "                         setting yields the identical schedule —\n"
+        "                         see docs/parallelism.md\n"
         "\n"
         "Fault injection (uses the loc-mps planner, ignoring --scheme):\n"
         "  --fault-rate <x>       fraction of processors that fail-stop\n"
@@ -86,6 +90,7 @@ struct Options {
   double bandwidth_mbps = 100.0;
   bool overlap = true;
   std::string scheme = "loc-mps";
+  std::size_t threads = 1;
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 7;
   bool fault_repair = false;
@@ -132,6 +137,9 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (a == "--scheme") {
       if ((v = need(i, "--scheme")) == nullptr) return std::nullopt;
       o.scheme = v;
+    } else if (a == "--threads") {
+      if ((v = need(i, "--threads")) == nullptr) return std::nullopt;
+      o.threads = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (a == "--fault-rate") {
       if ((v = need(i, "--fault-rate")) == nullptr) return std::nullopt;
       o.fault_rate = std::strtod(v, nullptr);
@@ -378,6 +386,8 @@ int main(int argc, char** argv) {
 
     if (o.fault_rate > 0.0) return run_fault_mode(o, g, cluster);
 
+    SchedulerOptions sched_opt;
+    sched_opt.threads = o.threads;
     SchemeRun run;
     if (!o.obs_out.empty()) {
       std::ofstream jsonl(o.obs_out);
@@ -386,9 +396,9 @@ int main(int argc, char** argv) {
         return 2;
       }
       obs::JsonlSink sink(jsonl);
-      run = evaluate_scheme(o.scheme, g, cluster, {}, &sink);
+      run = evaluate_scheme(o.scheme, g, cluster, {}, &sink, sched_opt);
     } else {
-      run = evaluate_scheme(o.scheme, g, cluster, {});
+      run = evaluate_scheme(o.scheme, g, cluster, {}, nullptr, sched_opt);
     }
 
     bool reconciled = true;
