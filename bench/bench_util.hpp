@@ -314,6 +314,8 @@ inline void write_telemetry() { telemetry().write(); }
 namespace detail {
 
 inline std::string iso_utc_now() {
+  // Telemetry metadata timestamp, never a scheduling input: the harness
+  // stamps when a BENCH_*.json was produced. LINT-ALLOW(nondet-source)
   const std::time_t now = std::time(nullptr);
   std::tm tm{};
   gmtime_r(&now, &tm);

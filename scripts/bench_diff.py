@@ -31,7 +31,7 @@ import sys
 
 def load(path, role="candidate"):
     try:
-        with open(path) as f:
+        with open(path, encoding="utf-8") as f:
             return json.load(f)
     except FileNotFoundError:
         if role == "baseline":
@@ -52,7 +52,13 @@ def rows(doc):
     out = {}
     for panel in doc.get("panels", []):
         for r in panel.get("results", []):
-            out[(panel.get("label", ""), r["scheme"], r["procs"])] = r
+            try:
+                out[(panel.get("label", ""), r["scheme"], r["procs"])] = r
+            except (KeyError, TypeError):
+                print("bench_diff: malformed result row (missing "
+                      f"scheme/procs) in panel {panel.get('label', '?')!r}",
+                      file=sys.stderr)
+                sys.exit(2)
     return out
 
 
@@ -63,6 +69,9 @@ def pct_change(base, cand):
 
 
 def inside_ci(value, stat):
+    # A stat without a confidence interval cannot justify suppression.
+    if "ci_lo" not in stat or "ci_hi" not in stat:
+        return False
     return stat["ci_lo"] <= value <= stat["ci_hi"]
 
 
@@ -109,7 +118,12 @@ def main():
             if metric not in b or metric not in c:
                 continue
             bstat, cstat = b[metric], c[metric]
-            bval, cval = bstat[args.metric], cstat[args.metric]
+            try:
+                bval, cval = bstat[args.metric], cstat[args.metric]
+            except (KeyError, TypeError):
+                print(f"bench_diff: {metric} in {key} lacks the "
+                      f"{args.metric!r} statistic", file=sys.stderr)
+                sys.exit(2)
             compared += 1
             delta = pct_change(bval, cval)
             label = f"{key[0]} / {key[1]} / P={key[2]} / {metric}"

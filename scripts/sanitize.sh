@@ -10,7 +10,7 @@
 # fast. Any extra arguments are forwarded to ctest, e.g. `-R Obs` to scope
 # the run.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd -- "$(dirname -- "$0")/.." || exit 1
 
 preset=asan-ubsan
 case "${1:-}" in

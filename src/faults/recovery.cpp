@@ -206,7 +206,8 @@ RecoveryResult run_with_faults(const TaskGraph& g, const Cluster& cluster,
         current.at(t).procs.for_each([&](ProcId q) {
           if (plan.alive(q, k->at)) return;
           const double r = plan.repaired_at(q, k->at);
-          if (r == kNeverRepaired) {
+          // kNeverRepaired is a sentinel, compared exactly by design.
+          if (r == kNeverRepaired) {  // LINT-ALLOW(float-eq)
             if (!never_repaired) {
               never_repaired = true;
               never_q = q;

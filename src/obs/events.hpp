@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/annotations.hpp"
 #include "util/stopwatch.hpp"
 
 namespace locmps::obs {
@@ -105,7 +106,10 @@ std::string json_escape(std::string_view in);
 /// orchestrator replays the buffers into the session sink in candidate
 /// order after the batch barrier, so a threaded run's trace is identical
 /// to the sequential one (docs/parallelism.md).
-class EventBuffer final : public EventSink {
+/// Thread-compatible like the registry: each speculative probe owns its
+/// private buffer; only the orchestrator (after the batch barrier) calls
+/// replay_into (schedulers/loc_mps.cpp, docs/parallelism.md).
+class LOCMPS_THREAD_COMPATIBLE EventBuffer final : public EventSink {
  public:
   void emit(const Event& e) override { events_.push_back(e); }
 
@@ -130,12 +134,12 @@ struct ObsContext {
 };
 
 /// Emit helper: true when \p obs has a sink attached.
-inline bool wants_events(const ObsContext* obs) {
+[[nodiscard]] inline bool wants_events(const ObsContext* obs) {
   return obs != nullptr && obs->sink != nullptr;
 }
 
 /// Metrics helper: the registry, or null.
-inline MetricsRegistry* metrics_of(const ObsContext* obs) {
+[[nodiscard]] inline MetricsRegistry* metrics_of(const ObsContext* obs) {
   return obs != nullptr ? obs->metrics : nullptr;
 }
 

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/stopwatch.hpp"
 
 namespace locmps::obs {
@@ -66,15 +67,20 @@ struct MetricsSnapshot {
   std::vector<SeriesStats> series;
 
   /// Counter value by name; \p fallback when absent.
-  double counter(std::string_view name, double fallback = 0.0) const;
+  [[nodiscard]] double counter(std::string_view name,
+                               double fallback = 0.0) const;
   /// Timer stats by name; nullptr when absent.
-  const TimerStats* timer(std::string_view name) const;
+  [[nodiscard]] const TimerStats* timer(std::string_view name) const;
   /// Series by name; nullptr when absent.
-  const SeriesStats* find_series(std::string_view name) const;
+  [[nodiscard]] const SeriesStats* find_series(std::string_view name) const;
 };
 
-/// The registry. Not thread-safe; one per evaluated run.
-class MetricsRegistry {
+/// The registry. Thread-compatible, never internally locked: exactly one
+/// thread may touch a given registry at a time. The parallel LoC-MPS
+/// probes each own a private registry and the orchestrator merges the
+/// snapshots after the batch barrier (schedulers/loc_mps.cpp,
+/// docs/parallelism.md) — sharing one registry across workers is a bug.
+class LOCMPS_THREAD_COMPATIBLE MetricsRegistry {
  public:
   /// Bounds on per-instrument recording so long optimization runs cannot
   /// grow snapshots without limit (totals keep accumulating past these).
@@ -94,7 +100,8 @@ class MetricsRegistry {
   double* cell_ptr(std::string_view name) { return &cell(name); }
 
   /// Current value of the named counter; \p fallback when absent.
-  double value(std::string_view name, double fallback = 0.0) const {
+  [[nodiscard]] double value(std::string_view name,
+                             double fallback = 0.0) const {
     const auto it = counters_.find(name);
     return it != counters_.end() ? it->second : fallback;
   }
@@ -131,14 +138,16 @@ class MetricsRegistry {
     std::string name_;
   };
 
-  ScopedTimer time_phase(std::string_view name) {
+  /// Discarding the returned timer would close its span immediately and
+  /// record a ~zero-length phase — hence [[nodiscard]].
+  [[nodiscard]] ScopedTimer time_phase(std::string_view name) {
     return ScopedTimer(this, name);
   }
 
   /// Clears every instrument and restarts the epoch.
   void reset();
 
-  MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Folds another registry's snapshot into this one: counters and timer
   /// totals/counts add up; timer spans and series points are NOT

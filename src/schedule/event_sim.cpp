@@ -47,9 +47,13 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
   // precede in this order.
   std::vector<TaskId> order(n);
   std::iota(order.begin(), order.end(), 0);
+  // Exact comparisons: tie-break levels of a deterministic sort key, not
+  // tolerance checks (equal times must compare equal to reach the next
+  // level and keep replay order stable).
   std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
-    if (s.at(a).start != s.at(b).start) return s.at(a).start < s.at(b).start;
-    if (s.at(a).busy_from != s.at(b).busy_from)
+    if (s.at(a).start != s.at(b).start)  // LINT-ALLOW(float-eq)
+      return s.at(a).start < s.at(b).start;
+    if (s.at(a).busy_from != s.at(b).busy_from)  // LINT-ALLOW(float-eq)
       return s.at(a).busy_from < s.at(b).busy_from;
     return a < b;
   });
@@ -217,6 +221,7 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
   }
   std::sort(res.kills.begin(), res.kills.end(),
             [](const TaskKill& a, const TaskKill& b) {
+              // Deterministic sort key tie-break. LINT-ALLOW(float-eq)
               if (a.at != b.at) return a.at < b.at;
               return a.task < b.task;
             });

@@ -21,8 +21,8 @@ struct Placement {
   double finish = -1.0;     ///< finish time ft(t)
   ProcessorSet procs;       ///< executing processor set
 
-  bool scheduled() const { return start >= 0.0; }
-  std::size_t np() const { return procs.count(); }
+  [[nodiscard]] bool scheduled() const { return start >= 0.0; }
+  [[nodiscard]] std::size_t np() const { return procs.count(); }
 };
 
 /// A schedule of a task graph on a cluster.
@@ -42,17 +42,17 @@ class Schedule {
              ProcessorSet procs);
 
   /// True when every task has been placed.
-  bool complete() const;
+  [[nodiscard]] bool complete() const;
 
   /// Makespan: latest finish time over all tasks (0 if nothing placed).
-  double makespan() const;
+  [[nodiscard]] double makespan() const;
 
   /// Sum over tasks of np(t) * et: the processor-time area consumed.
-  double busy_area() const;
+  [[nodiscard]] double busy_area() const;
 
   /// Fraction of the P * makespan rectangle covered by task execution —
   /// the effective utilization backfilling tries to raise.
-  double utilization() const;
+  [[nodiscard]] double utilization() const;
 
   /// Verifies the schedule against the task graph and communication model:
   ///  * every task placed, with busy_from <= start < finish;
@@ -60,7 +60,10 @@ class Schedule {
   ///  * precedence + redistribution: st(t) >= ft(parent) + transfer time
   ///    between the actual processor sets (within a small tolerance).
   /// Returns an empty string if valid, else the first violation found.
-  std::string validate(const TaskGraph& g, const CommModel& comm) const;
+  /// [[nodiscard]]: calling validate and ignoring the verdict silently
+  /// accepts an invalid schedule.
+  [[nodiscard]] std::string validate(const TaskGraph& g,
+                                     const CommModel& comm) const;
 
  private:
   std::size_t num_procs_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include "util/stats.hpp"
 
 namespace locmps {
 
@@ -51,7 +52,7 @@ std::vector<double> Timeline::candidate_times(double from) const {
   for (const auto& v : busy_)
     for (const Interval& iv : v)
       if (iv.end > from) times.push_back(iv.end);
-  std::sort(times.begin(), times.end());
+  std::sort(times.begin(), times.end(), total_less);
   times.erase(std::unique(times.begin(), times.end()), times.end());
   return times;
 }

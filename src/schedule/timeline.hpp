@@ -32,21 +32,21 @@ class Timeline {
   void occupy(const ProcessorSet& procs, double start, double end);
 
   /// True when \p q is idle throughout [start, end).
-  bool is_free(ProcId q, double start, double end) const;
+  [[nodiscard]] bool is_free(ProcId q, double start, double end) const;
 
   /// If \p q is idle at time \p t: the time at which it next becomes busy
   /// (kForever if never). If busy at \p t: returns a negative value.
-  double free_until(ProcId q, double t) const;
+  [[nodiscard]] double free_until(ProcId q, double t) const;
 
   /// Latest time at which \p q ceases to be busy (0 if never booked). The
   /// processor is guaranteed free from this time on.
-  double latest_free_time(ProcId q) const;
+  [[nodiscard]] double latest_free_time(ProcId q) const;
 
   /// Candidate hole-start times at or after \p from: \p from itself plus
   /// every busy-interval end time > from, sorted ascending and deduplicated.
   /// Availability only changes at these instants, so backfill need only
   /// probe them.
-  std::vector<double> candidate_times(double from) const;
+  [[nodiscard]] std::vector<double> candidate_times(double from) const;
 
   /// A processor available at some probe time, with its free-until horizon.
   struct FreeProc {
@@ -55,7 +55,7 @@ class Timeline {
   };
 
   /// All processors idle at time \p t, each with its free-until horizon.
-  std::vector<FreeProc> available_at(double t) const;
+  [[nodiscard]] std::vector<FreeProc> available_at(double t) const;
 
   /// Allocation-free variant for hot loops: fills \p out.
   void available_at(double t, std::vector<FreeProc>& out) const;
@@ -72,7 +72,7 @@ class Timeline {
   /// are not reported; bookings are clamped to the horizon, so a booking
   /// ending exactly at \p horizon produces no trailing hole. A fully
   /// packed timeline yields an empty vector, as does horizon <= 0.
-  std::vector<Hole> holes(ProcId q, double horizon) const;
+  [[nodiscard]] std::vector<Hole> holes(ProcId q, double horizon) const;
 
  private:
   struct Interval {

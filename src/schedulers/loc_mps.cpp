@@ -9,13 +9,13 @@
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <tuple>
 #include <utility>
 
 #include "graph/algorithms.hpp"
+#include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace locmps {
@@ -64,6 +64,40 @@ struct ProbeObs {
   obs::MetricsRegistry reg;
   obs::EventBuffer buf;
   obs::ObsContext ctx;
+};
+
+/// Purity-backed memo shared by the speculative probes: with (graph, comm
+/// model, options, prefix) fixed for a run, locbs() is a pure function of
+/// the allocation, so repeated probe allocations replay the cached result
+/// and its counter deltas instead of recomputing (docs/parallelism.md).
+/// Concurrently consulted by pool workers; every access goes through the
+/// annotated lock so -Wthread-safety proves the discipline.
+class ProbeMemo {
+ public:
+  struct Entry {
+    LocBSResult result;
+    obs::MetricsSnapshot deltas;
+  };
+
+  /// Copy of the cached entry for \p np, or nullopt on a miss.
+  std::optional<Entry> lookup(const Allocation& np) LOCMPS_EXCLUDES(mu_) {
+    const MutexLock lk(mu_);
+    const auto it = entries_.find(np);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts \p e for \p np; wholesale eviction at the cap bounds memory.
+  void store(const Allocation& np, Entry e) LOCMPS_EXCLUDES(mu_) {
+    const MutexLock lk(mu_);
+    if (entries_.size() >= kCap) entries_.clear();
+    entries_.emplace(np, std::move(e));
+  }
+
+ private:
+  static constexpr std::size_t kCap = 4096;
+  Mutex mu_;
+  std::map<Allocation, Entry> entries_ LOCMPS_GUARDED_BY(mu_);
 };
 
 /// Worker count: the option, with 0 meaning one per hardware thread.
@@ -159,7 +193,9 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     };
     std::sort(cand.begin(), cand.end(), [&](TaskId a, TaskId b) {
       const double ga = gain(a), gb = gain(b);
-      if (ga != gb) return ga > gb;
+      // Exact inequality: the tie-break must see identical gains as equal
+      // so the task-id fallback keeps the order deterministic.
+      if (ga != gb) return ga > gb;  // LINT-ALLOW(float-eq)
       return a < b;
     });
     const std::size_t k = std::max<std::size_t>(
@@ -216,21 +252,12 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   const std::size_t n_threads = resolve_threads(opt_.threads);
   const bool speculative = n_threads > 1;
 
-  // Purity-backed memo for speculative probes: with (graph, comm model,
-  // options, prefix) fixed for the run, locbs() is a pure function of the
-  // allocation, so repeated probe allocations replay the cached result and
-  // its counter deltas instead of recomputing. Events cannot be replayed
-  // this way without reordering them, so the memo stands down whenever a
+  // Probe memo (see ProbeMemo above). Events cannot be replayed from a
+  // cache without reordering them, so the memo stands down whenever a
   // sink is attached; threads = 1 never uses it (the sequential reference
   // path stays untouched).
-  struct MemoEntry {
-    LocBSResult result;
-    obs::MetricsSnapshot deltas;
-  };
-  std::map<Allocation, MemoEntry> memo;
-  std::mutex memo_mu;
+  ProbeMemo memo;
   const bool memo_enabled = speculative && !obs::wants_events(obs);
-  constexpr std::size_t kMemoCap = 4096;
 
   // Every LoCBS evaluation funnels through here. \p wobs / \p wcomm are
   // the caller's observability context and its comm model (the session's
@@ -238,14 +265,10 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   auto eval_locbs = [&](const Allocation& np, obs::ObsContext* wobs,
                         const CommModel& wcomm) -> LocBSResult {
     if (!memo_enabled) return locbs(g, np, wcomm, opt_.locbs, fixed, wobs);
-    {
-      const std::lock_guard<std::mutex> lk(memo_mu);
-      const auto it = memo.find(np);
-      if (it != memo.end()) {
-        if (obs::MetricsRegistry* wmet = obs::metrics_of(wobs))
-          wmet->merge_from(it->second.deltas);
-        return it->second.result;
-      }
+    if (std::optional<ProbeMemo::Entry> hit = memo.lookup(np)) {
+      if (obs::MetricsRegistry* wmet = obs::metrics_of(wobs))
+        wmet->merge_from(hit->deltas);
+      return std::move(hit->result);
     }
     if (obs::metrics_of(wobs) == nullptr)
       return locbs(g, np, wcomm, opt_.locbs, fixed, nullptr);
@@ -259,11 +282,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     LocBSResult res = locbs(g, np, scomm, opt_.locbs, fixed, &sctx);
     obs::MetricsSnapshot deltas = scratch.snapshot();
     obs::metrics_of(wobs)->merge_from(deltas);
-    {
-      const std::lock_guard<std::mutex> lk(memo_mu);
-      if (memo.size() >= kMemoCap) memo.clear();
-      memo.emplace(np, MemoEntry{res, std::move(deltas)});
-    }
+    memo.store(np, ProbeMemo::Entry{res, std::move(deltas)});
     return res;
   };
 

@@ -12,6 +12,7 @@
 #include "graph/algorithms.hpp"
 #include "network/block_cyclic.hpp"
 #include "schedule/timeline.hpp"
+#include "util/stats.hpp"
 
 namespace locmps {
 
@@ -121,7 +122,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       res.dag.set_vertex_time(t, pl.finish - pl.start);
       ++n_frozen;
     }
-    std::sort(finish_events.begin(), finish_events.end());
+    std::sort(finish_events.begin(), finish_events.end(), total_less);
     finish_events.erase(
         std::unique(finish_events.begin(), finish_events.end()),
         finish_events.end());
@@ -363,7 +364,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       taus.reserve(P);
       for (ProcId q = 0; q < P; ++q)
         taus.push_back(std::max(est0, timeline.latest_free_time(q)));
-      std::sort(taus.begin(), taus.end());
+      std::sort(taus.begin(), taus.end(), total_less);
       taus.erase(std::unique(taus.begin(), taus.end()), taus.end());
       for (std::size_t i = 0; i < taus.size(); ++i) {
         const double tau = taus[i];

@@ -43,7 +43,7 @@ MedianCI median_ci(std::span<const double> xs, double confidence) {
   MedianCI ci;
   if (xs.empty()) return ci;
   std::vector<double> v(xs.begin(), xs.end());
-  std::sort(v.begin(), v.end());
+  std::sort(v.begin(), v.end(), total_less);
   const std::size_t n = v.size();
   ci.median = n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 
@@ -77,7 +77,7 @@ MedianCI median_ci(std::span<const double> xs, double confidence) {
 double quantile(std::span<const double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::vector<double> v(xs.begin(), xs.end());
-  std::sort(v.begin(), v.end());
+  std::sort(v.begin(), v.end(), total_less);
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

@@ -2,11 +2,22 @@
 /// \file stats.hpp
 /// Lightweight descriptive statistics used by the experiment harness.
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 namespace locmps {
+
+/// Total order on doubles for sorting: like operator< but NaNs sort last
+/// (deterministically), so a stray NaN cannot break std::sort's strict
+/// weak ordering requirement and scramble everything after it. Use this as
+/// the comparator whenever sorting float keys (locmps-lint: float-sort).
+inline bool total_less(double a, double b) {
+  if (std::isnan(a)) return false;
+  if (std::isnan(b)) return true;
+  return a < b;
+}
 
 /// Summary of a sample: count, mean, stddev, min/max and geometric mean.
 struct Summary {

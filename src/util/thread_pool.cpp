@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!wake_ready()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop requested and queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -39,7 +39,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   std::packaged_task<void()> task(std::move(job));
   std::future<void> fut = task.get_future();
   {
-    const std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

@@ -15,14 +15,14 @@
 ///    short-circuits to an inline loop in that case so single-threaded
 ///    configurations pay no synchronization at all.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace locmps {
 
@@ -55,12 +55,16 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Wake condition for a worker: work to do, or shutdown requested.
+  bool wake_ready() const LOCMPS_REQUIRES(mu_) {
+    return stop_ || !queue_.empty();
+  }
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ LOCMPS_GUARDED_BY(mu_);
+  bool stop_ LOCMPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace locmps

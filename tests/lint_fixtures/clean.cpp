@@ -1,0 +1,25 @@
+// locmps-lint fixture: the idiomatic counterparts of every rule's bad
+// pattern; must produce zero findings.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+double clean_decide(const std::vector<int>& ids) {
+  // Ordered container iteration is deterministic.
+  std::map<int, double> weights{{1, 0.5}, {2, 0.25}};
+  double sum = 0.0;
+  for (const auto& kv : weights) sum += kv.second;
+  // Membership tests on unordered containers are fine; only iteration
+  // leaks the hash order.
+  const std::unordered_set<int> allowed{1, 2, 3};
+  if (!ids.empty() && allowed.count(ids.front()) == 0) return 0.0;
+  // Sorting non-float keys needs no comparator.
+  std::vector<int> order(ids);
+  std::sort(order.begin(), order.end());
+  // Float comparison with an explicit tolerance.
+  const double eps = 1e-9;
+  if (std::fabs(sum - 0.75) < eps) sum += 1.0;
+  return sum;
+}

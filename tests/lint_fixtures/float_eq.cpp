@@ -1,0 +1,8 @@
+// locmps-lint fixture: trips float-eq (twice) and nothing else.
+bool same(double a, double b) {
+  return a == b;
+}
+
+bool is_zero(double x) {
+  return x != 0.0;
+}

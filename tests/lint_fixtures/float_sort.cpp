@@ -1,0 +1,7 @@
+// locmps-lint fixture: trips float-sort (once) and nothing else.
+#include <algorithm>
+#include <vector>
+
+void sort_times(std::vector<double>& times) {
+  std::sort(times.begin(), times.end());
+}

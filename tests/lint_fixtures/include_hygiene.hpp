@@ -1,0 +1,5 @@
+// locmps-lint fixture: trips include-hygiene (missing #pragma once, a
+// parent-relative include) and nothing else.
+#include "../elsewhere/secret.hpp"
+
+int hygiene_fixture();

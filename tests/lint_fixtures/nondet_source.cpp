@@ -1,0 +1,15 @@
+// locmps-lint fixture: trips nondet-source (five times) and nothing else.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long decide_now() {
+  std::srand(42);
+  const int r = std::rand();
+  const long stamp = std::time(nullptr);
+  std::random_device entropy;
+  const auto tick = std::chrono::system_clock::now();
+  (void)tick;
+  return stamp + r + static_cast<long>(entropy());
+}

@@ -1,0 +1,9 @@
+// locmps-lint fixture: trips raw-mutex (three times: std::mutex twice,
+// std::lock_guard once) and nothing else.
+#include <mutex>
+
+int locked_get() {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lk(mu);
+  return 1;
+}

@@ -1,0 +1,13 @@
+// locmps-lint fixture: real violations silenced by LINT-ALLOW pragmas in
+// both supported positions; must produce zero findings.
+#include <ctime>
+
+bool tie_break(double a, double b) {
+  // Same-line pragma.
+  if (a != b) return a > b;  // LINT-ALLOW(float-eq)
+  return false;
+}
+
+// Preceding-line pragma (and a multi-rule list).
+// LINT-ALLOW(nondet-source, float-eq)
+long stamp() { return std::time(nullptr); }

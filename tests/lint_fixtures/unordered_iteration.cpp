@@ -1,0 +1,16 @@
+// locmps-lint fixture: trips unordered-iteration (twice) and nothing else.
+// Iterating a hash container feeds implementation-defined order into the
+// consumer; see docs/static_analysis.md.
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+int decide() {
+  std::unordered_map<int, int> weights;
+  weights[3] = 7;
+  int sum = 0;
+  for (const auto& kv : weights) sum += kv.second;        // range-for
+  std::unordered_set<int> seen{1, 2, 3};
+  sum += std::accumulate(seen.begin(), seen.end(), 0);    // iterator pair
+  return sum;
+}

@@ -1,0 +1,161 @@
+// Fixture-driven tests for locmps-lint (tools/lint/lint_core.*).
+//
+// Each known-bad fixture under tests/lint_fixtures/ must trip exactly its
+// rule (right count, right lines, no collateral findings from the other
+// rules), the clean fixture must trip nothing, and the LINT-ALLOW fixture
+// must be fully suppressed. Fixtures are linted under a synthetic src/
+// path so every decision-path rule is armed regardless of where the test
+// binary runs.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.hpp"
+
+namespace {
+
+using locmps::lint::Finding;
+using locmps::lint::Options;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lints fixture \p name as if it lived at src/<name>, arming all rules.
+std::vector<Finding> lint_fixture(const std::string& name) {
+  const std::string as_path = "src/" + name;
+  return locmps::lint::lint_source(as_path, read_fixture(name),
+                                   locmps::lint::options_for(as_path));
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& fs) {
+  std::vector<int> out;
+  for (const Finding& f : fs) out.push_back(f.line);
+  return out;
+}
+
+void expect_only_rule(const std::vector<Finding>& fs,
+                      const std::string& rule, std::size_t count) {
+  EXPECT_EQ(fs.size(), count);
+  for (const Finding& f : fs)
+    EXPECT_EQ(f.rule, rule) << locmps::lint::format(f);
+}
+
+TEST(Lint, UnorderedIterationFixture) {
+  const auto fs = lint_fixture("unordered_iteration.cpp");
+  expect_only_rule(fs, "unordered-iteration", 2);
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{12, 14}));
+}
+
+TEST(Lint, NondetSourceFixture) {
+  const auto fs = lint_fixture("nondet_source.cpp");
+  expect_only_rule(fs, "nondet-source", 5);
+}
+
+TEST(Lint, FloatSortFixture) {
+  const auto fs = lint_fixture("float_sort.cpp");
+  expect_only_rule(fs, "float-sort", 1);
+  EXPECT_EQ(fs[0].line, 6);
+}
+
+TEST(Lint, FloatEqFixture) {
+  const auto fs = lint_fixture("float_eq.cpp");
+  expect_only_rule(fs, "float-eq", 2);
+}
+
+TEST(Lint, IncludeHygieneFixture) {
+  const auto fs = lint_fixture("include_hygiene.hpp");
+  expect_only_rule(fs, "include-hygiene", 2);
+}
+
+TEST(Lint, RawMutexFixture) {
+  const auto fs = lint_fixture("raw_mutex.cpp");
+  expect_only_rule(fs, "raw-mutex", 3);
+}
+
+TEST(Lint, CleanFixtureHasNoFindings) {
+  const auto fs = lint_fixture("clean.cpp");
+  EXPECT_TRUE(fs.empty()) << locmps::lint::format(fs.front());
+}
+
+TEST(Lint, LintAllowSuppressesBothPositions) {
+  // suppressed.cpp holds one same-line and one preceding-line pragma over
+  // real violations; with the pragmas honored nothing must surface.
+  const auto fs = lint_fixture("suppressed.cpp");
+  EXPECT_TRUE(fs.empty()) << locmps::lint::format(fs.front());
+}
+
+TEST(Lint, SuppressionIsRuleSpecific) {
+  // A pragma for the wrong rule must not silence the finding.
+  const std::string bad =
+      "bool f(double a, double b) {\n"
+      "  return a == b;  // LINT-ALLOW(nondet-source)\n"
+      "}\n";
+  const auto fs = locmps::lint::lint_source("src/x.cpp", bad,
+                                            locmps::lint::options_for(
+                                                "src/x.cpp"));
+  expect_only_rule(fs, "float-eq", 1);
+}
+
+TEST(Lint, OptionsForPathPolicy) {
+  // tests/ may compare floats exactly and read wall clocks.
+  const Options t = locmps::lint::options_for("tests/test_x.cpp");
+  EXPECT_FALSE(t.check_float_eq);
+  EXPECT_FALSE(t.check_nondet);
+  EXPECT_FALSE(t.check_unordered_iter);  // not a decision path
+  // src/ arms everything...
+  const Options s = locmps::lint::options_for("src/schedulers/x.cpp");
+  EXPECT_TRUE(s.check_float_eq);
+  EXPECT_TRUE(s.check_nondet);
+  EXPECT_TRUE(s.check_unordered_iter);
+  EXPECT_TRUE(s.check_raw_sync);
+  // ...except the annotations header, which wraps the raw primitives.
+  EXPECT_FALSE(
+      locmps::lint::options_for("src/util/annotations.hpp").check_raw_sync);
+  // The deliberately-bad fixtures are skipped entirely by the driver.
+  EXPECT_TRUE(locmps::lint::skip_path("tests/lint_fixtures/clean.cpp"));
+  EXPECT_FALSE(locmps::lint::skip_path("src/schedulers/loc_mps.cpp"));
+}
+
+TEST(Lint, SeededViolationIsCaught) {
+  // The CI gate's premise: introducing a fresh violation into a decision
+  // path fails the lint (the workflow seeds exactly this line).
+  const std::string seeded =
+      "#include <unordered_map>\n"
+      "int tie(const std::unordered_map<int,int>& m) {\n"
+      "  int k = 0;\n"
+      "  for (const auto& kv : m) k = kv.first;\n"
+      "  return k;\n"
+      "}\n";
+  const auto fs = locmps::lint::lint_source(
+      "src/schedulers/seeded.cpp", seeded,
+      locmps::lint::options_for("src/schedulers/seeded.cpp"));
+  expect_only_rule(fs, "unordered-iteration", 1);
+  EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(Lint, RuleCatalogue) {
+  const std::vector<std::string> rules = locmps::lint::rule_names();
+  const std::set<std::string> got(rules.begin(), rules.end());
+  const std::set<std::string> want{"unordered-iteration", "nondet-source",
+                                   "float-sort", "float-eq",
+                                   "include-hygiene", "raw-mutex"};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Lint, FormatIsFileLineRuleMessage) {
+  const Finding f{"src/a.cpp", 12, "float-eq", "exact =="};
+  EXPECT_EQ(locmps::lint::format(f), "src/a.cpp:12: [float-eq] exact ==");
+}
+
+}  // namespace

@@ -1,0 +1,674 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace locmps::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class Kind { Ident, Number, FloatLit, Punct };
+
+struct Token {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Directive {
+  int line;
+  std::string text;  // the directive line, '#' included, trimmed
+};
+
+/// Per-line LINT-ALLOW suppressions harvested from comments.
+using AllowMap = std::map<int, std::set<std::string>>;
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  AllowMap allows;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Records `LINT-ALLOW(a,b)` pragmas found inside a comment.
+void scan_comment(std::string_view comment, int line, AllowMap& allows) {
+  constexpr std::string_view kTag = "LINT-ALLOW(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
+    pos += kTag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) return;
+    std::string_view list = comment.substr(pos, close - pos);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t comma = list.find(',', start);
+      if (comma == std::string_view::npos) comma = list.size();
+      std::string_view rule = list.substr(start, comma - start);
+      while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+      while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+      if (!rule.empty()) allows[line].insert(std::string(rule));
+      start = comma + 1;
+    }
+    pos = close;
+  }
+}
+
+/// Classifies a pp-number as integral or floating. Hex floats ('p'
+/// exponent) and anything with a '.' or a decimal exponent are floating.
+Kind number_kind(std::string_view t) {
+  const bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
+  if (t.find('.') != std::string_view::npos) return Kind::FloatLit;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const char c = t[i];
+    if (hex && (c == 'p' || c == 'P')) return Kind::FloatLit;
+    if (!hex && (c == 'e' || c == 'E') && i + 1 < t.size() &&
+        (std::isdigit(static_cast<unsigned char>(t[i + 1])) ||
+         t[i + 1] == '+' || t[i + 1] == '-'))
+      return Kind::FloatLit;
+  }
+  return Kind::Number;
+}
+
+Lexed lex(std::string_view s) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto newline = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      std::string text;
+      while (i < n) {
+        if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
+          newline();
+          i += 2;
+          text += ' ';
+          continue;
+        }
+        if (s[i] == '\n') break;
+        text += s[i++];
+      }
+      out.directives.push_back({line, text});
+      continue;
+    }
+    at_line_start = false;
+    // Comments (scanned for LINT-ALLOW pragmas).
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const std::size_t end = s.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      scan_comment(s.substr(i, stop - i), line, out.allows);
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const int first_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t stop = std::min(n, j + 2);
+      scan_comment(s.substr(i, stop - i), first_line, out.allows);
+      i = stop;
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && s[p] != '(') delim += s[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = s.find(close, p);
+      const std::size_t stop =
+          end == std::string_view::npos ? n : end + close.size();
+      line += static_cast<int>(
+          std::count(s.begin() + static_cast<long>(i),
+                     s.begin() + static_cast<long>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < n) ++j;
+        if (s[j] == '\n') ++line;  // unterminated; keep line counts sane
+        ++j;
+      }
+      i = std::min(n, j + 1);
+      continue;
+    }
+    // Identifiers.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(s[j])) ++j;
+      out.tokens.push_back(
+          {Kind::Ident, std::string(s.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // pp-numbers, including ".5" and exponent signs.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = s[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = s[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      std::string text(s.substr(i, j - i));
+      out.tokens.push_back({number_kind(text), std::move(text), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; multi-char operators the rules care about.
+    static constexpr std::string_view kTwo[] = {"::", "->", "==", "!=", "<=",
+                                                ">=", "&&", "||", "+=", "-=",
+                                                "<<", ">>"};
+    std::string text(1, c);
+    if (i + 1 < n) {
+      const std::string_view two = s.substr(i, 2);
+      for (std::string_view t : kTwo)
+        if (two == t) {
+          text = std::string(two);
+          break;
+        }
+    }
+    out.tokens.push_back({Kind::Punct, text, line});
+    i += text.size();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers over the token stream
+// ---------------------------------------------------------------------------
+
+bool is(const Token& t, std::string_view text) { return t.text == text; }
+
+const Token* prev_tok(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 ? &toks[i - 1] : nullptr;
+}
+const Token* next_tok(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+}
+
+/// True when toks[i] is qualified as std::NAME (possibly ::std::NAME).
+bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 2 && is(toks[i - 1], "::") && is(toks[i - 2], "std");
+}
+
+/// Index just past the matching closer for the opener at \p open.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view opener, std::string_view closer) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (is(toks[j], opener)) ++depth;
+    if (is(toks[j], closer) && --depth == 0) return j + 1;
+  }
+  return toks.size();
+}
+
+/// Skips a template argument list starting at a '<' (best effort: '>'
+/// tokens inside are assumed to be closers, which holds for type lists).
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  if (i >= toks.size() || !is(toks[i], "<")) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is(toks[j], "<")) ++depth;
+    else if (is(toks[j], ">") && --depth == 0) return j + 1;
+    else if (is(toks[j], ">>") && (depth -= 2) <= 0) return j + 1;
+  }
+  return toks.size();
+}
+
+const std::set<std::string, std::less<>> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Names of variables declared in this file with an unordered container
+/// type, plus aliases introduced by `using X = std::unordered_map<...>`.
+std::set<std::string> collect_unordered_vars(const std::vector<Token>& t) {
+  std::set<std::string> vars;
+  std::set<std::string> alias_types(kUnorderedTypes.begin(),
+                                    kUnorderedTypes.end());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::Ident || alias_types.count(t[i].text) == 0)
+      continue;
+    // `using Alias = std::unordered_map<...>`: record the alias name.
+    if (i >= 3 && is(t[i - 1], "::") && i >= 4 && is(t[i - 3], "=") &&
+        t[i - 4].kind == Kind::Ident && i >= 5 && is(t[i - 5], "using")) {
+      alias_types.insert(t[i - 4].text);
+      continue;
+    }
+    std::size_t j = skip_template_args(t, i + 1);
+    while (j < t.size() &&
+           (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")))
+      ++j;
+    if (j < t.size() && t[j].kind == Kind::Ident) vars.insert(t[j].text);
+  }
+  return vars;
+}
+
+/// Names of variables declared float/double (including simple declarator
+/// lists and `auto x = <float literal>`), and of std::vector<float/double>
+/// variables. Lexical best effort: function names declared with a floating
+/// return type are also collected, which is harmless for the rules using
+/// this set.
+struct FloatDecls {
+  std::set<std::string> scalars;
+  std::set<std::string> vectors;
+};
+
+FloatDecls collect_float_decls(const std::vector<Token>& t) {
+  FloatDecls out;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::Ident) continue;
+    // std::vector<double> name
+    if (t[i].text == "vector" && i + 1 < t.size() && is(t[i + 1], "<")) {
+      const std::size_t inner = i + 2;
+      if (inner < t.size() && (is(t[inner], "double") ||
+                               is(t[inner], "float"))) {
+        std::size_t j = skip_template_args(t, i + 1);
+        while (j < t.size() &&
+               (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")))
+          ++j;
+        if (j < t.size() && t[j].kind == Kind::Ident)
+          out.vectors.insert(t[j].text);
+      }
+      continue;
+    }
+    const bool floating = t[i].text == "double" || t[i].text == "float";
+    if (floating) {
+      // Declarator list: double a = ..., b = ...;
+      std::size_t j = i + 1;
+      for (;;) {
+        // A '*' declares a pointer to float, whose own comparisons are
+        // pointer comparisons — stop, do not record the name.
+        if (j < t.size() && is(t[j], "*")) break;
+        while (j < t.size() && (is(t[j], "&") || is(t[j], "const"))) ++j;
+        if (j >= t.size() || t[j].kind != Kind::Ident) break;
+        // Only a plain declarator counts: `double time(...)` declares a
+        // function, and in a parameter list the declarator after a comma
+        // may open an unrelated type (`double x, const Foo& y`).
+        if (j + 1 >= t.size() ||
+            (!is(t[j + 1], "=") && !is(t[j + 1], ",") &&
+             !is(t[j + 1], ";") && !is(t[j + 1], ")") &&
+             !is(t[j + 1], "{") && !is(t[j + 1], "[") &&
+             !is(t[j + 1], ":")))
+          break;
+        out.scalars.insert(t[j].text);
+        ++j;
+        // Skip an initializer (or parameter default) to the next ',' or
+        // an end-of-declaration token, at top nesting level.
+        int par = 0, brk = 0, brc = 0;
+        bool more = false;
+        for (; j < t.size(); ++j) {
+          const std::string& x = t[j].text;
+          if (x == "(") ++par;
+          else if (x == ")") { if (par == 0) break; --par; }
+          else if (x == "[") ++brk;
+          else if (x == "]") --brk;
+          else if (x == "{") { if (brc == 0 && par == 0) break; ++brc; }
+          else if (x == "}") --brc;
+          else if (x == ";" && par == 0 && brk == 0 && brc == 0) break;
+          else if (x == "," && par == 0 && brk == 0 && brc == 0) {
+            more = true;
+            ++j;
+            break;
+          }
+        }
+        if (!more) break;
+      }
+      continue;
+    }
+    // auto x = 0.5;
+    if (t[i].text == "auto" && i + 3 < t.size() &&
+        t[i + 1].kind == Kind::Ident && is(t[i + 2], "=") &&
+        t[i + 3].kind == Kind::FloatLit)
+      out.scalars.insert(t[i + 1].text);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(std::string_view path, const Lexed& lx, const Options& opt)
+      : path_(path), lx_(lx), opt_(opt) {}
+
+  std::vector<Finding> run() {
+    if (opt_.check_include_hygiene) include_hygiene();
+    if (opt_.check_nondet) nondet_source();
+    if (opt_.check_unordered_iter) unordered_iteration();
+    if (opt_.check_float_sort) float_sort();
+    if (opt_.check_float_eq) float_eq();
+    if (opt_.check_raw_sync) raw_sync();
+    return std::move(findings_);
+  }
+
+ private:
+  void add(int line, std::string_view rule, std::string message) {
+    // A LINT-ALLOW pragma suppresses its own line and the following line.
+    for (int l = line - 1; l <= line; ++l) {
+      const auto it = lx_.allows.find(l);
+      if (it != lx_.allows.end() && it->second.count(std::string(rule)))
+        return;
+    }
+    findings_.push_back(
+        {std::string(path_), line, std::string(rule), std::move(message)});
+  }
+
+  // include-hygiene: headers start with #pragma once (before any
+  // #include); no "../" includes; no .cpp includes.
+  void include_hygiene() {
+    const bool header = path_.size() > 4 &&
+                        path_.substr(path_.size() - 4) == ".hpp";
+    bool saw_pragma_once = false;
+    bool include_before_pragma = false;
+    for (const Directive& d : lx_.directives) {
+      const std::string& s = d.text;
+      if (s.find("pragma") != std::string::npos &&
+          s.find("once") != std::string::npos)
+        saw_pragma_once = true;
+      const std::size_t inc = s.find("include");
+      if (inc == std::string::npos) continue;
+      if (!saw_pragma_once) include_before_pragma = true;
+      const std::size_t q1 = s.find_first_of("\"<", inc);
+      if (q1 == std::string::npos) continue;
+      const std::size_t q2 = s.find_first_of("\">", q1 + 1);
+      if (q2 == std::string::npos) continue;
+      const std::string inc_path = s.substr(q1 + 1, q2 - q1 - 1);
+      if (inc_path.rfind("../", 0) == 0)
+        add(d.line, "include-hygiene",
+            "parent-relative include \"" + inc_path +
+                "\"; include project headers by their src/-relative path");
+      if (inc_path.size() > 4 &&
+          inc_path.substr(inc_path.size() - 4) == ".cpp")
+        add(d.line, "include-hygiene",
+            "#include of a .cpp file (" + inc_path + ")");
+    }
+    if (header && (!saw_pragma_once || include_before_pragma))
+      add(1, "include-hygiene",
+          saw_pragma_once
+              ? "#pragma once must precede every #include"
+              : "header is missing #pragma once");
+  }
+
+  // nondet-source: wall clocks and unseeded randomness are banned in
+  // deterministic code — a schedule decision or replay that reads them
+  // cannot reproduce bit for bit (docs/static_analysis.md).
+  void nondet_source() {
+    const auto& t = lx_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Kind::Ident) continue;
+      const std::string& x = t[i].text;
+      if (x == "random_device")
+        add(t[i].line, "nondet-source",
+            "std::random_device is unseeded; use util/rng (Rng) so runs "
+            "replay from a seed");
+      else if (x == "system_clock" || x == "high_resolution_clock")
+        add(t[i].line, "nondet-source",
+            "std::chrono::" + x +
+                " is wall-clock; telemetry must use util/stopwatch "
+                "(steady_clock) and decisions must not read clocks");
+      else if (x == "rand" || x == "srand" || x == "time" || x == "clock") {
+        const Token* nx = next_tok(t, i);
+        if (nx == nullptr || !is(*nx, "(")) continue;
+        const Token* pv = prev_tok(t, i);
+        if (pv != nullptr && (is(*pv, ".") || is(*pv, "->"))) continue;
+        if (pv != nullptr && is(*pv, "::") && !std_qualified(t, i))
+          continue;  // Foo::time(...) — not the libc call
+        // `double time(...)` / `virtual time(...)`: a declaration of a
+        // member named time, not a call into libc.
+        if (pv != nullptr && (pv->kind == Kind::Ident || is(*pv, ">") ||
+                              is(*pv, "&") || is(*pv, "*")))
+          continue;
+        // Unqualified time()/clock(): only the libc calling shapes count
+        // (no argument, a null/zero argument, or an out-pointer). A member
+        // call like time(p) computes an execution time, not wall time.
+        if ((x == "time" || x == "clock") && !std_qualified(t, i)) {
+          const Token* arg = next_tok(t, i + 1);
+          const bool libc_shape =
+              arg != nullptr &&
+              (is(*arg, ")") || is(*arg, "nullptr") || is(*arg, "NULL") ||
+               is(*arg, "0") || is(*arg, "&"));
+          if (!libc_shape) continue;
+        }
+        add(t[i].line, "nondet-source",
+            x == "rand" || x == "srand"
+                ? "rand()/srand() is process-global and unseeded per run; "
+                  "use util/rng (Rng)"
+                : x + "() reads the wall clock; schedules must replay "
+                      "independent of real time");
+      }
+    }
+  }
+
+  // unordered-iteration: iterating a hash container feeds its
+  // implementation-defined order into whatever consumes the loop — a
+  // tie-break seeded from it destroys the threads=N == threads=1
+  // replay guarantee. Membership tests are fine; iteration is not.
+  void unordered_iteration() {
+    const auto& t = lx_.tokens;
+    const std::set<std::string> vars = collect_unordered_vars(t);
+    if (vars.empty()) return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      // for (... : var)
+      if (t[i].kind == Kind::Ident && is(t[i], "for") && i + 1 < t.size() &&
+          is(t[i + 1], "(")) {
+        const std::size_t end = match_forward(t, i + 1, "(", ")");
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < end; ++j) {
+          if (is(t[j], "(")) ++depth;
+          else if (is(t[j], ")")) --depth;
+          else if (is(t[j], ":") && depth == 1) {
+            colon = j;
+            break;
+          }
+        }
+        for (std::size_t j = colon; colon != 0 && j < end; ++j)
+          if (t[j].kind == Kind::Ident && vars.count(t[j].text)) {
+            add(t[j].line, "unordered-iteration",
+                "range-for over unordered container '" + t[j].text +
+                    "'; iteration order is implementation-defined — use an "
+                    "ordered container or sort the keys first");
+            break;
+          }
+      }
+      // var.begin() / var.cbegin() — iterator loops and algorithms.
+      if (t[i].kind == Kind::Ident && vars.count(t[i].text) &&
+          i + 2 < t.size() && is(t[i + 1], ".") &&
+          (is(t[i + 2], "begin") || is(t[i + 2], "cbegin") ||
+           is(t[i + 2], "rbegin")))
+        add(t[i].line, "unordered-iteration",
+            "iterator over unordered container '" + t[i].text +
+                "'; iteration order is implementation-defined");
+    }
+  }
+
+  // float-sort: std::sort on floating keys without a comparator. The
+  // default operator< is not a strict weak order in the presence of NaN,
+  // so the result (and everything downstream) is unspecified.
+  void float_sort() {
+    const auto& t = lx_.tokens;
+    const FloatDecls decls = collect_float_decls(t);
+    if (decls.vectors.empty()) return;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Kind::Ident ||
+          (t[i].text != "sort" && t[i].text != "stable_sort"))
+        continue;
+      const Token* pv = prev_tok(t, i);
+      if (pv != nullptr && (is(*pv, ".") || is(*pv, "->"))) continue;
+      if (pv != nullptr && is(*pv, "::") && !std_qualified(t, i)) continue;
+      if (i + 1 >= t.size() || !is(t[i + 1], "(")) continue;
+      const std::size_t end = match_forward(t, i + 1, "(", ")");
+      int depth = 0, commas = 0;
+      bool float_range = false;
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (is(t[j], "(")) ++depth;
+        else if (is(t[j], ")")) --depth;
+        else if (is(t[j], ",") && depth == 1) ++commas;
+        else if (t[j].kind == Kind::Ident && decls.vectors.count(t[j].text))
+          float_range = true;
+      }
+      if (commas == 1 && float_range)
+        add(t[i].line, "float-sort",
+            "std::" + t[i].text +
+                " on a float/double range without a comparator; NaN breaks "
+                "strict weak ordering — pass an explicit total-order "
+                "comparator");
+    }
+  }
+
+  // float-eq: exact ==/!= on floating values. Outside tests this is
+  // almost always a rounding bug; where exact comparison is the point
+  // (tie-breaks, replay invariants) say so with LINT-ALLOW(float-eq).
+  void float_eq() {
+    const auto& t = lx_.tokens;
+    const FloatDecls decls = collect_float_decls(t);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Kind::Punct || (!is(t[i], "==") && !is(t[i], "!=")))
+        continue;
+      const Token* pv = prev_tok(t, i);
+      const Token* nx = next_tok(t, i);
+      auto floating = [&](const Token* tok) {
+        if (tok == nullptr) return false;
+        if (tok->kind == Kind::FloatLit) return true;
+        return tok->kind == Kind::Ident && decls.scalars.count(tok->text) > 0;
+      };
+      // An identifier right of the operator that is itself member-accessed,
+      // called, or qualified (`x != v.begin()`) is not the operand — the
+      // access result is, and its type is unknown here.
+      bool nx_is_value = floating(nx);
+      if (nx_is_value && nx->kind == Kind::Ident) {
+        const Token* after = next_tok(t, i + 1);
+        if (after != nullptr && (is(*after, ".") || is(*after, "->") ||
+                                 is(*after, "(") || is(*after, "::")))
+          nx_is_value = false;
+      }
+      if (floating(pv) || nx_is_value)
+        add(t[i].line, "float-eq",
+            "exact " + t[i].text +
+                " on floating-point values; compare with a tolerance, or "
+                "mark a deliberate exact tie-break with LINT-ALLOW(float-eq)");
+    }
+  }
+
+  // raw-mutex: naked std synchronization primitives carry no Clang
+  // thread-safety annotations, so lock/unlock discipline on them is
+  // invisible to -Wthread-safety. Use the annotated wrappers.
+  void raw_sync() {
+    static const std::set<std::string> kBanned = {
+        "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+        "condition_variable", "condition_variable_any", "lock_guard",
+        "unique_lock", "scoped_lock", "shared_lock"};
+    const auto& t = lx_.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Kind::Ident || kBanned.count(t[i].text) == 0)
+        continue;
+      if (!std_qualified(t, i)) continue;
+      add(t[i].line, "raw-mutex",
+          "std::" + t[i].text +
+              " is invisible to Clang thread-safety analysis; use "
+              "locmps::Mutex / MutexLock / CondVar from util/annotations.hpp");
+    }
+  }
+
+  std::string_view path_;
+  const Lexed& lx_;
+  const Options& opt_;
+  std::vector<Finding> findings_;
+};
+
+bool path_contains(std::string_view path, std::string_view part) {
+  return path.find(part) != std::string_view::npos;
+}
+
+}  // namespace
+
+Options options_for(std::string_view path) {
+  Options o;
+  const bool in_tests = path_contains(path, "tests/");
+  const bool in_src = path_contains(path, "src/");
+  o.check_float_eq = !in_tests;
+  o.check_nondet = !in_tests;
+  o.check_unordered_iter = in_src;
+  o.check_raw_sync = !path_contains(path, "util/annotations.hpp");
+  return o;
+}
+
+bool skip_path(std::string_view path) {
+  return path_contains(path, "lint_fixtures") ||
+         path_contains(path, "build") || path_contains(path, ".git/");
+}
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view text, const Options& opt) {
+  const Lexed lx = lex(text);
+  Linter linter(path, lx, opt);
+  std::vector<Finding> out = linter.run();
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<std::string> rule_names() {
+  return {"unordered-iteration", "nondet-source", "float-sort",
+          "float-eq",            "include-hygiene", "raw-mutex"};
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace locmps::lint
