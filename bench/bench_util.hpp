@@ -33,6 +33,7 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -40,6 +41,8 @@
 #include "core/experiment.hpp"
 #include "obs/analysis.hpp"
 #include "obs/events.hpp"
+#include "obs/log.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "schedule/metrics.hpp"
 #include "schedule/trace_export.hpp"
@@ -127,12 +130,16 @@ struct ObsOut {
 
 /// Parses `--obs-out <path>` / `--obs-out=<path>` and `--report-out
 /// <path>` / `--report-out=<path>` from argv, falling back to the
-/// LOCMPS_OBS_OUT / LOCMPS_REPORT_OUT environment variables. Unknown
-/// arguments are ignored.
+/// LOCMPS_OBS_OUT / LOCMPS_REPORT_OUT environment variables. Also
+/// applies `--log-level <l>` / `--log-level=<l>` (every bench binary
+/// parses its argv through here, so the logger flag works uniformly;
+/// the LOCMPS_LOG environment variable is the fallback — obs/log.hpp).
+/// Unknown arguments are ignored.
 inline ObsOut parse_obs(int argc, char** argv) {
   ObsOut out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::string level_spec;
     if (arg == "--obs-out" && i + 1 < argc)
       out.path = argv[++i];
     else if (arg.rfind("--obs-out=", 0) == 0)
@@ -141,6 +148,18 @@ inline ObsOut parse_obs(int argc, char** argv) {
       out.report = argv[++i];
     else if (arg.rfind("--report-out=", 0) == 0)
       out.report = arg.substr(13);
+    else if (arg == "--log-level" && i + 1 < argc)
+      level_spec = argv[++i];
+    else if (arg.rfind("--log-level=", 0) == 0)
+      level_spec = arg.substr(12);
+    if (!level_spec.empty()) {
+      obs::LogLevel level = obs::LogLevel::kInfo;
+      if (obs::parse_log_level(level_spec, level))
+        obs::set_log_level(level);
+      else
+        obs::log(obs::LogLevel::kWarn, "bench")
+            << "ignoring unknown --log-level '" << level_spec << "'";
+    }
   }
   if (out.path.empty())
     if (const char* env = std::getenv("LOCMPS_OBS_OUT"))
@@ -161,18 +180,21 @@ inline void dump_obs_run(const ObsOut& obs, const TaskGraph& g,
                          const Cluster& cluster,
                          const std::string& scheme = "loc-mps") {
   if (!obs.enabled()) return;
+  obs::Profiler profiler;
   SchemeRun run;
   if (!obs.path.empty()) {
     std::ofstream jsonl(obs.path);
     if (!jsonl) {
-      std::cerr << "obs: cannot open " << obs.path << " for writing\n";
+      obs::log(obs::LogLevel::kError, "obs")
+          << "cannot open " << obs.path << " for writing";
       return;
     }
     obs::JsonlSink sink(jsonl);
-    run = evaluate_scheme(scheme, g, cluster, {}, &sink);
+    run = evaluate_scheme(scheme, g, cluster, {}, &sink, {}, &profiler);
   } else {
-    run = evaluate_scheme(scheme, g, cluster, {});
+    run = evaluate_scheme(scheme, g, cluster, {}, nullptr, {}, &profiler);
   }
+  const obs::ProfileSnapshot prof = profiler.snapshot();
 
   if (!obs.path.empty()) {
     std::ifstream back(obs.path);
@@ -183,7 +205,7 @@ inline void dump_obs_run(const ObsOut& obs, const TaskGraph& g,
     }
     const std::string trace_path = obs.path + ".trace.json";
     std::ofstream trace(trace_path);
-    write_chrome_trace(trace, g, run.schedule, &run.counters);
+    write_chrome_trace(trace, g, run.schedule, &run.counters, &prof);
     std::cout << "\nobs: " << scheme << " decision trace -> " << obs.path
               << " (makespan " << fmt(run.makespan) << "s, "
               << run.iterations << " LoCBS calls)\n"
@@ -193,7 +215,8 @@ inline void dump_obs_run(const ObsOut& obs, const TaskGraph& g,
   if (!obs.report.empty()) {
     std::ofstream html(obs.report);
     if (!html) {
-      std::cerr << "obs: cannot open " << obs.report << " for writing\n";
+      obs::log(obs::LogLevel::kError, "obs")
+          << "cannot open " << obs.report << " for writing";
       return;
     }
     obs::ReportOptions ropt;
@@ -201,6 +224,7 @@ inline void dump_obs_run(const ObsOut& obs, const TaskGraph& g,
                  std::to_string(cluster.processors) + " processors";
     ropt.subtitle = std::to_string(g.num_tasks()) + " tasks, " +
                     std::to_string(g.num_edges()) + " edges";
+    ropt.profile = &prof;
     obs::write_html_report(html, g, run.schedule, run.analysis, ropt);
     std::cout << "obs: HTML post-mortem report -> " << obs.report << "\n";
   }
@@ -340,9 +364,14 @@ inline void BenchTelemetry::write() const {
   if (!enabled()) return;
   std::ofstream os(path_);
   if (!os) {
-    std::cerr << "bench: cannot open " << path_ << " for writing\n";
+    obs::log(obs::LogLevel::kError, "bench")
+        << "cannot open " << path_ << " for writing";
     return;
   }
+  // Process-level resource footprint of the whole bench run. Peak RSS is
+  // always available (getrusage); allocation totals are live only in
+  // LOCMPS_PROFILE builds — alloc_tracking says which.
+  const obs::AllocCounters alloc = obs::process_alloc_totals();
   os.precision(17);
   os << "{\n"
      << "  \"bench\": \"" << name_ << "\",\n"
@@ -350,6 +379,11 @@ inline void BenchTelemetry::write() const {
      << "  \"timestamp\": \"" << detail::iso_utc_now() << "\",\n"
      << "  \"graphs\": " << suite_size() << ",\n"
      << "  \"full_scale\": " << (full_scale() ? "true" : "false") << ",\n"
+     << "  \"peak_rss_bytes\": " << obs::peak_rss_bytes() << ",\n"
+     << "  \"alloc_tracking\": "
+     << (obs::alloc_counting_enabled() ? "true" : "false") << ",\n"
+     << "  \"alloc_bytes\": " << alloc.bytes << ",\n"
+     << "  \"allocs\": " << alloc.count << ",\n"
      << "  \"panels\": [";
   for (std::size_t bi = 0; bi < panels_.size(); ++bi) {
     const Panel& p = panels_[bi];
@@ -379,6 +413,154 @@ inline void BenchTelemetry::write() const {
   os << "\n  ]\n}\n";
   std::cout << "\nbench: telemetry -> " << path_ << " (" << panels_.size()
             << " panel(s), git " << LOCMPS_GIT_SHA << ")\n";
+}
+
+// ---------------------------------------------------------------------------
+// Phase-budget profiles (BENCH_<name>_profile.json).
+//
+// `--profile-out <path>` (LOCMPS_PROFILE_OUT; the value `1` means
+// `BENCH_<name>_profile.json`) makes the binary finish by running a few
+// self-profiled planning+execution reps of one representative workload
+// and writing per-span-path wall/CPU medians with order-statistic CIs
+// plus exact (deterministic) count/allocation columns. The file is the
+// "phases" document scripts/bench_diff.py diffs against a committed
+// baseline — the phase-budget ratchet of docs/observability.md.
+
+/// Destination and repetition count of the phase-budget profile dump.
+struct ProfileOut {
+  std::string path;      ///< profile JSON; empty = disabled
+  std::size_t reps = 5;  ///< self-profiled reps behind the medians
+  bool enabled() const { return !path.empty(); }
+};
+
+/// Parses `--profile-out <path>` / `--profile-out=<path>` and
+/// `--profile-reps <n>`, falling back to LOCMPS_PROFILE_OUT /
+/// LOCMPS_PROFILE_REPS. Unknown arguments are ignored.
+inline ProfileOut parse_profile_out(const std::string& bench_name, int argc,
+                                    char** argv) {
+  ProfileOut out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile-out" && i + 1 < argc)
+      out.path = argv[++i];
+    else if (arg.rfind("--profile-out=", 0) == 0)
+      out.path = arg.substr(14);
+    else if (arg == "--profile-reps" && i + 1 < argc)
+      out.reps =
+          static_cast<std::size_t>(std::max(1L, std::atol(argv[++i])));
+    else if (arg.rfind("--profile-reps=", 0) == 0)
+      out.reps = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.substr(15).c_str())));
+  }
+  if (out.path.empty())
+    if (const char* env = std::getenv("LOCMPS_PROFILE_OUT"))
+      if (*env != '\0') out.path = env;
+  if (out.path == "1") out.path = "BENCH_" + bench_name + "_profile.json";
+  out.reps = env_size("LOCMPS_PROFILE_REPS", out.reps);
+  return out;
+}
+
+namespace detail {
+
+/// Per-span-path samples across self-profiled reps. count/alloc columns
+/// come from the first rep and are cross-checked against later reps:
+/// they are deterministic (docs/parallelism.md), so a mismatch is a bug
+/// worth a warning, not an averaged-away detail.
+struct ProfilePhase {
+  std::uint64_t count = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t allocs = 0;
+  std::vector<double> wall_s;
+  std::vector<double> cpu_s;
+};
+
+inline void collect_phases(const obs::ProfileNode& node,
+                           const std::string& prefix,
+                           std::vector<std::string>& order,
+                           std::map<std::string, ProfilePhase>& phases) {
+  for (const obs::ProfileNode& c : node.children) {
+    const std::string path = prefix.empty() ? c.name : prefix + ";" + c.name;
+    auto [it, inserted] = phases.try_emplace(path);
+    ProfilePhase& ph = it->second;
+    if (inserted) {
+      order.push_back(path);
+      ph.count = c.count;
+      ph.alloc_bytes = c.alloc_bytes;
+      ph.allocs = c.allocs;
+    } else if (ph.count != c.count) {
+      obs::log(obs::LogLevel::kWarn, "bench")
+          << "span " << path << " count varies across reps (" << ph.count
+          << " vs " << c.count << ") — determinism bug?";
+    }
+    ph.wall_s.push_back(c.wall_s);
+    ph.cpu_s.push_back(c.cpu_s);
+    collect_phases(c, path, order, phases);
+  }
+}
+
+}  // namespace detail
+
+/// Runs \p po.reps self-profiled passes of \p scheme on \p g / \p cluster
+/// and writes the phase-budget profile JSON. No-op when disabled.
+inline void dump_profile_run(const ProfileOut& po,
+                             const std::string& bench_name,
+                             const TaskGraph& g, const Cluster& cluster,
+                             const std::string& scheme = "loc-mps") {
+  if (!po.enabled()) return;
+  std::vector<std::string> order;
+  std::map<std::string, detail::ProfilePhase> phases;
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, po.reps); ++rep) {
+    obs::Profiler profiler;
+    evaluate_scheme(scheme, g, cluster, {}, nullptr, {}, &profiler);
+    const obs::ProfileSnapshot snap = profiler.snapshot();
+    detail::collect_phases(snap.root, "", order, phases);
+  }
+  std::ofstream os(po.path);
+  if (!os) {
+    obs::log(obs::LogLevel::kError, "bench")
+        << "cannot open " << po.path << " for writing";
+    return;
+  }
+  os.precision(17);
+  os << "{\n"
+     << "  \"bench\": \"" << bench_name << "\",\n"
+     << "  \"kind\": \"profile\",\n"
+     << "  \"git_sha\": \"" << LOCMPS_GIT_SHA << "\",\n"
+     << "  \"timestamp\": \"" << detail::iso_utc_now() << "\",\n"
+     << "  \"scheme\": \"" << scheme << "\",\n"
+     << "  \"reps\": " << std::max<std::size_t>(1, po.reps) << ",\n"
+     << "  \"tasks\": " << g.num_tasks() << ",\n"
+     << "  \"procs\": " << cluster.processors << ",\n"
+     << "  \"alloc_tracking\": "
+     << (obs::alloc_counting_enabled() ? "true" : "false") << ",\n"
+     << "  \"phases\": [";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const detail::ProfilePhase& ph = phases.at(order[i]);
+    os << (i ? ",\n" : "\n") << "    {\"path\": \"" << order[i]
+       << "\", \"count\": " << ph.count << ", \"wall_s\": ";
+    detail::write_stat(os, ph.wall_s);
+    os << ", \"cpu_s\": ";
+    detail::write_stat(os, ph.cpu_s);
+    os << ", \"alloc_bytes\": " << ph.alloc_bytes
+       << ", \"allocs\": " << ph.allocs << "}";
+  }
+  os << "\n  ]\n}\n";
+  std::cout << "\nbench: phase-budget profile -> " << po.path << " ("
+            << order.size() << " span path(s), "
+            << std::max<std::size_t>(1, po.reps) << " rep(s))\n";
+}
+
+/// dump_profile_run on the same default representative workload as
+/// maybe_dump_obs (mid-size synthetic DAG, 32 processors).
+inline void maybe_dump_profile(const ProfileOut& po,
+                               const std::string& bench_name) {
+  if (!po.enabled()) return;
+  SyntheticParams p;
+  p.ccr = 0.5;
+  p.max_procs = 32;
+  Rng rng(20060901);
+  const TaskGraph g = make_synthetic_dag(p, rng);
+  dump_profile_run(po, bench_name, g, Cluster(32, p.bandwidth_Bps));
 }
 
 }  // namespace locmps::bench

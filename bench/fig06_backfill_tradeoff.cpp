@@ -15,6 +15,8 @@ using namespace locmps;
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  const bench::ProfileOut prof =
+      bench::parse_profile_out("fig06_backfill_tradeoff", argc, argv);
   bench::init_telemetry("fig06_backfill_tradeoff", argc, argv);
   SyntheticParams p;
   p.ccr = 0.1;
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
   bench::telemetry().record("fig06", c, graphs);
   bench::write_telemetry();
   bench::maybe_dump_obs(obs);
+  bench::maybe_dump_profile(prof, "fig06_backfill_tradeoff");
   return 0;
 }

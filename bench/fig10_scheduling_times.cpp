@@ -94,6 +94,8 @@ void thread_sweep_panel(const std::vector<std::size_t>& thread_counts) {
 
 int main(int argc, char** argv) {
   const bench::ObsOut obs = bench::parse_obs(argc, argv);
+  const bench::ProfileOut prof =
+      bench::parse_profile_out("fig10_scheduling_times", argc, argv);
   bench::init_telemetry("fig10_scheduling_times", argc, argv);
   std::cout << "Reproduction of Fig 10 (scheduling times)\n";
   const auto procs = bench::proc_sweep();
@@ -112,5 +114,6 @@ int main(int argc, char** argv) {
   thread_sweep_panel(bench::thread_sweep(argc, argv));
   bench::write_telemetry();
   bench::maybe_dump_obs(obs);
+  bench::maybe_dump_profile(prof, "fig10_scheduling_times");
   return 0;
 }

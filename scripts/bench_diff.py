@@ -22,6 +22,17 @@ value still lies inside the baseline's order-statistic confidence interval
 `sched_seconds` regressions use --sched-threshold. Exits 1 when any
 regression is found, 2 on malformed or unreadable input, 3 when the
 baseline file does not exist (commit one first), else 0.
+
+Phase-budget profiles: when both inputs are BENCH_*_profile.json
+documents (`"kind": "profile"`, written by a bench binary's
+`--profile-out`), rows are span paths instead. `wall_s` and `cpu_s` use
+--sched-threshold (wall-clock noise) with the same CI suppression;
+`alloc_bytes` and `allocs` are deterministic scalars compared at
+--threshold with no suppression (they are only compared when both runs
+had allocation tracking compiled in). A changed span `count` is
+reported as a warning — counts are deterministic, so a change means the
+planner's control flow changed. Mixing a profile document with a
+telemetry document is a usage error (exit 2).
 """
 
 import argparse
@@ -62,6 +73,19 @@ def rows(doc):
     return out
 
 
+def phase_rows(doc):
+    """Flattens a profile document to {span path: phase row}."""
+    out = {}
+    for ph in doc.get("phases", []):
+        try:
+            out[ph["path"]] = ph
+        except (KeyError, TypeError):
+            print("bench_diff: malformed phase row (missing path)",
+                  file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
 def pct_change(base, cand):
     if base == 0:
         return 0.0 if cand == 0 else float("inf")
@@ -73,6 +97,89 @@ def inside_ci(value, stat):
     if "ci_lo" not in stat or "ci_hi" not in stat:
         return False
     return stat["ci_lo"] <= value <= stat["ci_hi"]
+
+
+def diff_profiles(base_doc, cand_doc, args):
+    """Compares two phase-budget profile documents and exits."""
+    base, cand = phase_rows(base_doc), phase_rows(cand_doc)
+    if not base or not cand:
+        print("bench_diff: no phases in one of the inputs", file=sys.stderr)
+        sys.exit(2)
+
+    for field in ("scheme", "tasks", "procs"):
+        if base_doc.get(field) != cand_doc.get(field):
+            print(f"bench_diff: WARNING: {field} differs (baseline "
+                  f"{base_doc.get(field)}, candidate "
+                  f"{cand_doc.get(field)}); deltas may not be comparable")
+
+    alloc_ok = (base_doc.get("alloc_tracking", False)
+                and cand_doc.get("alloc_tracking", False))
+    if not alloc_ok:
+        print("bench_diff: allocation tracking off in at least one run; "
+              "skipping alloc_bytes/allocs comparisons")
+
+    # (metric key, is stat dict, threshold). Wall/CPU are wall-clock noisy
+    # -> --sched-threshold + CI suppression; allocation columns are
+    # deterministic -> the tight --threshold, no suppression.
+    checks = [
+        ("wall_s", True, args.sched_threshold),
+        ("cpu_s", True, args.sched_threshold),
+    ]
+    if alloc_ok:
+        checks += [
+            ("alloc_bytes", False, args.threshold),
+            ("allocs", False, args.threshold),
+        ]
+    regressions, improvements, warnings, compared = [], [], [], 0
+    for path in sorted(set(base) & set(cand)):
+        b, c = base[path], cand[path]
+        if b.get("count") != c.get("count"):
+            warnings.append(
+                f"{path}: span count changed {b.get('count')} -> "
+                f"{c.get('count')} (planner control flow changed)")
+        for metric, is_stat, threshold in checks:
+            if metric not in b or metric not in c:
+                continue
+            if is_stat:
+                try:
+                    bval = b[metric][args.metric]
+                    cval = c[metric][args.metric]
+                except (KeyError, TypeError):
+                    print(f"bench_diff: {metric} in {path} lacks the "
+                          f"{args.metric!r} statistic", file=sys.stderr)
+                    sys.exit(2)
+                suppressed = inside_ci(cval, b[metric])
+            else:
+                bval, cval = b[metric], c[metric]
+                suppressed = False
+            compared += 1
+            delta = pct_change(bval, cval)
+            line = f"{path} / {metric}: {bval:.6g} -> {cval:.6g} ({delta:+.2f}%)"
+            if delta > threshold and not suppressed:
+                regressions.append(line)
+            elif delta < -threshold:
+                improvements.append(line)
+            elif not args.quiet:
+                print(f"  ok     {line}")
+
+    for line in improvements:
+        print(f"  better {line}")
+    for line in warnings:
+        print(f"  NOTE   {line}")
+    for line in regressions:
+        print(f"  WORSE  {line}")
+
+    missing = sorted(set(base) - set(cand))
+    if missing:
+        print(f"bench_diff: WARNING: {len(missing)} baseline span path(s) "
+              f"missing from candidate (first: {missing[0]})")
+
+    print(f"bench_diff: {compared} phase comparisons, "
+          f"{len(improvements)} improvement(s), "
+          f"{len(regressions)} regression(s), {len(warnings)} count "
+          f"change(s) (threshold {args.threshold}%/"
+          f"{args.sched_threshold}% on {args.metric})")
+    sys.exit(1 if regressions else 0)
 
 
 def main():
@@ -88,10 +195,6 @@ def main():
 
     base_doc = load(args.baseline, role="baseline")
     cand_doc = load(args.candidate)
-    base, cand = rows(base_doc), rows(cand_doc)
-    if not base or not cand:
-        print("bench_diff: no results in one of the inputs", file=sys.stderr)
-        sys.exit(2)
 
     print(f"baseline : {args.baseline} "
           f"(git {base_doc.get('git_sha', '?')}, "
@@ -99,6 +202,22 @@ def main():
     print(f"candidate: {args.candidate} "
           f"(git {cand_doc.get('git_sha', '?')}, "
           f"{cand_doc.get('timestamp', '?')})")
+
+    base_prof = base_doc.get("kind") == "profile" or "phases" in base_doc
+    cand_prof = cand_doc.get("kind") == "profile" or "phases" in cand_doc
+    if base_prof != cand_prof:
+        print("bench_diff: cannot mix a phase-budget profile with panel "
+              "telemetry", file=sys.stderr)
+        sys.exit(2)
+    if base_prof:
+        diff_profiles(base_doc, cand_doc, args)
+        return  # diff_profiles exits
+
+    base, cand = rows(base_doc), rows(cand_doc)
+    if not base or not cand:
+        print("bench_diff: no results in one of the inputs", file=sys.stderr)
+        sys.exit(2)
+
     if (base_doc.get("graphs"), base_doc.get("full_scale")) != (
             cand_doc.get("graphs"), cand_doc.get("full_scale")):
         print("bench_diff: WARNING: suite sizes differ "

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Measure the planning-time overhead of the self-profiling subsystem.
+
+Usage:
+    scripts/profile_overhead.py --profiled BUILD_ON/tools/locmps-inspect \
+        --baseline BUILD_OFF/tools/locmps-inspect [options] [-- inspect args]
+
+Options:
+    --reps N          runs per binary; the median planning time is
+                      compared (default 5)
+    --threshold PCT   maximum tolerated overhead, percent (default 5.0)
+    --live            attach a live span tracer to the profiled binary
+                      (--flame-out /dev/null) instead of measuring the
+                      always-on cost
+
+`--profiled` is an inspect binary from the default build
+(-DLOCMPS_PROFILE=ON: the counting operator-new hook attributes
+allocation deltas); `--baseline` is one from a -DLOCMPS_PROFILE=OFF
+build. By default neither run attaches a Profiler, so the comparison
+isolates the *always-on* instrumentation cost — the allocation hook
+plus inert LOCMPS_SPAN sites — which is what the < 5% CI gate asserts:
+a binary that merely supports profiling must not tax users who never
+ask for a profile. With --live the profiled binary additionally records
+every span (`--flame-out /dev/null` creates a Profiler without the
+--profile reconciliation gate); that measures the opt-in cost of an
+active profile, which is allowed to be much larger (see
+docs/observability.md for current numbers). Both binaries run `--reps`
+times with identical forwarded arguments (anything after `--`; the
+default workload plans for a couple of seconds, enough signal for a 5%
+bound), the `planning <x> s` line each run prints is parsed, and the
+script exits 1 if the median-over-median overhead exceeds the
+threshold. Exits 2 on unparsable output or a failing inspect run.
+"""
+
+import argparse
+import os
+import re
+import statistics
+import subprocess
+import sys
+
+PLANNING_RE = re.compile(r"^planning\s+([0-9.eE+-]+)\s+s\s*$", re.MULTILINE)
+
+
+def planning_seconds(binary, run_args):
+    proc = subprocess.run(
+        [binary] + run_args, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"profile_overhead: {binary} exited {proc.returncode}")
+    match = PLANNING_RE.search(proc.stdout)
+    if match is None:
+        sys.exit(f"profile_overhead: no 'planning <x> s' line in output "
+                 f"of {binary}")
+    return float(match.group(1))
+
+
+def median_planning(binary, reps, run_args):
+    times = [planning_seconds(binary, run_args) for _ in range(reps)]
+    med = statistics.median(times)
+    print(f"  {binary}: median {med:.4f} s over {reps} run(s) "
+          f"(min {min(times):.4f}, max {max(times):.4f})")
+    return med
+
+
+def main():
+    argv = sys.argv[1:]
+    extra = []
+    if "--" in argv:
+        split = argv.index("--")
+        argv, extra = argv[:split], argv[split + 1:]
+
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--profiled", required=True,
+                        help="locmps-inspect from the LOCMPS_PROFILE=ON build")
+    parser.add_argument("--baseline", required=True,
+                        help="locmps-inspect from the LOCMPS_PROFILE=OFF build")
+    parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--threshold", type=float, default=5.0)
+    parser.add_argument("--live", action="store_true")
+    args = parser.parse_args(argv)
+
+    mode = "live span tracer" if args.live else "always-on instrumentation"
+    print(f"profile_overhead: comparing median planning time, {mode} "
+          f"({args.reps} rep(s) each)")
+    profiled_args = extra + (["--flame-out", os.devnull] if args.live else [])
+    on = median_planning(args.profiled, args.reps, profiled_args)
+    off = median_planning(args.baseline, args.reps, extra)
+    if off <= 0:
+        sys.exit("profile_overhead: baseline planning time is zero")
+
+    overhead = (on - off) / off * 100.0
+    verdict = "ok" if overhead <= args.threshold else "FAIL"
+    print(f"profile_overhead: {verdict} — overhead {overhead:+.2f}% "
+          f"(threshold {args.threshold:.1f}%)")
+    sys.exit(0 if overhead <= args.threshold else 1)
+
+
+if __name__ == "__main__":
+    main()

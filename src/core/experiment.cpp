@@ -48,16 +48,24 @@ void parallel_for(std::size_t count, std::size_t threads, Fn&& fn) {
 SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
                           const Cluster& cluster, const SimOptions& sim,
                           obs::EventSink* sink,
-                          const SchedulerOptions& sched_opt) {
+                          const SchedulerOptions& sched_opt,
+                          obs::Profiler* profiler) {
   // One registry per run: compare_schemes fans runs out over threads, so
   // the registry must not be shared across evaluations.
   obs::MetricsRegistry metrics;
-  obs::ObsContext obs{&metrics, sink};
+  obs::ObsContext obs{&metrics, sink, profiler};
 
   const SchedulerPtr sched = make_scheduler(scheme, sched_opt);
   sched->attach_observability(&obs);
   Stopwatch sw;
-  SchedulerResult planned = sched->schedule(g, cluster);
+  SchedulerResult planned;
+  {
+    // The span brackets exactly the stopwatch region so the profile root
+    // reconciles with scheduling_seconds (locmps-inspect --profile
+    // asserts the two agree within 2%).
+    LOCMPS_SPAN(&obs, "harness.plan");
+    planned = sched->schedule(g, cluster);
+  }
   const double plan_time = sw.seconds();
   metrics.set("scheduler.plan_seconds", plan_time);
 
@@ -75,7 +83,11 @@ SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
   SimOptions run_sim = sim;
   run_sim.locality_volumes = scheme_exploits_locality(scheme);
   run_sim.obs = &obs;
-  SimResult executed = simulate_execution(g, planned.schedule, comm, run_sim);
+  SimResult executed;
+  {
+    LOCMPS_SPAN(&obs, "harness.simulate");
+    executed = simulate_execution(g, planned.schedule, comm, run_sim);
+  }
   metrics.set("sim.makespan", executed.makespan);
 
   SchemeRun run;
@@ -93,8 +105,12 @@ SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
   // charged, with backfill effectiveness joined from the run's counters.
   obs::AnalysisOptions an;
   an.locality_volumes = run_sim.locality_volumes;
-  run.analysis = obs::analyze_schedule(g, run.schedule, comm, an);
+  {
+    LOCMPS_SPAN(&obs, "harness.analyze");
+    run.analysis = obs::analyze_schedule(g, run.schedule, comm, an);
+  }
   obs::join_backfill_stats(run.analysis, run.counters);
+  obs::join_event_health(run.analysis, run.counters);
   return run;
 }
 

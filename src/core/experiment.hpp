@@ -18,6 +18,7 @@
 #include "obs/analysis.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "schedule/event_sim.hpp"
 #include "schedulers/scheduler.hpp"
 #include "util/table.hpp"
@@ -55,10 +56,18 @@ struct SchemeRun {
 /// \p sched_opt tunes the scheduler itself (e.g. speculative-probe
 /// threads for LoC-MPS-backed schemes); every setting produces the same
 /// schedule (see docs/parallelism.md), so results stay comparable.
+///
+/// Pass \p profiler to self-profile the run: the planning, simulation,
+/// and analysis stages record hierarchical spans (harness.plan /
+/// harness.simulate / harness.analyze and their scheduler-side children;
+/// taxonomy in docs/observability.md). The harness.plan span brackets
+/// exactly the region timed into scheduling_seconds, so the two
+/// reconcile within measurement noise.
 SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
                           const Cluster& cluster, const SimOptions& sim = {},
                           obs::EventSink* sink = nullptr,
-                          const SchedulerOptions& sched_opt = {});
+                          const SchedulerOptions& sched_opt = {},
+                          obs::Profiler* profiler = nullptr);
 
 /// Aggregated scheme x processor-count comparison over a graph suite.
 struct Comparison {

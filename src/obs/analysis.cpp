@@ -311,6 +311,10 @@ void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
   f.present = f.injected > 0.0;
 }
 
+void join_event_health(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
+  a.events_dropped = snap.counter("obs.events.dropped");
+}
+
 // ---------------------------------------------------------------------------
 // Decision-trace ingestion.
 

@@ -210,6 +210,12 @@ struct ScheduleAnalysis {
   /// empty for fault-free runs. Drawn as the Gantt fault lane.
   std::vector<FaultWindow> fault_windows;
 
+  /// Decision events discarded by a full EventBuffer during the run
+  /// ("obs.events.dropped", joined by join_event_health). Non-zero means
+  /// the decision trace is truncated; surfaced by locmps-inspect and the
+  /// HTML report footer.
+  double events_dropped = 0.0;
+
   /// Blame entries with delay_s > 0, sorted by descending delay, at most
   /// \p n of them (the report's top-N blame table).
   std::vector<TaskBlame> top_blame(std::size_t n) const;
@@ -226,6 +232,9 @@ void join_backfill_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
 /// Fills \p a.faults from the run's "fault.*" / "recovery.*" counters.
 void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
+
+/// Fills \p a.events_dropped from the run's "obs.events.dropped" counter.
+void join_event_health(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
 // ---------------------------------------------------------------------------
 // Decision-trace ingestion (the PR-1 JSONL stream).

@@ -109,28 +109,55 @@ std::string json_escape(std::string_view in);
 /// Thread-compatible like the registry: each speculative probe owns its
 /// private buffer; only the orchestrator (after the batch barrier) calls
 /// replay_into (schedulers/loc_mps.cpp, docs/parallelism.md).
+///
+/// Capacity is bounded at kMaxEvents: once full, further emits are
+/// counted in dropped() instead of growing the buffer without limit.
+/// The LoC-MPS orchestrator folds probe drop counts into the
+/// "obs.events.dropped" counter, which locmps-inspect and the HTML
+/// report footer surface so a truncated decision trace is never silent.
 class LOCMPS_THREAD_COMPATIBLE EventBuffer final : public EventSink {
  public:
-  void emit(const Event& e) override { events_.push_back(e); }
+  /// Retention bound, mirroring MetricsRegistry::kMaxSpans in spirit:
+  /// large enough for every workload in the test/bench suites, small
+  /// enough that a runaway emitter cannot exhaust memory.
+  static constexpr std::size_t kMaxEvents = 65536;
+
+  void emit(const Event& e) override {
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
 
   const std::vector<Event>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  /// Events discarded because the buffer was full.
+  std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// Re-emits every buffered event into \p sink, in emission order.
+  /// Dropped events are gone; the caller accounts for dropped().
   void replay_into(EventSink& sink) const {
     for (const Event& e : events_) sink.emit(e);
   }
 
  private:
   std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
 };
 
-/// The handle instrumented layers carry. Either member may be null; the
+class Profiler;  // obs/profile.hpp
+
+/// The handle instrumented layers carry. Any member may be null; the
 /// whole context pointer is null when observability is off (the zero-cost
 /// default).
 struct ObsContext {
   MetricsRegistry* metrics = nullptr;
   EventSink* sink = nullptr;
+  Profiler* profile = nullptr;
 };
 
 /// Emit helper: true when \p obs has a sink attached.

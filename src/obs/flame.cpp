@@ -1,0 +1,86 @@
+#include "obs/flame.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace locmps::obs {
+
+namespace {
+
+std::uint64_t self_weight(const ProfileNode& n, FlameWeight w) {
+  switch (w) {
+    case FlameWeight::kWallMicros:
+      return static_cast<std::uint64_t>(std::llround(n.self_wall_s() * 1e6));
+    case FlameWeight::kCpuMicros:
+      return static_cast<std::uint64_t>(std::llround(n.self_cpu_s() * 1e6));
+    case FlameWeight::kAllocBytes: {
+      std::uint64_t bytes = n.alloc_bytes;
+      for (const ProfileNode& c : n.children) {
+        bytes -= c.alloc_bytes < bytes ? c.alloc_bytes : bytes;
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+void collapse(std::ostream& os, const ProfileNode& n, const std::string& prefix,
+              FlameWeight w) {
+  const std::string path =
+      prefix.empty() ? n.name : prefix + ";" + n.name;
+  const std::uint64_t weight = self_weight(n, w);
+  if (weight > 0) os << path << ' ' << weight << '\n';
+  for (const ProfileNode& c : n.children) collapse(os, c, path, w);
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnit[] = {"B", "K", "M", "G", "T"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream ss;
+  if (u == 0) {
+    ss << bytes << "B";
+  } else {
+    ss << std::fixed << std::setprecision(1) << v << kUnit[u];
+  }
+  return ss.str();
+}
+
+void tree_row(std::ostream& os, const ProfileNode& n, int depth) {
+  std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+  label += n.name;
+  if (label.size() > 36) label.resize(36);
+  os << "  " << std::left << std::setw(36) << label << std::right
+     << std::setw(8) << n.count << std::fixed << std::setprecision(6)
+     << std::setw(12) << n.wall_s << std::setw(12) << n.self_wall_s()
+     << std::setw(12) << n.cpu_s << std::setw(10) << human_bytes(n.alloc_bytes)
+     << std::setw(9) << n.allocs << '\n';
+  for (const ProfileNode& c : n.children) tree_row(os, c, depth + 1);
+}
+
+}  // namespace
+
+void write_collapsed_stacks(std::ostream& os, const ProfileSnapshot& snap,
+                            FlameWeight weight) {
+  for (const ProfileNode& c : snap.root.children) {
+    collapse(os, c, "", weight);
+  }
+}
+
+void write_profile_tree(std::ostream& os, const ProfileSnapshot& snap) {
+  os << "  " << std::left << std::setw(36) << "span" << std::right
+     << std::setw(8) << "count" << std::setw(12) << "total(s)"
+     << std::setw(12) << "self(s)" << std::setw(12) << "cpu(s)"
+     << std::setw(10) << "alloc" << std::setw(9) << "allocs" << '\n';
+  for (const ProfileNode& c : snap.root.children) tree_row(os, c, 0);
+}
+
+}  // namespace locmps::obs

@@ -1,0 +1,32 @@
+#pragma once
+/// \file flame.hpp
+/// Presentation of ProfileSnapshot trees: collapsed-stack flamegraph
+/// text (the `stack;stack;stack weight` format consumed by
+/// flamegraph.pl and speedscope) and the fixed-width self/total tree
+/// that `locmps-inspect --profile` prints.
+
+#include <iosfwd>
+
+#include "obs/profile.hpp"
+
+namespace locmps::obs {
+
+/// Which per-span quantity becomes the collapsed-stack weight.
+enum class FlameWeight {
+  kWallMicros,  ///< self wall time, integer microseconds
+  kCpuMicros,   ///< self CPU time, integer microseconds
+  kAllocBytes,  ///< self allocation bytes
+};
+
+/// Writes one collapsed-stack line per span path with a positive self
+/// weight: "harness.plan;locmps.run;locbs.pass 1234\n". Deterministic:
+/// paths appear in depth-first name order.
+void write_collapsed_stacks(std::ostream& os, const ProfileSnapshot& snap,
+                            FlameWeight weight = FlameWeight::kWallMicros);
+
+/// Writes the human-readable span tree: one row per node (indented by
+/// depth) with count, total/self wall seconds, CPU seconds, and
+/// allocation deltas.
+void write_profile_tree(std::ostream& os, const ProfileSnapshot& snap);
+
+}  // namespace locmps::obs

@@ -1,0 +1,156 @@
+#pragma once
+/// \file log.hpp
+/// Tiny leveled stderr logger unifying the ad-hoc diagnostic prints of
+/// the bench binaries and locmps-inspect.
+///
+///   obs::log(obs::LogLevel::kWarn, "inspect") << "cannot open " << path;
+///
+/// The level comes from (highest precedence first) set_log_level(), the
+/// LOCMPS_LOG environment variable, then the kInfo default. CLI tools
+/// map a --log-level flag onto parse_log_level()/set_log_level().
+///
+/// Lines carry a wall-clock HH:MM:SS prefix. That is the one sanctioned
+/// nondeterminism in this header — diagnostics are operator-facing and
+/// never feed schedules, counters, or telemetry stats — and it carries
+/// the same LINT-ALLOW(nondet-source) audit as the bench timestamp
+/// (tools/lint, docs/determinism.md).
+///
+/// Thread notes: the level is one relaxed atomic; a LogLine buffers its
+/// whole line and writes it with a single stream insertion, so lines
+/// from concurrent threads never interleave mid-line.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace locmps::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+namespace detail {
+
+inline std::atomic<int>& log_level_ref() {
+  static std::atomic<int> level{-1};  // -1 = not yet initialized
+  return level;
+}
+
+inline std::ostream*& log_stream_ref() {
+  static std::ostream* os = &std::cerr;
+  return os;
+}
+
+inline const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace detail
+
+/// Parses "error"/"warn"/"info"/"debug" (or "e"/"w"/"i"/"d") into \p out.
+inline bool parse_log_level(std::string_view s, LogLevel& out) {
+  if (s == "error" || s == "e") {
+    out = LogLevel::kError;
+  } else if (s == "warn" || s == "warning" || s == "w") {
+    out = LogLevel::kWarn;
+  } else if (s == "info" || s == "i") {
+    out = LogLevel::kInfo;
+  } else if (s == "debug" || s == "d") {
+    out = LogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Overrides the level (beats LOCMPS_LOG).
+inline void set_log_level(LogLevel l) {
+  detail::log_level_ref().store(static_cast<int>(l),
+                                std::memory_order_relaxed);
+}
+
+/// The active level: set_log_level() if called, else LOCMPS_LOG, else
+/// kInfo.
+inline LogLevel log_level() {
+  int v = detail::log_level_ref().load(std::memory_order_relaxed);
+  if (v < 0) {
+    LogLevel parsed = LogLevel::kInfo;
+    if (const char* env = std::getenv("LOCMPS_LOG")) {
+      parse_log_level(env, parsed);  // unparsable -> keep default
+    }
+    v = static_cast<int>(parsed);
+    detail::log_level_ref().store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+/// True when a message at \p l would be written.
+inline bool log_enabled(LogLevel l) {
+  return static_cast<int>(l) <= static_cast<int>(log_level());
+}
+
+/// Redirects log output (tests). Null restores stderr.
+inline void set_log_stream(std::ostream* os) {
+  detail::log_stream_ref() = os != nullptr ? os : &std::cerr;
+}
+
+/// One buffered log line, flushed with prefix on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : enabled_(log_enabled(level)) {
+    if (!enabled_) return;
+    const std::time_t now = std::time(nullptr);  // LINT-ALLOW(nondet-source)
+    std::tm tm{};
+    char hms[16] = "--:--:--";
+    if (localtime_r(&now, &tm) != nullptr) {
+      std::snprintf(hms, sizeof hms, "%02d:%02d:%02d", tm.tm_hour, tm.tm_min,
+                    tm.tm_sec);
+    }
+    buf_ << hms << ' ' << detail::level_tag(level) << ' ' << tag << ": ";
+  }
+
+  ~LogLine() {
+    if (enabled_) *detail::log_stream_ref() << buf_.str() << '\n';
+  }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  LogLine(LogLine&& other) noexcept : enabled_(other.enabled_) {
+    buf_ << other.buf_.str();
+    other.enabled_ = false;
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) buf_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream buf_;
+};
+
+/// Entry point: obs::log(LogLevel::kError, "bench") << "message";
+inline LogLine log(LogLevel level, std::string_view tag) {
+  return LogLine(level, tag);
+}
+
+}  // namespace locmps::obs

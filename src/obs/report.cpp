@@ -418,6 +418,43 @@ void render_blame(std::ostream& os, const TaskGraph& g,
   os << "</table></div>\n";
 }
 
+/// One span-tree row per profile node, indented by depth; recursion
+/// follows the snapshot's deterministic (name-sorted) child order.
+void render_profile_rows(std::ostream& os, const ProfileNode& n, int depth) {
+  os << "<tr><td style=\"padding-left:" << 8 + depth * 18 << "px\">"
+     << xml_escape(n.name) << "</td><td class=\"num\">" << n.count
+     << "</td><td class=\"num\">" << fmt(n.wall_s, 6)
+     << "</td><td class=\"num\">" << fmt(n.self_wall_s(), 6)
+     << "</td><td class=\"num\">" << fmt(n.cpu_s, 6)
+     << "</td><td class=\"num\">" << mb(static_cast<double>(n.alloc_bytes))
+     << "</td><td class=\"num\">" << n.allocs << "</td></tr>\n";
+  for (const ProfileNode& c : n.children) render_profile_rows(os, c, depth + 1);
+}
+
+void render_profile(std::ostream& os, const ProfileSnapshot& snap) {
+  double wall = 0.0, cpu = 0.0;
+  std::uint64_t bytes = 0;
+  for (const ProfileNode& c : snap.root.children) {
+    wall += c.wall_s;
+    cpu += c.cpu_s;
+    bytes += c.alloc_bytes;
+  }
+  os << "<div class=\"panel\"><table id=\"profile-table\">\n"
+     << "<tr><th>span</th><th class=\"num\">count</th>"
+     << "<th class=\"num\">total (s)</th><th class=\"num\">self (s)</th>"
+     << "<th class=\"num\">cpu (s)</th><th class=\"num\">alloc</th>"
+     << "<th class=\"num\">allocs</th></tr>\n";
+  for (const ProfileNode& c : snap.root.children)
+    render_profile_rows(os, c, 0);
+  os << "<tr><th>total</th><th class=\"num\"></th>"
+     << "<th class=\"num\" id=\"profile-total-wall\">" << fmt(wall, 6)
+     << "</th><th class=\"num\"></th>"
+     << "<th class=\"num\" id=\"profile-total-cpu\">" << fmt(cpu, 6)
+     << "</th><th class=\"num\" id=\"profile-total-alloc\">"
+     << mb(static_cast<double>(bytes)) << "</th><th class=\"num\"></th>"
+     << "</tr>\n</table></div>\n";
+}
+
 }  // namespace
 
 void write_html_report(std::ostream& os, const TaskGraph& g,
@@ -501,9 +538,19 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
     render_faults(os, a);
   }
 
+  if (opt.profile != nullptr && !opt.profile->empty()) {
+    os << "<h2>Planner self-profile</h2>\n";
+    render_profile(os, *opt.profile);
+  }
+
   os << "<p class=\"footer\">Generated by locmps schedule analytics "
         "(docs/observability.md). "
-     << a.num_tasks << " tasks on " << a.num_procs << " processors.</p>\n";
+     << a.num_tasks << " tasks on " << a.num_procs << " processors.";
+  if (a.events_dropped > 0.0)
+    os << " WARNING: " << fmt(a.events_dropped, 0)
+       << " decision event(s) dropped by a full EventBuffer — the trace "
+          "is truncated.";
+  os << "</p>\n";
   os << "</body></html>\n";
 }
 
@@ -555,6 +602,9 @@ std::string text_report(const ScheduleAnalysis& a) {
        << fmt(a.backfill.tasks_placed, 0) << " placements backfilled ("
        << pct(a.backfill.hit_rate) << "), " << fmt(a.backfill.holes_scanned, 0)
        << " holes scanned, prune rate " << pct(a.backfill.prune_rate) << "\n";
+  if (a.events_dropped > 0.0)
+    os << "events          WARNING: " << fmt(a.events_dropped, 0)
+       << " decision event(s) dropped (EventBuffer overflow)\n";
   return os.str();
 }
 

@@ -16,6 +16,7 @@
 
 #include "graph/task_graph.hpp"
 #include "obs/analysis.hpp"
+#include "obs/profile.hpp"
 #include "schedule/schedule.hpp"
 
 namespace locmps::obs {
@@ -26,6 +27,9 @@ struct ReportOptions {
   std::string subtitle;            ///< e.g. scheme / workload description
   std::size_t top_blame = 15;      ///< rows of the blame table
   std::size_t gantt_width = 1160;  ///< Gantt plot width in pixels
+  /// Session profiler snapshot; non-null (and non-empty) adds the
+  /// "Planner self-profile" span-tree panel (docs/observability.md).
+  const ProfileSnapshot* profile = nullptr;
 };
 
 /// Writes the HTML report for \p a (computed from \p g and \p s).

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "network/block_cyclic.hpp"
+#include "obs/profile.hpp"
 
 namespace locmps {
 
@@ -67,6 +68,7 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
 
   obs::ObsContext* const obs = opt.obs;
   obs::ScopedTimer sim_timer(obs::metrics_of(obs), "sim.execute");
+  LOCMPS_SPAN(obs, "sim.execute");
   // Realized-redistribution telemetry, flushed once after the replay.
   std::uint64_t obs_transfers = 0, obs_local_edges = 0;
 

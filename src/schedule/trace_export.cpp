@@ -53,11 +53,37 @@ void write_planner_track(std::ostream& os, bool& first,
   }
 }
 
+/// Emits the session profiler's span intervals as one planner thread of
+/// nested "X" slices (tid \p tid following the timer threads). Perfetto
+/// nests slices on a thread by time containment, which the profiler's
+/// strict open/close discipline guarantees.
+void write_profile_track(std::ostream& os, bool& first,
+                         const obs::ProfileSnapshot& profile, int tid) {
+  constexpr double kScale = 1e6;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  comma();
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+     << ",\"args\":{\"name\":\"profile.spans\"}}";
+  for (const obs::ProfileInterval& iv : profile.intervals) {
+    const double dur = iv.end_s - iv.begin_s;
+    if (dur < 0.0) continue;  // clock skew guard; never emit negative
+    comma();
+    os << "{\"name\":\"" << json_escape(iv.name)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+       << ",\"ts\":" << iv.begin_s * kScale << ",\"dur\":" << dur * kScale
+       << ",\"args\":{\"depth\":" << iv.depth << "}}";
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const TaskGraph& g,
                         const Schedule& s,
                         const obs::MetricsSnapshot* planner,
+                        const obs::ProfileSnapshot* profile,
                         double time_scale) {
   if (!s.complete())
     throw std::invalid_argument("write_chrome_trace: incomplete schedule");
@@ -89,19 +115,37 @@ void write_chrome_trace(std::ostream& os, const TaskGraph& g,
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << q
        << ",\"args\":{\"name\":\"P" << q << "\"}}";
   }
-  if (planner != nullptr) {
+  if (planner != nullptr || (profile != nullptr && !profile->empty())) {
     if (!first) os << ",";
     first = false;
     os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
           "\"args\":{\"name\":\"schedule\"}}";
-    write_planner_track(os, first, *planner);
+    int tid = 0;
+    if (planner != nullptr) {
+      write_planner_track(os, first, *planner);
+      tid = static_cast<int>(planner->timers.size());
+    } else {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"args\":{\"name\":\"planner\"}}";
+    }
+    if (profile != nullptr && !profile->empty())
+      write_profile_track(os, first, *profile, tid);
   }
   os << "]}";
 }
 
 void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s,
+                        const obs::MetricsSnapshot* planner,
+                        double time_scale) {
+  write_chrome_trace(os, g, s, planner, nullptr, time_scale);
+}
+
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
                         const Schedule& s, double time_scale) {
-  write_chrome_trace(os, g, s, nullptr, time_scale);
+  write_chrome_trace(os, g, s, nullptr, nullptr, time_scale);
 }
 
 std::string chrome_trace(const TaskGraph& g, const Schedule& s,

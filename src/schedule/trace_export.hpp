@@ -17,6 +17,7 @@
 
 #include "graph/task_graph.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "schedule/schedule.hpp"
 
 namespace locmps {
@@ -34,6 +35,18 @@ namespace locmps {
 void write_chrome_trace(std::ostream& os, const TaskGraph& g,
                         const Schedule& s,
                         const obs::MetricsSnapshot* planner,
+                        double time_scale = 1e6);
+
+/// Full overload: additionally renders \p profile (a session profiler's
+/// ProfileSnapshot) as one more planner thread, "profile.spans", whose
+/// "X" slices are the recorded span intervals. Spans nest properly in
+/// time, so Perfetto stacks them into the planner's flamegraph-style
+/// hierarchy. Interval times are seconds since the profiler's epoch
+/// (the same convention as the timer spans).
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s,
+                        const obs::MetricsSnapshot* planner,
+                        const obs::ProfileSnapshot* profile,
                         double time_scale = 1e6);
 
 /// Schedule-only overload (no planner track).

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "graph/algorithms.hpp"
+#include "obs/profile.hpp"
 #include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
@@ -63,6 +64,9 @@ struct WalkResult {
 struct ProbeObs {
   obs::MetricsRegistry reg;
   obs::EventBuffer buf;
+  // Aggregates only: probe intervals would be dropped at merge anyway
+  // (their epoch is not the session profiler's).
+  obs::Profiler prof{/*record_intervals=*/false};
   obs::ObsContext ctx;
 };
 
@@ -77,6 +81,7 @@ class ProbeMemo {
   struct Entry {
     LocBSResult result;
     obs::MetricsSnapshot deltas;
+    obs::ProfileSnapshot profile;
   };
 
   /// Copy of the cached entry for \p np, or nullopt on a miss.
@@ -127,7 +132,9 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   const std::size_t P = cluster.processors;
   obs::ObsContext* const obs = observability();
   obs::MetricsRegistry* const met = obs::metrics_of(obs);
+  obs::Profiler* const prof = obs::profiler_of(obs);
   obs::ScopedTimer run_timer(met, "locmps.run");
+  LOCMPS_SPAN(obs, "locmps.run");
   CommModel comm(cluster);
   if (met != nullptr)
     comm.count_evals_into(met->cell_ptr("comm.cost_evals"));
@@ -265,24 +272,33 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   auto eval_locbs = [&](const Allocation& np, obs::ObsContext* wobs,
                         const CommModel& wcomm) -> LocBSResult {
     if (!memo_enabled) return locbs(g, np, wcomm, opt_.locbs, fixed, wobs);
+    obs::MetricsRegistry* const wmet = obs::metrics_of(wobs);
+    obs::Profiler* const wprof = obs::profiler_of(wobs);
     if (std::optional<ProbeMemo::Entry> hit = memo.lookup(np)) {
-      if (obs::MetricsRegistry* wmet = obs::metrics_of(wobs))
-        wmet->merge_from(hit->deltas);
+      if (wmet != nullptr) wmet->merge_from(hit->deltas);
+      // Replaying the cached span deltas keeps the threaded span tree's
+      // counts bit-identical to the sequential tree (the cached wall/CPU
+      // times are the miss run's actuals).
+      if (wprof != nullptr) wprof->merge_from(hit->profile);
       return std::move(hit->result);
     }
-    if (obs::metrics_of(wobs) == nullptr)
+    if (wmet == nullptr && wprof == nullptr)
       return locbs(g, np, wcomm, opt_.locbs, fixed, nullptr);
-    // Miss with metrics on: run under a scratch registry so this call's
-    // exact counter/timer deltas can be captured for replay on later hits,
-    // then fold them into the caller's registry.
+    // Miss with metrics/profiling on: run under scratch observability so
+    // this call's exact counter/timer/span deltas can be captured for
+    // replay on later hits, then fold them into the caller's context.
     obs::MetricsRegistry scratch;
-    obs::ObsContext sctx{&scratch, nullptr};
+    obs::Profiler sprof(/*record_intervals=*/false);
+    obs::ObsContext sctx{wmet != nullptr ? &scratch : nullptr, nullptr,
+                         wprof != nullptr ? &sprof : nullptr};
     CommModel scomm(cluster);
-    scomm.count_evals_into(scratch.cell_ptr("comm.cost_evals"));
+    if (wmet != nullptr)
+      scomm.count_evals_into(scratch.cell_ptr("comm.cost_evals"));
     LocBSResult res = locbs(g, np, scomm, opt_.locbs, fixed, &sctx);
-    obs::MetricsSnapshot deltas = scratch.snapshot();
-    obs::metrics_of(wobs)->merge_from(deltas);
-    memo.store(np, ProbeMemo::Entry{res, std::move(deltas)});
+    ProbeMemo::Entry e{res, scratch.snapshot(), sprof.snapshot()};
+    if (wmet != nullptr) wmet->merge_from(e.deltas);
+    if (wprof != nullptr) wprof->merge_from(e.profile);
+    memo.store(np, std::move(e));
     return res;
   };
 
@@ -334,6 +350,10 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
                       std::size_t probe_index,
                       std::atomic<std::size_t>* race) -> WalkResult {
     obs::MetricsRegistry* const wmet = obs::metrics_of(wobs);
+    // One span per look-ahead round. Sequentially it nests under
+    // locmps.run; on a probe it is the probe profiler's root span and the
+    // candidate-order merge grafts it back under locmps.run.
+    LOCMPS_SPAN(wobs, "locmps.walk");
     WalkResult r;
     r.alloc = base_alloc;
     r.sl = start_best;
@@ -366,6 +386,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         CriticalPathInfo cp;
         {
           obs::ScopedTimer cp_timer(wmet, "locmps.critical_path");
+          LOCMPS_SPAN(wobs, "locmps.critical_path");
           cp = cur->dag.critical_path();
         }
         comp_dominates = !comm_aware || cp.comp_cost >= cp.comm_cost;
@@ -646,6 +667,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         pobs[j]->ctx.metrics = met != nullptr ? &pobs[j]->reg : nullptr;
         pobs[j]->ctx.sink =
             obs::wants_events(obs) ? &pobs[j]->buf : nullptr;
+        pobs[j]->ctx.profile = prof != nullptr ? &pobs[j]->prof : nullptr;
       }
       std::vector<std::future<void>> futs;
       futs.reserve(kk);
@@ -679,8 +701,13 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         }
       }
       if (err != nullptr) std::rethrow_exception(err);
-      if (met != nullptr)
+      if (met != nullptr) {
         met->add("locmps.parallel.wall_ms", batch_sw.seconds() * 1e3);
+        // CPU attribution across the pool (excluded from determinism
+        // digests like the other locmps.parallel.* wall-clock numbers).
+        met->set("locmps.parallel.worker_cpu_s",
+                 pool->worker_cpu_seconds());
+      }
 
       // Candidate-order reduction: process rounds in enumeration order;
       // the first improving round wins and the rest of the batch is
@@ -693,7 +720,13 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         // Merge this probe's telemetry exactly where the sequential run
         // would have produced it.
         if (met != nullptr) met->merge_from(pobs[j]->reg.snapshot());
-        if (obs::wants_events(obs)) pobs[j]->buf.replay_into(*obs->sink);
+        if (prof != nullptr) prof->merge_from(pobs[j]->prof.snapshot());
+        if (obs::wants_events(obs)) {
+          pobs[j]->buf.replay_into(*obs->sink);
+          if (pobs[j]->buf.dropped() > 0 && met != nullptr)
+            met->add("obs.events.dropped",
+                     static_cast<double>(pobs[j]->buf.dropped()));
+        }
         calls += w.used;
         const double old_sl = best_sl;
         finish_round(round, steps[j].ep, old_sl, w, calls);

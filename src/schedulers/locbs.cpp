@@ -11,6 +11,7 @@
 
 #include "graph/algorithms.hpp"
 #include "network/block_cyclic.hpp"
+#include "obs/profile.hpp"
 #include "schedule/timeline.hpp"
 #include "util/stats.hpp"
 
@@ -48,6 +49,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
   const std::size_t P = comm.cluster().processors;
   obs::MetricsRegistry* const met = obs::metrics_of(obs);
   obs::ScopedTimer pass_timer(met, "locbs.pass");
+  LOCMPS_SPAN(obs, "locbs.pass");
   if (met != nullptr) met->add("locbs.calls");
   if (np.size() != n)
     throw std::invalid_argument("locbs: allocation size mismatch");
@@ -72,23 +74,30 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
 
   const bool overlap = comm.overlap();
 
-  // Execution times under this allocation, and allocation-stage edge costs.
+  // Execution times under this allocation, and allocation-stage edge costs
+  // (block-cyclic redistribution volumes through the comm model).
   std::vector<double> et(n);
-  for (TaskId t = 0; t < n; ++t) et[t] = g.task(t).profile.time(np[t]);
   std::vector<double> west(g.num_edges(), 0.0);
-  if (!opt.comm_blind)
-    for (EdgeId e = 0; e < g.num_edges(); ++e)
-      west[e] = comm.edge_cost(g.edge(e).volume_bytes, np[g.edge(e).src],
-                               np[g.edge(e).dst]);
+  {
+    LOCMPS_SPAN(obs, "locbs.edge_costs");
+    for (TaskId t = 0; t < n; ++t) et[t] = g.task(t).profile.time(np[t]);
+    if (!opt.comm_blind)
+      for (EdgeId e = 0; e < g.num_edges(); ++e)
+        west[e] = comm.edge_cost(g.edge(e).volume_bytes, np[g.edge(e).src],
+                                 np[g.edge(e).dst]);
+  }
 
   // Static priority: bottomL(t) + max incoming edge weight (Alg. 2 step 4).
-  const Levels lv = compute_levels(
-      g, [&](TaskId t) { return et[t]; }, [&](EdgeId e) { return west[e]; });
   std::vector<double> prio(n);
-  for (TaskId t = 0; t < n; ++t) {
-    double max_in = 0.0;
-    for (EdgeId e : g.in_edges(t)) max_in = std::max(max_in, west[e]);
-    prio[t] = lv.bottom[t] + max_in;
+  {
+    LOCMPS_SPAN(obs, "locbs.priority");
+    const Levels lv = compute_levels(
+        g, [&](TaskId t) { return et[t]; }, [&](EdgeId e) { return west[e]; });
+    for (TaskId t = 0; t < n; ++t) {
+      double max_in = 0.0;
+      for (EdgeId e : g.in_edges(t)) max_in = std::max(max_in, west[e]);
+      prio[t] = lv.bottom[t] + max_in;
+    }
   }
 
   Timeline timeline(P);
@@ -204,6 +213,9 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                         int slot) -> const std::vector<double>& {
       DursCache& c = durs_cache[slot];
       if (procs == c.procs) return c.durs;
+      // Span at the cache-miss level only: a per-remote_fraction span
+      // would dominate the hole scan it is meant to measure.
+      LOCMPS_SPAN(obs, "locbs.redist_durs");
       c.procs = procs;
       c.durs.resize(comm_edges.size());
       for (std::size_t k = 0; k < comm_edges.size(); ++k) {
@@ -339,7 +351,9 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       consider(sel, 1);
     };
 
+    LOCMPS_SPAN(obs, "locbs.place");
     if (opt.backfill) {
+      LOCMPS_SPAN(obs, "locbs.hole_scan");
       times.clear();
       times.push_back(est0);
       for (auto it = std::upper_bound(finish_events.begin(),
@@ -360,6 +374,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     } else {
       // No-backfill variant (Fig 6): only the latest free time of each
       // processor is consulted; holes earlier in the chart are ignored.
+      LOCMPS_SPAN(obs, "locbs.hole_scan");
       std::vector<double> taus;
       taus.reserve(P);
       for (ProcId q = 0; q < P; ++q)
@@ -389,6 +404,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     const double chart_end = finish_events.empty() ? 0.0 : finish_events.back();
 
     // Commit the placement.
+    LOCMPS_SPAN(obs, "locbs.commit");
     ProcessorSet pset(P);
     for (ProcId q : best.procs) pset.insert(q);
     timeline.occupy(pset, best.busy_from, best.finish);

@@ -3,6 +3,11 @@
 #include <exception>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#include <time.h>
+#endif
+
 namespace locmps {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -19,6 +24,24 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+}
+
+double ThreadPool::worker_cpu_seconds() const {
+  double total = 0.0;
+#if (defined(__unix__) || defined(__APPLE__)) && defined(_POSIX_THREAD_CPUTIME)
+  for (const std::thread& w : workers_) {
+    clockid_t cid;
+    // const_cast: native_handle() is non-const but reading a CPU clock
+    // does not mutate the thread.
+    auto handle = const_cast<std::thread&>(w).native_handle();
+    if (pthread_getcpuclockid(handle, &cid) != 0) continue;
+    timespec ts{};
+    if (clock_gettime(cid, &ts) != 0) continue;
+    total += static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return total;
 }
 
 void ThreadPool::worker_loop() {

@@ -41,6 +41,13 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
+  /// Total CPU seconds the worker threads have consumed so far, summed
+  /// over the pool via per-thread CPU clocks (pthread_getcpuclockid).
+  /// 0.0 on platforms without them. Feeds the planner's CPU-attribution
+  /// telemetry (locmps.parallel.worker_cpu_s, docs/observability.md);
+  /// a diagnostic only — never a scheduling input.
+  double worker_cpu_seconds() const;
+
   /// Enqueues \p job; the future becomes ready when it finishes (or holds
   /// the exception it threw).
   std::future<void> submit(std::function<void()> job);

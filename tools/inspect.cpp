@@ -31,6 +31,9 @@
 #include "network/comm_model.hpp"
 #include "obs/analysis.hpp"
 #include "obs/events.hpp"
+#include "obs/flame.hpp"
+#include "obs/log.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "schedulers/loc_mps.hpp"
 #include "schedulers/registry.hpp"
@@ -77,6 +80,19 @@ void usage(std::ostream& os) {
         "                         back and cross-check the locality "
         "totals\n"
         "  --trace <file>         join an existing JSONL trace instead\n"
+        "  --profile              print the planner self-profile span "
+        "tree\n"
+        "                         and reconcile its harness.plan total\n"
+        "                         against the measured planning time "
+        "(2%)\n"
+        "  --flame-out <file>     write collapsed-stack flamegraph text\n"
+        "                         (flamegraph.pl / speedscope input)\n"
+        "  --flame-weight <w>     flamegraph weight: wall (default), "
+        "cpu\n"
+        "                         or alloc\n"
+        "  --log-level <l>        diagnostics level: error, warn, info\n"
+        "                         (default) or debug; also LOCMPS_LOG "
+        "env\n"
         "  --title <text>         report title\n"
         "  --quiet                suppress the terminal summary\n"
         "  --help                 this text\n";
@@ -98,15 +114,21 @@ struct Options {
   std::string report_out;
   std::string obs_out;
   std::string trace_in;
+  bool profile = false;
+  std::string flame_out;
+  obs::FlameWeight flame_weight = obs::FlameWeight::kWallMicros;
   std::string title;
   bool quiet = false;
 };
+
+/// Shorthand for this tool's error diagnostics (obs/log.hpp).
+obs::LogLine err() { return obs::log(obs::LogLevel::kError, "inspect"); }
 
 std::optional<Options> parse(int argc, char** argv) {
   Options o;
   auto need = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
-      std::cerr << "locmps-inspect: " << flag << " needs a value\n";
+      err() << flag << " needs a value";
       return nullptr;
     }
     return argv[++i];
@@ -160,28 +182,52 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (a == "--trace") {
       if ((v = need(i, "--trace")) == nullptr) return std::nullopt;
       o.trace_in = v;
+    } else if (a == "--profile") {
+      o.profile = true;
+    } else if (a == "--flame-out") {
+      if ((v = need(i, "--flame-out")) == nullptr) return std::nullopt;
+      o.flame_out = v;
+    } else if (a == "--flame-weight") {
+      if ((v = need(i, "--flame-weight")) == nullptr) return std::nullopt;
+      const std::string w = v;
+      if (w == "wall") {
+        o.flame_weight = obs::FlameWeight::kWallMicros;
+      } else if (w == "cpu") {
+        o.flame_weight = obs::FlameWeight::kCpuMicros;
+      } else if (w == "alloc") {
+        o.flame_weight = obs::FlameWeight::kAllocBytes;
+      } else {
+        err() << "--flame-weight must be 'wall', 'cpu' or 'alloc'";
+        return std::nullopt;
+      }
+    } else if (a == "--log-level") {
+      if ((v = need(i, "--log-level")) == nullptr) return std::nullopt;
+      obs::LogLevel level = obs::LogLevel::kInfo;
+      if (!obs::parse_log_level(v, level)) {
+        err() << "--log-level must be error, warn, info or debug";
+        return std::nullopt;
+      }
+      obs::set_log_level(level);
     } else if (a == "--title") {
       if ((v = need(i, "--title")) == nullptr) return std::nullopt;
       o.title = v;
     } else if (a == "--quiet") {
       o.quiet = true;
     } else {
-      std::cerr << "locmps-inspect: unknown argument '" << a
-                << "' (--help for usage)\n";
+      err() << "unknown argument '" << a << "' (--help for usage)";
       return std::nullopt;
     }
   }
   if (o.procs == 0) {
-    std::cerr << "locmps-inspect: --procs must be positive\n";
+    err() << "--procs must be positive";
     return std::nullopt;
   }
   if (o.fault_rate < 0.0 || o.fault_rate > 1.0) {
-    std::cerr << "locmps-inspect: --fault-rate must be in [0, 1]\n";
+    err() << "--fault-rate must be in [0, 1]";
     return std::nullopt;
   }
   if (o.fault_policy != "replan" && o.fault_policy != "retry") {
-    std::cerr << "locmps-inspect: --fault-policy must be 'replan' or "
-                 "'retry'\n";
+    err() << "--fault-policy must be 'replan' or 'retry'";
     return std::nullopt;
   }
   return o;
@@ -209,7 +255,7 @@ bool join_and_reconcile(SchemeRun& run, const std::string& trace_path,
                         bool quiet) {
   std::ifstream in(trace_path);
   if (!in) {
-    std::cerr << "locmps-inspect: cannot read trace " << trace_path << "\n";
+    err() << "cannot read trace " << trace_path;
     return false;
   }
   const auto records = obs::read_trace(in);
@@ -223,9 +269,9 @@ bool join_and_reconcile(SchemeRun& run, const std::string& trace_path,
   const bool ok = std::abs(analyzer - counter) <= 1e-9 * scale &&
                   std::abs(analyzer - traced) <= 1e-9 * scale;
   if (!ok) {
-    std::cerr << "locmps-inspect: remote-volume mismatch: analyzer "
-              << analyzer << " B, counter sim.remote_bytes " << counter
-              << " B, trace " << traced << " B\n";
+    err() << "remote-volume mismatch: analyzer " << analyzer
+          << " B, counter sim.remote_bytes " << counter << " B, trace "
+          << traced << " B";
   } else if (!quiet) {
     std::cout << "reconciled      analyzer remote volume == sim counters == "
                  "trace ("
@@ -262,7 +308,7 @@ int run_fault_mode(const Options& o, const TaskGraph& g,
   if (!o.obs_out.empty()) {
     jsonl.open(o.obs_out);
     if (!jsonl) {
-      std::cerr << "locmps-inspect: cannot open " << o.obs_out << "\n";
+      err() << "cannot open " << o.obs_out;
       return 2;
     }
     sink.emplace(jsonl);
@@ -283,14 +329,13 @@ int run_fault_mode(const Options& o, const TaskGraph& g,
               << o.fault_policy
               << (o.fault_repair ? ", repairs on" : ", no repairs") << "\n";
   if (!res.completed) {
-    std::cerr << "locmps-inspect: recovery gave up after " << res.rounds
-              << " round(s): " << res.error << "\n";
+    err() << "recovery gave up after " << res.rounds
+          << " round(s): " << res.error;
     return 1;
   }
   const std::string diag = res.executed.validate(g, comm);
   if (!diag.empty()) {
-    std::cerr << "locmps-inspect: recovered schedule invalid: " << diag
-              << "\n";
+    err() << "recovered schedule invalid: " << diag;
     return 1;
   }
 
@@ -307,17 +352,15 @@ int run_fault_mode(const Options& o, const TaskGraph& g,
         {1.0, std::fabs(counter), std::fabs(traced), std::fabs(result)});
     if (std::fabs(counter - traced) > 1e-9 * scale ||
         std::fabs(counter - result) > 1e-9 * scale) {
-      std::cerr << "locmps-inspect: " << what << " mismatch: counter "
-                << counter << ", trace " << traced << ", result " << result
-                << "\n";
+      err() << what << " mismatch: counter " << counter << ", trace "
+            << traced << ", result " << result;
       ok = false;
     }
   };
   if (!o.obs_out.empty()) {
     std::ifstream in(o.obs_out);
     if (!in) {
-      std::cerr << "locmps-inspect: cannot read trace " << o.obs_out
-                << "\n";
+      err() << "cannot read trace " << o.obs_out;
       return 1;
     }
     const auto records = obs::read_trace(in);
@@ -364,7 +407,7 @@ int run_fault_mode(const Options& o, const TaskGraph& g,
     ropt.subtitle = sub.str();
     std::ofstream html(o.report_out);
     if (!html) {
-      std::cerr << "locmps-inspect: cannot open " << o.report_out << "\n";
+      err() << "cannot open " << o.report_out;
       return 2;
     }
     obs::write_html_report(html, g, res.executed, a, ropt);
@@ -388,18 +431,27 @@ int main(int argc, char** argv) {
 
     SchedulerOptions sched_opt;
     sched_opt.threads = o.threads;
+    const bool want_profile = o.profile || !o.flame_out.empty() ||
+                              !o.report_out.empty();
+    std::optional<obs::Profiler> profiler;
+    if (want_profile) profiler.emplace();
+    obs::Profiler* const prof = profiler ? &*profiler : nullptr;
     SchemeRun run;
     if (!o.obs_out.empty()) {
       std::ofstream jsonl(o.obs_out);
       if (!jsonl) {
-        std::cerr << "locmps-inspect: cannot open " << o.obs_out << "\n";
+        err() << "cannot open " << o.obs_out;
         return 2;
       }
       obs::JsonlSink sink(jsonl);
-      run = evaluate_scheme(o.scheme, g, cluster, {}, &sink, sched_opt);
+      run = evaluate_scheme(o.scheme, g, cluster, {}, &sink, sched_opt,
+                            prof);
     } else {
-      run = evaluate_scheme(o.scheme, g, cluster, {}, nullptr, sched_opt);
+      run = evaluate_scheme(o.scheme, g, cluster, {}, nullptr, sched_opt,
+                            prof);
     }
+    obs::ProfileSnapshot prof_snap;
+    if (profiler) prof_snap = profiler->snapshot();
 
     bool reconciled = true;
     if (!o.obs_out.empty())
@@ -412,7 +464,51 @@ int main(int argc, char** argv) {
                 << " procs (" << fmt(o.bandwidth_mbps, 0) << " Mbps, "
                 << (o.overlap ? "overlap" : "no overlap") << "), "
                 << g.num_tasks() << "-task workload\n";
+      std::cout << "planning        " << fmt(run.scheduling_seconds, 6)
+                << " s\n";
       std::cout << obs::text_report(run.analysis);
+    }
+
+    bool profile_ok = true;
+    if (o.profile) {
+      std::cout << "\nplanner self-profile (span taxonomy: "
+                   "docs/observability.md)\n";
+      obs::write_profile_tree(std::cout, prof_snap);
+      const obs::ProfileNode* plan = prof_snap.find("harness.plan");
+      if (plan == nullptr) {
+        err() << "profile has no harness.plan span";
+        profile_ok = false;
+      } else {
+        // Acceptance check: the span tree must reconcile with the
+        // harness's own scheduling-time measurement within 2%.
+        const double measured = run.scheduling_seconds;
+        const double diff = std::fabs(plan->wall_s - measured);
+        const double tol = 0.02 * std::max(measured, 1e-9);
+        if (diff > tol) {
+          err() << "profile/timer mismatch: harness.plan "
+                << fmt(plan->wall_s, 6) << " s vs scheduling time "
+                << fmt(measured, 6) << " s (diff " << fmt(diff, 6)
+                << " s > 2%)";
+          profile_ok = false;
+        } else {
+          std::cout << "reconciled      harness.plan "
+                    << fmt(plan->wall_s, 6) << " s == planning "
+                    << fmt(measured, 6) << " s (within 2%)\n";
+        }
+      }
+    }
+
+    if (!o.flame_out.empty()) {
+      std::ofstream flame(o.flame_out);
+      if (!flame) {
+        err() << "cannot open " << o.flame_out;
+        return 2;
+      }
+      obs::write_collapsed_stacks(flame, prof_snap, o.flame_weight);
+      if (!o.quiet)
+        std::cout << "flamegraph      " << o.flame_out
+                  << " (collapsed stacks; fold with flamegraph.pl or "
+                     "load in speedscope)\n";
     }
 
     if (!o.report_out.empty()) {
@@ -426,18 +522,19 @@ int main(int argc, char** argv) {
           << fmt(o.bandwidth_mbps, 0) << " Mbps "
           << (o.overlap ? "overlap" : "no-overlap") << " platform";
       ropt.subtitle = sub.str();
+      if (!prof_snap.empty()) ropt.profile = &prof_snap;
       std::ofstream html(o.report_out);
       if (!html) {
-        std::cerr << "locmps-inspect: cannot open " << o.report_out << "\n";
+        err() << "cannot open " << o.report_out;
         return 2;
       }
       obs::write_html_report(html, g, run.schedule, run.analysis, ropt);
       if (!o.quiet)
         std::cout << "report          " << o.report_out << "\n";
     }
-    return reconciled ? 0 : 1;
+    return reconciled && profile_ok ? 0 : 1;
   } catch (const std::exception& e) {
-    std::cerr << "locmps-inspect: " << e.what() << "\n";
+    err() << e.what();
     return 2;
   }
 }
