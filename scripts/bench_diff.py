@@ -23,6 +23,15 @@ value still lies inside the baseline's order-statistic confidence interval
 regression is found, 2 on malformed or unreadable input, 3 when the
 baseline file does not exist (commit one first), else 0.
 
+Auto-explanation: with --explain-inspect and --explain-baseline-trace
+set, a tripped gate additionally re-runs the pinned fig06 workload
+through `locmps-inspect --obs-out`, diffs the fresh decision trace
+against the committed baseline trace, and writes the ranked
+attribution artifact (attribution.json) into --explain-out — so a
+failed gate ships with the decisions that caused it, not just a
+number (docs/observability.md, "Provenance & run diffing").
+Explanation failures print a WARNING and never mask the exit code.
+
 Phase-budget profiles: when both inputs are BENCH_*_profile.json
 documents (`"kind": "profile"`, written by a bench binary's
 `--profile-out`), rows are span paths instead. `wall_s` and `cpu_s` use
@@ -37,7 +46,56 @@ telemetry document is a usage error (exit 2).
 
 import argparse
 import json
+import os
+import subprocess
 import sys
+
+# Workload pinned to the committed fig06 baseline trace
+# (bench/baselines/fig06_decision_trace.jsonl): regenerate the trace with
+# these exact locmps-inspect arguments when refreshing the baseline.
+DEFAULT_EXPLAIN_WORKLOAD = "--seed 20060901 --ccr 0.5 --procs 16"
+
+
+def auto_explain(args):
+    """On a tripped gate: rerun the pinned workload, diff its decision
+    trace against the committed baseline trace, and drop the ranked
+    attribution artifact next to the gate output. Never raises and never
+    changes the caller's exit code."""
+    if not getattr(args, "explain_inspect", None) or \
+            not getattr(args, "explain_baseline_trace", None):
+        return
+    try:
+        outdir = args.explain_out or "."
+        os.makedirs(outdir, exist_ok=True)
+        cand_trace = os.path.join(outdir, "candidate_trace.jsonl")
+        attribution = os.path.join(outdir, "attribution.json")
+        workload = (args.explain_workload or DEFAULT_EXPLAIN_WORKLOAD).split()
+        run = subprocess.run(
+            [args.explain_inspect, *workload, "--quiet",
+             "--obs-out", cand_trace],
+            capture_output=True, text=True, timeout=600)
+        if run.returncode != 0:
+            print("bench_diff: WARNING: auto-explanation trace run failed "
+                  f"(exit {run.returncode}): {run.stderr.strip()}",
+                  file=sys.stderr)
+            return
+        run = subprocess.run(
+            [args.explain_inspect, *workload,
+             "--diff", args.explain_baseline_trace, cand_trace,
+             "--diff-json", attribution],
+            capture_output=True, text=True, timeout=600)
+        if run.returncode != 0:
+            print("bench_diff: WARNING: auto-explanation diff failed "
+                  f"(exit {run.returncode}): {run.stderr.strip()}",
+                  file=sys.stderr)
+            return
+        print("bench_diff: gate tripped; decision attribution written to "
+              f"{attribution}")
+        if run.stdout:
+            sys.stdout.write(run.stdout)
+    except Exception as e:  # never mask the gate's own exit code
+        print(f"bench_diff: WARNING: auto-explanation failed: {e}",
+              file=sys.stderr)
 
 
 def load(path, role="candidate"):
@@ -179,6 +237,8 @@ def diff_profiles(base_doc, cand_doc, args):
           f"{len(regressions)} regression(s), {len(warnings)} count "
           f"change(s) (threshold {args.threshold}%/"
           f"{args.sched_threshold}% on {args.metric})")
+    if regressions:
+        auto_explain(args)
     sys.exit(1 if regressions else 0)
 
 
@@ -191,6 +251,17 @@ def main():
     ap.add_argument("--metric", choices=("median", "mean"), default="median")
     ap.add_argument("--sched-threshold", type=float, default=25.0)
     ap.add_argument("--quiet", action="store_true")
+    ap.add_argument("--explain-inspect", metavar="PATH", default=None,
+                    help="locmps-inspect binary used to auto-explain a "
+                         "tripped gate")
+    ap.add_argument("--explain-baseline-trace", metavar="PATH", default=None,
+                    help="committed baseline decision trace to diff against")
+    ap.add_argument("--explain-out", metavar="DIR", default=None,
+                    help="directory for candidate_trace.jsonl and "
+                         "attribution.json (default: cwd)")
+    ap.add_argument("--explain-workload", metavar="ARGS", default=None,
+                    help="locmps-inspect workload arguments "
+                         f"(default: {DEFAULT_EXPLAIN_WORKLOAD!r})")
     args = ap.parse_args()
 
     base_doc = load(args.baseline, role="baseline")
@@ -270,6 +341,8 @@ def main():
           f"{len(regressions)} regression(s) "
           f"(threshold {args.threshold}%/{args.sched_threshold}% on "
           f"{args.metric})")
+    if regressions:
+        auto_explain(args)
     sys.exit(1 if regressions else 0)
 
 

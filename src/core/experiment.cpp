@@ -90,6 +90,12 @@ SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
   }
   metrics.set("sim.makespan", executed.makespan);
 
+  // Sink-side truncation (bounded JSONL trace) folds into the counters
+  // before the snapshot so the report and analysis join can surface it.
+  if (obs.sink != nullptr && obs.sink->dropped() > 0)
+    metrics.add("obs.trace.dropped",
+                static_cast<double>(obs.sink->dropped()));
+
   SchemeRun run;
   run.scheme = scheme;
   run.makespan = executed.makespan;

@@ -313,6 +313,7 @@ void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
 
 void join_event_health(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
   a.events_dropped = snap.counter("obs.events.dropped");
+  a.trace_dropped = snap.counter("obs.trace.dropped");
 }
 
 // ---------------------------------------------------------------------------

@@ -216,6 +216,12 @@ struct ScheduleAnalysis {
   /// HTML report footer.
   double events_dropped = 0.0;
 
+  /// Decision events discarded by a bounded JSONL sink that hit its line
+  /// cap ("obs.trace.dropped", joined by join_event_health). Non-zero
+  /// means the on-disk trace is truncated even though the in-memory
+  /// buffers kept up.
+  double trace_dropped = 0.0;
+
   /// Blame entries with delay_s > 0, sorted by descending delay, at most
   /// \p n of them (the report's top-N blame table).
   std::vector<TaskBlame> top_blame(std::size_t n) const;
@@ -233,7 +239,8 @@ void join_backfill_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 /// Fills \p a.faults from the run's "fault.*" / "recovery.*" counters.
 void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
-/// Fills \p a.events_dropped from the run's "obs.events.dropped" counter.
+/// Fills \p a.events_dropped / \p a.trace_dropped from the run's
+/// "obs.events.dropped" / "obs.trace.dropped" counters.
 void join_event_health(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
 // ---------------------------------------------------------------------------

@@ -45,6 +45,11 @@ void write_number(std::ostream& os, double v) {
 }  // namespace
 
 void JsonlSink::emit(const Event& e) {
+  if (lines_ >= max_lines_) {
+    ++dropped_;
+    return;
+  }
+  ++lines_;
   os_ << "{\"ev\":\"" << json_escape(e.name()) << "\",\"t\":";
   write_number(os_, epoch_.seconds());
   for (const auto& [key, value] : e.fields()) {

@@ -82,19 +82,36 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void emit(const Event& e) = 0;
+  /// Events this sink discarded because a retention bound was hit.
+  /// Harness layers fold it into the "obs.trace.dropped" counter so a
+  /// truncated decision trace is never silent.
+  virtual std::uint64_t dropped() const { return 0; }
 };
 
 /// Writes events as JSON Lines: {"ev":<name>,"t":<seconds>,<fields>...}.
 /// "t" is seconds since sink construction on a monotonic clock. The caller
 /// owns the stream and its lifetime.
+///
+/// Bounded like EventBuffer: at most max_lines events are written; later
+/// emits are counted in dropped() instead of growing the trace file
+/// without limit on pathological graphs.
 class JsonlSink final : public EventSink {
  public:
-  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  /// Default line bound. Roomy — a full fig06 sweep stays well under it —
+  /// while still capping a runaway emitter's disk use.
+  static constexpr std::uint64_t kMaxLines = 1u << 20;
+
+  explicit JsonlSink(std::ostream& os, std::uint64_t max_lines = kMaxLines)
+      : os_(os), max_lines_(max_lines) {}
   void emit(const Event& e) override;
+  std::uint64_t dropped() const override { return dropped_; }
 
  private:
   std::ostream& os_;
   Stopwatch epoch_;
+  std::uint64_t max_lines_ = kMaxLines;
+  std::uint64_t lines_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// JSON string escaping shared by the JSONL sink and the chrome-trace
@@ -132,7 +149,7 @@ class LOCMPS_THREAD_COMPATIBLE EventBuffer final : public EventSink {
 
   const std::vector<Event>& events() const { return events_; }
   /// Events discarded because the buffer was full.
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const override { return dropped_; }
   void clear() {
     events_.clear();
     dropped_ = 0;

@@ -185,6 +185,15 @@ void render_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
         << ", " << fmt(p.finish, 3) << ")s";
     if (p.busy_from < p.start)
       tip << " recv from " << fmt(p.busy_from, 3) << "s";
+    // With decision records attached, every slice links down to its
+    // task's entry in the "Why" panel.
+    const bool link = opt.decisions != nullptr &&
+                      t < opt.decisions->size() &&
+                      (*opt.decisions)[t].valid();
+    if (link) {
+      tip << " — click for the placement decision";
+      os << "<a href=\"#why-t" << t << "\">\n";
+    }
     const std::string title = xml_escape(tip.str());
     p.procs.for_each([&](ProcId q) {
       const double y = static_cast<double>(q) * (row_h + row_gap);
@@ -204,6 +213,7 @@ void render_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
          << "\" height=\"" << fmt(row_h, 1) << "\"><title>" << title
          << "</title></rect>\n";
     });
+    if (link) os << "</a>\n";
   }
 
   // Fault lane: each fail-stop window shades its processor row from the
@@ -455,6 +465,39 @@ void render_profile(std::ostream& os, const ProfileSnapshot& snap) {
      << "</tr>\n</table></div>\n";
 }
 
+/// "Why" panel: one collapsible decision record per task, the anchor
+/// targets of the Gantt slice links. Capped so a pathological graph
+/// cannot balloon the report.
+void render_why(std::ostream& os, const TaskGraph& g,
+                const std::vector<PlacementDecision>& decisions) {
+  constexpr std::size_t kMaxWhyEntries = 200;
+  std::size_t shown = 0, with_record = 0;
+  for (const PlacementDecision& d : decisions)
+    if (d.valid()) ++with_record;
+  os << "<div class=\"panel\">\n";
+  os << "<p>Per-task provenance from the run&apos;s \"locbs.decision\" "
+        "records: the candidate shortlist LoCBS scored, the committed "
+        "winner and its margin over the distinct runner-up "
+        "(docs/observability.md).</p>\n";
+  for (std::size_t t = 0; t < decisions.size(); ++t) {
+    const PlacementDecision& d = decisions[t];
+    if (!d.valid()) continue;
+    if (shown == kMaxWhyEntries) break;
+    ++shown;
+    std::ostringstream body;
+    print_decision(body, g, d);
+    os << "<details id=\"why-t" << t << "\"><summary>"
+       << xml_escape(t < g.num_tasks() ? g.task(static_cast<TaskId>(t)).name
+                                       : "task " + std::to_string(t))
+       << ": " << xml_escape(decision_brief(d)) << "</summary><pre>"
+       << xml_escape(body.str()) << "</pre></details>\n";
+  }
+  if (shown < with_record)
+    os << "<p>" << (with_record - shown)
+       << " further decision record(s) omitted (panel cap).</p>\n";
+  os << "</div>\n";
+}
+
 }  // namespace
 
 void write_html_report(std::ostream& os, const TaskGraph& g,
@@ -538,6 +581,11 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
     render_faults(os, a);
   }
 
+  if (opt.decisions != nullptr) {
+    os << "<h2>Why: placement decisions</h2>\n";
+    render_why(os, g, *opt.decisions);
+  }
+
   if (opt.profile != nullptr && !opt.profile->empty()) {
     os << "<h2>Planner self-profile</h2>\n";
     render_profile(os, *opt.profile);
@@ -550,6 +598,10 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
     os << " WARNING: " << fmt(a.events_dropped, 0)
        << " decision event(s) dropped by a full EventBuffer — the trace "
           "is truncated.";
+  if (a.trace_dropped > 0.0)
+    os << " WARNING: " << fmt(a.trace_dropped, 0)
+       << " decision event(s) dropped at the JSONL sink's line cap — the "
+          "on-disk trace is truncated.";
   os << "</p>\n";
   os << "</body></html>\n";
 }
@@ -605,6 +657,9 @@ std::string text_report(const ScheduleAnalysis& a) {
   if (a.events_dropped > 0.0)
     os << "events          WARNING: " << fmt(a.events_dropped, 0)
        << " decision event(s) dropped (EventBuffer overflow)\n";
+  if (a.trace_dropped > 0.0)
+    os << "trace           WARNING: " << fmt(a.trace_dropped, 0)
+       << " decision event(s) dropped (JSONL sink line cap)\n";
   return os.str();
 }
 

@@ -14,9 +14,12 @@
 #include <iosfwd>
 #include <string>
 
+#include <vector>
+
 #include "graph/task_graph.hpp"
 #include "obs/analysis.hpp"
 #include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "schedule/schedule.hpp"
 
 namespace locmps::obs {
@@ -30,6 +33,10 @@ struct ReportOptions {
   /// Session profiler snapshot; non-null (and non-empty) adds the
   /// "Planner self-profile" span-tree panel (docs/observability.md).
   const ProfileSnapshot* profile = nullptr;
+  /// Per-task placement decisions (obs::final_decisions of the run's
+  /// trace), indexed by TaskId; non-null adds the "Why" panel and turns
+  /// each Gantt slice into a link to its task's decision record.
+  const std::vector<PlacementDecision>* decisions = nullptr;
 };
 
 /// Writes the HTML report for \p a (computed from \p g and \p s).

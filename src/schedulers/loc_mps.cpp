@@ -166,7 +166,16 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     return (fixed != nullptr && fixed->is_frozen(t)) ? cap[t] : usable;
   };
 
-  LocBSResult best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
+  // The refinement search always runs unperturbed: a mid-search placement
+  // flip would diverge the whole trajectory and smear a seeded divergence
+  // across many tasks. The perturb_task hook (locbs.hpp) is applied only
+  // in one extra final realization below, so a perturbed run differs from
+  // its baseline by exactly that flip.
+  LocBSOptions lopt = opt_.locbs;
+  const TaskId perturb = lopt.perturb_task;
+  lopt.perturb_task = kNoTask;
+
+  LocBSResult best_run = locbs(g, best_alloc, comm, lopt, fixed, obs);
   double best_sl = best_run.makespan;
   std::size_t calls = 1;
   if (obs::wants_events(obs))
@@ -271,7 +280,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   // on the direct path, a probe's own on a speculative walk).
   auto eval_locbs = [&](const Allocation& np, obs::ObsContext* wobs,
                         const CommModel& wcomm) -> LocBSResult {
-    if (!memo_enabled) return locbs(g, np, wcomm, opt_.locbs, fixed, wobs);
+    if (!memo_enabled) return locbs(g, np, wcomm, lopt, fixed, wobs);
     obs::MetricsRegistry* const wmet = obs::metrics_of(wobs);
     obs::Profiler* const wprof = obs::profiler_of(wobs);
     if (std::optional<ProbeMemo::Entry> hit = memo.lookup(np)) {
@@ -283,7 +292,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       return std::move(hit->result);
     }
     if (wmet == nullptr && wprof == nullptr)
-      return locbs(g, np, wcomm, opt_.locbs, fixed, nullptr);
+      return locbs(g, np, wcomm, lopt, fixed, nullptr);
     // Miss with metrics/profiling on: run under scratch observability so
     // this call's exact counter/timer/span deltas can be captured for
     // replay on later hits, then fold them into the caller's context.
@@ -294,7 +303,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     CommModel scomm(cluster);
     if (wmet != nullptr)
       scomm.count_evals_into(scratch.cell_ptr("comm.cost_evals"));
-    LocBSResult res = locbs(g, np, scomm, opt_.locbs, fixed, &sctx);
+    LocBSResult res = locbs(g, np, scomm, lopt, fixed, &sctx);
     ProbeMemo::Entry e{res, scratch.snapshot(), sprof.snapshot()};
     if (wmet != nullptr) wmet->merge_from(e.deltas);
     if (wprof != nullptr) wprof->merge_from(e.profile);
@@ -759,6 +768,19 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     if (stop) break;
     if (speculative)
       fanout = committed ? 1 : std::min(n_threads, fanout * 2);
+  }
+
+  // Final authoritative realization. The refinement loop's last LoCBS
+  // evaluation may belong to a rejected walk, so with a sink attached the
+  // trace's last "locbs.place"/"locbs.decision" records would describe an
+  // allocation that was never committed. Re-realize the final allocation
+  // once so the last record per task is exactly the committed schedule —
+  // rundiff and `--explain` read precisely those. This pass is also where
+  // an armed perturb_task takes effect (and the only place it does).
+  if (perturb != kNoTask || obs::wants_events(obs)) {
+    best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
+    best_sl = best_run.makespan;
+    ++calls;
   }
 
   if (met != nullptr) {

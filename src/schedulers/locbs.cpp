@@ -12,6 +12,7 @@
 #include "graph/algorithms.hpp"
 #include "network/block_cyclic.hpp"
 #include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "schedule/timeline.hpp"
 #include "util/stats.hpp"
 
@@ -153,7 +154,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     std::vector<ProcId> procs;
     std::vector<double> durs;
   };
-  DursCache durs_cache[3];
+  DursCache durs_cache[4];
   std::vector<double> score(P);
   std::vector<EdgeId> comm_edges;
   std::vector<double> until_of(P);
@@ -164,6 +165,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
   std::vector<double> times;
   times.reserve(n + 1);
   std::vector<Timeline::FreeProc> avail_scratch;
+  obs::ShortlistRecorder shortlist;
 
   for (std::size_t scheduled = n_frozen; scheduled < n; ++scheduled) {
     // Highest-priority ready task.
@@ -207,7 +209,8 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     // Redistribution durations of each comm edge onto a given subset.
     // Candidate subsets repeat heavily across probe instants, so small
     // keyed caches (one per subset flavour: locality-first, horizon-first,
-    // commit) remove most remote_fraction work. Invalidate for this task.
+    // shadow, commit) remove most remote_fraction work. Invalidate for
+    // this task.
     for (auto& c : durs_cache) c.procs.clear();
     auto durs_for = [&](const std::vector<ProcId>& procs,
                         int slot) -> const std::vector<double>& {
@@ -269,6 +272,61 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
 
     Candidate best;
 
+    // Decision provenance: record the scored shortlist and track the
+    // distinct runner-up (different subset or start). The runner-up feeds
+    // both the decision record's margin and the perturb_task hook, which
+    // must work even without an attached sink.
+    Candidate second;
+    const bool want_prov = obs::wants_events(obs);
+    const bool want_second = want_prov || tp == opt.perturb_task;
+    std::uint64_t cands_scored = 0;
+    shortlist.clear();
+
+    // Two candidates are the same decision if they commit the same
+    // processors at the same instant; only a distinct one qualifies as
+    // the runner-up (otherwise the margin degenerates to 0).
+    auto distinct_cand = [](const Candidate& a, const Candidate& b) {
+      return a.procs != b.procs || !about(a.start, b.start);
+    };
+
+    // Shadow alternatives (anti-locality subsets, see probe()): scored
+    // for the shortlist and runner-up only, never eligible to win —
+    // attaching a sink or arming the perturb hook must not change the
+    // committed schedule. Kept sorted ascending by finish, bounded.
+    constexpr std::size_t kMaxShadows = 8;
+    std::vector<Candidate> shadows;
+    auto offer_shadow = [&](Candidate&& c) {
+      auto it = std::upper_bound(
+          shadows.begin(), shadows.end(), c,
+          [](const Candidate& x, const Candidate& y) {
+            return x.finish < y.finish;
+          });
+      shadows.insert(it, std::move(c));
+      if (shadows.size() > kMaxShadows) shadows.pop_back();
+    };
+
+    // Provenance record of one feasible candidate.
+    auto record_cand = [&](const Candidate& c, double tau) {
+      ++cands_scored;
+      if (!want_prov) return;
+      obs::ProvCandidate pc;
+      pc.tau = tau;
+      pc.subset = c.subset;
+      pc.start = c.start;
+      pc.finish = c.finish;
+      pc.busy_from = c.busy_from;
+      for (EdgeId e : comm_edges) {
+        const Edge& ed = g.edge(e);
+        pc.remote_bytes +=
+            opt.locality
+                ? ed.volume_bytes * remote_fraction(placed[ed.src], c.procs)
+                : ed.volume_bytes;
+      }
+      for (ProcId q : c.procs) pc.locality_score += score[q];
+      pc.procs = c.procs;
+      shortlist.offer(std::move(pc));
+    };
+
     // Lower bounds on data arrival / total transfer time over *any*
     // processor subset of size `need`: at best min(s, need) of a parent's s
     // blocks-per-period can stay local (lcm-period argument), so at least
@@ -325,7 +383,16 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
         std::sort(procs.begin(), procs.end());
         Candidate c;
         time_on(tau, procs, slot, c);
-        if (feasible(c) && c.finish < best.finish) best = std::move(c);
+        if (!feasible(c)) return;
+        if (want_prov || want_second) record_cand(c, tau);
+        if (c.finish < best.finish) {
+          if (want_second && best.finish < kInf && distinct_cand(best, c))
+            second = std::move(best);
+          best = std::move(c);
+        } else if (want_second && c.finish < second.finish &&
+                   distinct_cand(c, best)) {
+          second = std::move(c);
+        }
       };
       // Locality-first subset (ties broken towards longer idle windows).
       sel.assign(eligible.begin(), eligible.end());
@@ -349,7 +416,41 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                        });
       sel.resize(need);
       consider(sel, 1);
+      // Shadow subset (provenance / perturbation only): the anti-locality
+      // pick. It shows what the locality preference bought — and gives the
+      // runner-up fold a genuinely different processor set when both real
+      // subsets coincide (common once every eligible window is unbounded,
+      // where the two orderings collapse to the same tie-break). Never
+      // allowed to win: the committed schedule must be identical whether
+      // or not a sink or the perturb hook asked for it.
+      if (want_second && eligible.size() > need) {
+        sel.assign(eligible.begin(), eligible.end());
+        std::nth_element(sel.begin(), sel.begin() + need - 1, sel.end(),
+                         [&](ProcId a, ProcId b) {
+                           if (score[a] != score[b])
+                             return score[a] < score[b];
+                           if (until_of[a] != until_of[b])
+                             return until_of[a] > until_of[b];
+                           return a < b;
+                         });
+        sel.resize(need);
+        std::sort(sel.begin(), sel.end());
+        Candidate c;
+        time_on(tau, sel, 2, c);
+        if (feasible(c)) {
+          record_cand(c, tau);
+          offer_shadow(std::move(c));
+        }
+      }
     };
+
+    // When a runner-up is wanted, the scan keeps probing a few instants
+    // past the prune point: finish_lb guarantees those candidates cannot
+    // beat `best` (the commit is untouched), but they populate the
+    // shortlist and give the margin / perturb hook a distinct alternative
+    // that the pruned scan would never see.
+    constexpr std::size_t kProvExtension = 8;
+    std::size_t extension = 0;
 
     LOCMPS_SPAN(obs, "locbs.place");
     if (opt.backfill) {
@@ -368,7 +469,9 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
         if (best.finish < kInf && i + 1 < times.size() &&
             best.finish <= finish_lb(times[i + 1])) {
           scan_pruned = true;
-          break;
+          if (!want_second || second.finish < kInf ||
+              ++extension > kProvExtension)
+            break;
         }
       }
     } else {
@@ -391,13 +494,33 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
         if (best.finish < kInf && i + 1 < taus.size() &&
             best.finish <= finish_lb(taus[i + 1])) {
           scan_pruned = true;
-          break;
+          if (!want_second || second.finish < kInf ||
+              ++extension > kProvExtension)
+            break;
         }
       }
     }
 
     if (!(best.finish < kInf))
       throw std::logic_error("locbs: no feasible slot found");
+
+    // Fold the shadow alternatives into the runner-up: the earliest-
+    // finishing one that is distinct from and no earlier than the winner
+    // (a shadow must never flip the margin negative).
+    for (const Candidate& s : shadows) {
+      if (s.finish < best.finish || !distinct_cand(s, best)) continue;
+      if (s.finish < second.finish) second = s;
+      break;
+    }
+
+    // Margin over the distinct runner-up. Measured before any perturbation:
+    // it describes the scan, not the commit.
+    const double margin =
+        second.finish < kInf ? second.finish - best.finish : -1.0;
+    // Seeded-divergence hook: adopt the runner-up for this one task so a
+    // controlled placement flip exists for rundiff attribution tests.
+    const bool perturb_this = tp == opt.perturb_task && second.finish < kInf;
+    if (perturb_this) std::swap(best, second);
 
     // Chart frontier before this placement: a task that acquires its
     // processors strictly earlier was backfilled into a hole.
@@ -422,7 +545,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     // Realized weights for the schedule-DAG.
     res.dag.set_vertex_time(tp, exec);
     if (!comm_edges.empty()) {
-      const std::vector<double>& durs = durs_for(best.procs, 2);
+      const std::vector<double>& durs = durs_for(best.procs, 3);
       for (std::size_t k = 0; k < comm_edges.size(); ++k)
         res.dag.set_edge_time(comm_edges[k], durs[k]);
     }
@@ -489,6 +612,37 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                 .with("local_bytes", local_bytes)
                 .with("remote_bytes", remote_bytes)
                 .with("procs", procs_str));
+        obs::PlacementDecision d;
+        d.task = tp;
+        d.np = need;
+        d.prio = prio[tp];
+        d.est = est0;
+        d.start = best.start;
+        d.finish = best.finish;
+        d.busy_from = best.busy_from;
+        d.backfill_branch = opt.backfill;
+        d.locality_branch = opt.locality;
+        d.comm_blind = opt.comm_blind;
+        d.backfilled = backfilled;
+        d.pruned = scan_pruned;
+        d.perturbed = perturb_this;
+        d.holes_probed = holes_probed;
+        d.candidates_scored = cands_scored;
+        d.margin = margin;
+        d.local_bytes = local_bytes;
+        d.remote_bytes = remote_bytes;
+        obs::ProvCandidate win;
+        win.tau = best.touch;
+        win.subset = best.subset;
+        win.start = best.start;
+        win.finish = best.finish;
+        win.busy_from = best.busy_from;
+        win.remote_bytes = remote_bytes;
+        for (ProcId q : best.procs) win.locality_score += score[q];
+        win.procs = best.procs;
+        d.winner = shortlist.ensure(win);
+        d.shortlist = shortlist.entries();
+        obs->sink->emit(obs::decision_event(d));
       }
     }
 

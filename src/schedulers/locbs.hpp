@@ -33,6 +33,16 @@ struct LocBSOptions {
   /// Treat all communication as free (the iCASLB assumption). Implies that
   /// edge weights, redistribution times and priorities ignore data volumes.
   bool comm_blind = false;
+
+  /// Seeded-divergence hook for differential attribution (obs/rundiff.hpp)
+  /// and its tests: when set, this task adopts the distinct runner-up of
+  /// its candidate scan instead of the winner — one controlled placement
+  /// flip whose makespan effect `locmps-inspect --diff` must attribute
+  /// back to this decision. No-op when the scan produced no distinct
+  /// alternative. kNoTask (the default) disables the hook; LoC-MPS keeps
+  /// its refinement search unperturbed and applies the flip only in one
+  /// extra final realization (schedulers/loc_mps.cpp).
+  TaskId perturb_task = kNoTask;
 };
 
 /// Result of one LoCBS run.
@@ -83,8 +93,10 @@ struct FixedPrefix {
 /// \p obs (optional) receives per-placement decision telemetry: "locbs.*"
 /// counters (holes scanned, backfill hits, subset choices, local/remote
 /// redistribution bytes), a "locbs.pass" phase timer, and one
-/// "locbs.place" event per task. Null — the default — is a zero-cost
-/// fast path: all instrumentation hides behind per-placement branches.
+/// "locbs.place" plus one "locbs.decision" provenance event per task
+/// (obs/provenance.hpp documents the record schema). Null — the default —
+/// is a zero-cost fast path: all instrumentation hides behind
+/// per-placement branches.
 LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                   const CommModel& comm, const LocBSOptions& opt = {},
                   const FixedPrefix* fixed = nullptr,

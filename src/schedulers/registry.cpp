@@ -23,23 +23,27 @@ SchedulerPtr make_scheduler(const std::string& name,
   if (name == "loc-mps") {
     LocMPSOptions opt;
     opt.threads = sopt.threads;
+    opt.locbs.perturb_task = sopt.perturb_task;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-nbf") {
     LocMPSOptions opt;
     opt.locbs.backfill = false;
     opt.threads = sopt.threads;
+    opt.locbs.perturb_task = sopt.perturb_task;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-noloc") {
     LocMPSOptions opt;
     opt.locbs.locality = false;
     opt.threads = sopt.threads;
+    opt.locbs.perturb_task = sopt.perturb_task;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "icaslb") {
     LocMPSOptions opt;
     opt.threads = sopt.threads;
+    opt.locbs.perturb_task = sopt.perturb_task;
     return std::make_unique<ICASLBScheduler>(opt);
   }
   if (name == "cpr") return std::make_unique<CPRScheduler>();

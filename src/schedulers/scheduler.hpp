@@ -27,6 +27,13 @@ struct SchedulerOptions {
   /// contract of docs/parallelism.md). 1 = the sequential reference path;
   /// 0 = one worker per hardware thread.
   std::size_t threads = 1;
+
+  /// Seeded-divergence hook: forwarded to LocBSOptions::perturb_task by
+  /// every LoCBS-backed scheme (see schedulers/locbs.hpp). The named task
+  /// adopts the distinct runner-up of its final placement scan, giving
+  /// differential attribution (obs/rundiff.hpp) a controlled single-flip
+  /// run to diff against. Ignored by schemes without LoCBS.
+  TaskId perturb_task = kNoTask;
 };
 
 /// Output of a scheduling scheme.

@@ -114,7 +114,7 @@ TEST(ObsEvents, LocMpsRunEmitsOnlyDocumentedEventsWithValidEnvelope) {
   const std::vector<std::string> taxonomy{
       "locmps.begin",  "locmps.lookahead_begin", "locmps.refine",
       "locmps.lookahead", "locmps.done",         "locbs.place",
-      "sim.transfer"};
+      "locbs.decision", "sim.transfer"};
   std::size_t begins = 0, dones = 0;
   double prev_t = 0.0;
   for (const Json& e : tr.events) {

@@ -34,11 +34,18 @@
 #include "obs/flame.hpp"
 #include "obs/log.hpp"
 #include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
+#include "obs/rundiff.hpp"
 #include "schedulers/loc_mps.hpp"
 #include "schedulers/registry.hpp"
 #include "util/rng.hpp"
 #include "workloads/synthetic.hpp"
+
+// Baked in at configure time by tools/CMakeLists.txt (git describe).
+#ifndef LOCMPS_GIT_DESCRIBE
+#define LOCMPS_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
@@ -74,6 +81,23 @@ void usage(std::ostream& os) {
         "  --fault-policy <p>     recovery policy: replan (default) or "
         "retry\n"
         "\n"
+        "Provenance and run diffing (docs/observability.md):\n"
+        "  --explain <task>       print the task's placement decision\n"
+        "                         record (repeatable; needs --obs-out or\n"
+        "                         --trace)\n"
+        "  --why-critical         walk the critical path printing each\n"
+        "                         task's decision record and start blame\n"
+        "                         (needs --obs-out or --trace)\n"
+        "  --diff <A> <B>         diff two decision traces of this\n"
+        "                         workload and attribute the makespan\n"
+        "                         delta to ranked root-cause decisions\n"
+        "                         (no scheduling run)\n"
+        "  --diff-json <file>     with --diff: also write the attribution\n"
+        "                         artifact as JSON\n"
+        "  --perturb-task <t>     seeded divergence: task t adopts its\n"
+        "                         runner-up slot in the final LoCBS pass\n"
+        "                         (LoCBS-backed schemes only)\n"
+        "\n"
         "Outputs:\n"
         "  --report-out <file>    write the self-contained HTML report\n"
         "  --obs-out <file>       write the JSONL decision trace, join it\n"
@@ -95,6 +119,7 @@ void usage(std::ostream& os) {
         "env\n"
         "  --title <text>         report title\n"
         "  --quiet                suppress the terminal summary\n"
+        "  --version              print the build's git describe and exit\n"
         "  --help                 this text\n";
 }
 
@@ -119,6 +144,12 @@ struct Options {
   obs::FlameWeight flame_weight = obs::FlameWeight::kWallMicros;
   std::string title;
   bool quiet = false;
+  std::vector<TaskId> explain;
+  bool why_critical = false;
+  std::string diff_a;
+  std::string diff_b;
+  std::string diff_json;
+  TaskId perturb_task = kNoTask;
 };
 
 /// Shorthand for this tool's error diagnostics (obs/log.hpp).
@@ -213,8 +244,30 @@ std::optional<Options> parse(int argc, char** argv) {
       o.title = v;
     } else if (a == "--quiet") {
       o.quiet = true;
+    } else if (a == "--explain") {
+      if ((v = need(i, "--explain")) == nullptr) return std::nullopt;
+      o.explain.push_back(
+          static_cast<TaskId>(std::strtoull(v, nullptr, 10)));
+    } else if (a == "--why-critical") {
+      o.why_critical = true;
+    } else if (a == "--diff") {
+      if ((v = need(i, "--diff")) == nullptr) return std::nullopt;
+      o.diff_a = v;
+      if ((v = need(i, "--diff")) == nullptr) return std::nullopt;
+      o.diff_b = v;
+    } else if (a == "--diff-json") {
+      if ((v = need(i, "--diff-json")) == nullptr) return std::nullopt;
+      o.diff_json = v;
+    } else if (a == "--perturb-task") {
+      if ((v = need(i, "--perturb-task")) == nullptr) return std::nullopt;
+      o.perturb_task =
+          static_cast<TaskId>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--version") {
+      std::cout << "locmps-inspect " << LOCMPS_GIT_DESCRIBE << "\n";
+      std::exit(0);
     } else {
       err() << "unknown argument '" << a << "' (--help for usage)";
+      usage(std::cerr);
       return std::nullopt;
     }
   }
@@ -228,6 +281,16 @@ std::optional<Options> parse(int argc, char** argv) {
   }
   if (o.fault_policy != "replan" && o.fault_policy != "retry") {
     err() << "--fault-policy must be 'replan' or 'retry'";
+    return std::nullopt;
+  }
+  if ((!o.explain.empty() || o.why_critical) && o.obs_out.empty() &&
+      o.trace_in.empty()) {
+    err() << "--explain/--why-critical need a decision trace: add "
+             "--obs-out <file> or --trace <file>";
+    return std::nullopt;
+  }
+  if (!o.diff_json.empty() && o.diff_a.empty()) {
+    err() << "--diff-json needs --diff <A> <B>";
     return std::nullopt;
   }
   return o;
@@ -246,6 +309,33 @@ TaskGraph load_workload(const Options& o) {
   p.bandwidth_Bps = o.bandwidth_mbps * 1e6 / 8.0;
   Rng rng(o.seed);
   return make_synthetic_dag(p, rng);
+}
+
+/// `--diff A B`: aligns two decision traces of this workload's graph,
+/// classifies every divergence and attributes the makespan delta to
+/// ranked root-cause decisions (obs/rundiff.hpp). No scheduling run.
+/// Returns the process exit code.
+int run_diff_mode(const Options& o, const TaskGraph& g) {
+  auto load = [&](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read trace " + path);
+    return obs::run_view(obs::read_trace(in), g.num_tasks());
+  };
+  const obs::RunView a = load(o.diff_a);
+  const obs::RunView b = load(o.diff_b);
+  const obs::RunDiff d = obs::diff_runs(g, a, b);
+  obs::print_diff(std::cout, g, a, b, d);
+  if (!o.diff_json.empty()) {
+    std::ofstream out(o.diff_json);
+    if (!out) {
+      err() << "cannot open " << o.diff_json;
+      return 2;
+    }
+    obs::write_diff_json(out, g, a, b, d);
+    if (!o.quiet)
+      std::cout << "attribution     " << o.diff_json << "\n";
+  }
+  return 0;
 }
 
 /// Joins \p trace_path into \p run's analysis and cross-checks the
@@ -320,6 +410,8 @@ int run_fault_mode(const Options& o, const TaskGraph& g,
                                         : RecoveryPolicy::kDegradedReplan;
   ro.obs = &ctx;
   const RecoveryResult res = run_with_faults(g, cluster, plan, ro);
+  if (sink && sink->dropped() > 0)
+    met.add("obs.trace.dropped", static_cast<double>(sink->dropped()));
   sink.reset();
   jsonl.close();
 
@@ -343,6 +435,7 @@ int run_fault_mode(const Options& o, const TaskGraph& g,
   const obs::MetricsSnapshot snap = met.snapshot();
   obs::join_backfill_stats(a, snap);
   obs::join_fault_stats(a, snap);
+  obs::join_event_health(a, snap);
   join_fault_plan(a, plan);
 
   bool ok = true;
@@ -427,10 +520,12 @@ int main(int argc, char** argv) {
     const TaskGraph g = load_workload(o);
     const Cluster cluster(o.procs, o.bandwidth_mbps * 1e6 / 8.0, o.overlap);
 
+    if (!o.diff_a.empty()) return run_diff_mode(o, g);
     if (o.fault_rate > 0.0) return run_fault_mode(o, g, cluster);
 
     SchedulerOptions sched_opt;
     sched_opt.threads = o.threads;
+    sched_opt.perturb_task = o.perturb_task;
     const bool want_profile = o.profile || !o.flame_out.empty() ||
                               !o.report_out.empty();
     std::optional<obs::Profiler> profiler;
@@ -459,6 +554,19 @@ int main(int argc, char** argv) {
     else if (!o.trace_in.empty())
       reconciled = join_and_reconcile(run, o.trace_in, o.quiet);
 
+    // Final decision per task (last "locbs.decision" record), feeding
+    // --explain, --why-critical and the report's "Why" panel.
+    std::vector<obs::PlacementDecision> decisions;
+    {
+      const std::string& tp = !o.obs_out.empty() ? o.obs_out : o.trace_in;
+      if (!tp.empty()) {
+        std::ifstream in(tp);
+        if (in)
+          decisions =
+              obs::final_decisions(obs::read_trace(in), g.num_tasks());
+      }
+    }
+
     if (!o.quiet) {
       std::cout << "scheme          " << o.scheme << " on " << o.procs
                 << " procs (" << fmt(o.bandwidth_mbps, 0) << " Mbps, "
@@ -467,6 +575,46 @@ int main(int argc, char** argv) {
       std::cout << "planning        " << fmt(run.scheduling_seconds, 6)
                 << " s\n";
       std::cout << obs::text_report(run.analysis);
+    }
+
+    for (TaskId t : o.explain) {
+      if (t >= g.num_tasks()) {
+        err() << "--explain task " << t << " out of range (graph has "
+              << g.num_tasks() << " tasks)";
+        return 2;
+      }
+      std::cout << "\nwhy task " << t << ":\n";
+      obs::print_decision(
+          std::cout, g,
+          t < decisions.size() ? decisions[t] : obs::PlacementDecision{});
+    }
+
+    if (o.why_critical) {
+      std::cout << "\nwhy-critical: decision records along the critical "
+                   "path (source -> makespan task)\n";
+      for (const obs::CriticalPathStep& st :
+           run.analysis.critical_path.steps) {
+        std::cout << "\n-- compute " << fmt(st.compute_s, 4) << " s";
+        if (st.redist_s > 0.0)
+          std::cout << ", redistribution in " << fmt(st.redist_s, 4)
+                    << " s";
+        if (st.wait_s > 0.0)
+          std::cout << ", wait " << fmt(st.wait_s, 4) << " s";
+        std::cout << "\n";
+        for (const obs::TaskBlame& b : run.analysis.blame) {
+          if (b.task != st.task || b.delay_s <= 0.0 ||
+              b.culprit == kNoTask)
+            continue;
+          std::cout << "   start delayed " << fmt(b.delay_s, 4)
+                    << " s by task " << b.culprit << " ("
+                    << g.task(b.culprit).name << ")\n";
+          break;
+        }
+        obs::print_decision(
+            std::cout, g,
+            st.task < decisions.size() ? decisions[st.task]
+                                       : obs::PlacementDecision{});
+      }
     }
 
     bool profile_ok = true;
@@ -523,6 +671,7 @@ int main(int argc, char** argv) {
           << (o.overlap ? "overlap" : "no-overlap") << " platform";
       ropt.subtitle = sub.str();
       if (!prof_snap.empty()) ropt.profile = &prof_snap;
+      if (decisions.size() == g.num_tasks()) ropt.decisions = &decisions;
       std::ofstream html(o.report_out);
       if (!html) {
         err() << "cannot open " << o.report_out;
