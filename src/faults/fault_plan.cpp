@@ -11,14 +11,13 @@ namespace locmps {
 
 FaultPlan::FaultPlan(std::size_t processors, std::vector<FaultEvent> events)
     : processors_(processors), events_(std::move(events)) {
-  event_of_proc_.assign(processors_, -1);
   std::sort(events_.begin(), events_.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
+              // Deterministic sort key tie-break. LINT-ALLOW(float-eq)
               if (a.fail_at != b.fail_at) return a.fail_at < b.fail_at;
               return a.proc < b.proc;
             });
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const FaultEvent& e = events_[i];
+  for (const FaultEvent& e : events_) {
     if (e.proc >= processors_)
       throw std::invalid_argument("FaultPlan: processor index " +
                                   std::to_string(e.proc) + " out of range");
@@ -27,36 +26,70 @@ FaultPlan::FaultPlan(std::size_t processors, std::vector<FaultEvent> events)
     if (!(e.repair_at > e.fail_at))
       throw std::invalid_argument(
           "FaultPlan: repair_at must be strictly after fail_at");
-    if (event_of_proc_[e.proc] != -1)
+  }
+
+  // Proc-major view (CSR): intervals_of(q) is a contiguous, onset-ordered
+  // slice. Stable sort preserves the onset order established above.
+  by_proc_ = events_;
+  std::stable_sort(by_proc_.begin(), by_proc_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.proc < b.proc;
+                   });
+  by_proc_begin_.assign(processors_ + 1, 0);
+  for (const FaultEvent& e : by_proc_) ++by_proc_begin_[e.proc + 1];
+  for (std::size_t q = 0; q < processors_; ++q)
+    by_proc_begin_[q + 1] += by_proc_begin_[q];
+
+  // A processor cannot fail while already down: successive intervals of a
+  // processor must be disjoint, which also forces a never-repaired failure
+  // (repair_at == inf) to be its processor's last.
+  for (std::size_t i = 1; i < by_proc_.size(); ++i) {
+    const FaultEvent& prev = by_proc_[i - 1];
+    const FaultEvent& cur = by_proc_[i];
+    if (prev.proc == cur.proc && cur.fail_at < prev.repair_at)
       throw std::invalid_argument("FaultPlan: processor " +
-                                  std::to_string(e.proc) +
-                                  " fails more than once");
-    event_of_proc_[e.proc] = static_cast<std::int32_t>(i);
+                                  std::to_string(cur.proc) +
+                                  " has overlapping failure intervals");
   }
 }
 
+FaultPlan::IntervalRange FaultPlan::intervals_of(ProcId q) const {
+  if (q >= processors_) return {};
+  const FaultEvent* base = by_proc_.data();
+  return {base + by_proc_begin_[q], base + by_proc_begin_[q + 1]};
+}
+
 const FaultEvent* FaultPlan::event_of(ProcId q) const {
-  if (q >= event_of_proc_.size() || event_of_proc_[q] < 0) return nullptr;
-  return &events_[static_cast<std::size_t>(event_of_proc_[q])];
+  const IntervalRange r = intervals_of(q);
+  return r.empty() ? nullptr : r.first;
 }
 
 bool FaultPlan::alive(ProcId q, double t) const {
-  const FaultEvent* e = event_of(q);
-  return e == nullptr || t < e->fail_at || t >= e->repair_at;
+  for (const FaultEvent& e : intervals_of(q)) {
+    if (t < e.fail_at) return true;  // intervals are onset-ordered
+    if (t < e.repair_at) return false;
+  }
+  return true;
 }
 
 bool FaultPlan::first_onset(ProcId q, double begin, double end,
                             double* out) const {
-  const FaultEvent* e = event_of(q);
-  if (e == nullptr || e->fail_at < begin || e->fail_at >= end) return false;
-  *out = e->fail_at;
-  return true;
+  for (const FaultEvent& e : intervals_of(q)) {
+    if (e.fail_at >= end) return false;
+    if (e.fail_at >= begin) {
+      *out = e.fail_at;
+      return true;
+    }
+  }
+  return false;
 }
 
 double FaultPlan::repaired_at(ProcId q, double t) const {
-  const FaultEvent* e = event_of(q);
-  if (e == nullptr || t < e->fail_at || t >= e->repair_at) return t;
-  return e->repair_at;
+  for (const FaultEvent& e : intervals_of(q)) {
+    if (t < e.fail_at) return t;
+    if (t < e.repair_at) return e.repair_at;
+  }
+  return t;
 }
 
 ProcessorSet FaultPlan::failed_by(double t) const {

@@ -14,11 +14,16 @@
 /// determinism acceptance check rely on.
 ///
 /// Failure model notes:
-///  * At most one failure interval per processor (fail-stop; a repaired
-///    node may be reused but does not fail again within one plan).
+///  * A processor may fail any number of times within one plan, as long as
+///    its [fail_at, repair_at) intervals are pairwise disjoint (a node
+///    cannot fail while already down). A never-repaired failure is
+///    therefore always the last interval of its processor.
 ///  * Output data of a *completed* task survives its processors' failure
 ///    (checkpointed to disk at task completion). Only computation in
 ///    progress and transfers in flight at the failure onset are lost.
+///
+/// Performance faults (slowdowns, degraded links, runtime noise) are the
+/// complementary script: see faults/perturbation.hpp.
 
 #include <cstddef>
 #include <cstdint>
@@ -43,12 +48,27 @@ struct FaultEvent {
 /// An immutable, validated script of processor failures.
 class FaultPlan {
  public:
+  /// The failure intervals of one processor, ordered by onset: a
+  /// contiguous [begin, end) range into an internal proc-major array,
+  /// valid for the lifetime of the plan.
+  struct IntervalRange {
+    const FaultEvent* first = nullptr;
+    const FaultEvent* last = nullptr;
+    const FaultEvent* begin() const { return first; }
+    const FaultEvent* end() const { return last; }
+    bool empty() const { return first == last; }
+    std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  };
+
   /// Empty plan (no failures) over a cluster of \p processors.
-  explicit FaultPlan(std::size_t processors = 0) : processors_(processors) {}
+  explicit FaultPlan(std::size_t processors = 0) : processors_(processors) {
+    by_proc_begin_.assign(processors_ + 1, 0);
+  }
 
   /// Validates and adopts \p events: every proc index in range, onsets
-  /// non-negative, repair strictly after onset, at most one event per
-  /// processor. Throws std::invalid_argument otherwise.
+  /// non-negative, repair strictly after onset, and per processor the
+  /// failure intervals pairwise disjoint. Throws std::invalid_argument
+  /// otherwise.
   FaultPlan(std::size_t processors, std::vector<FaultEvent> events);
 
   std::size_t processors() const { return processors_; }
@@ -67,7 +87,11 @@ class FaultPlan {
   /// covering failure never repairs.
   double repaired_at(ProcId q, double t) const;
 
-  /// The failure event of \p q, or null if q never fails.
+  /// The failure intervals of \p q, ordered by onset (empty if q never
+  /// fails).
+  IntervalRange intervals_of(ProcId q) const;
+
+  /// The *first* failure event of \p q, or null if q never fails.
   const FaultEvent* event_of(ProcId q) const;
 
   /// Processors whose failure onset is <= t (repaired or not): the set a
@@ -76,8 +100,9 @@ class FaultPlan {
 
  private:
   std::size_t processors_ = 0;
-  std::vector<FaultEvent> events_;          // sorted by (fail_at, proc)
-  std::vector<std::int32_t> event_of_proc_; // index into events_, -1 = none
+  std::vector<FaultEvent> events_;   // sorted by (fail_at, proc)
+  std::vector<FaultEvent> by_proc_;  // sorted by (proc, fail_at)
+  std::vector<std::size_t> by_proc_begin_;  // CSR offsets into by_proc_
 };
 
 /// Knobs of the seeded fault-plan generator.
@@ -106,8 +131,10 @@ struct FaultPlanParams {
   std::uint64_t seed = 42;
 };
 
-/// Draws a deterministic FaultPlan for a cluster of \p processors.
-/// Throws std::invalid_argument on nonsensical parameters.
+/// Draws a deterministic FaultPlan for a cluster of \p processors. The
+/// generator emits at most one interval per sampled processor, so plans it
+/// produced before multi-interval support are reproduced bit for bit under
+/// the same seeds. Throws std::invalid_argument on nonsensical parameters.
 FaultPlan make_fault_plan(std::size_t processors, const FaultPlanParams& prm);
 
 }  // namespace locmps

@@ -18,6 +18,16 @@
 ///    survivors. Degrades gracefully down to `min_procs` survivors and
 ///    returns a structured failure below that.
 ///
+/// Performance faults (faults/perturbation.hpp) close a second loop:
+/// straggler *detection* declares a task a straggler the instant it has run
+/// straggler_threshold x its modeled time without finishing, and mitigates
+/// with one of two policies — **speculative re-execution** launches a copy
+/// of the straggler on the least-loaded idle processors, the first finisher
+/// wins and the loser is cancelled with its processor-seconds accounted as
+/// waste, or **straggler replan**, which masks the slowed processors and
+/// reuses the degraded-replan FixedPrefix path. Each straggler is mitigated
+/// at most once, so the loop converges.
+///
 /// Determinism: the whole loop is a pure function of (graph, cluster,
 /// plan, options). Faults, kills, retries and replans are counted in the
 /// metrics registry ("fault.*" / "recovery.*") and emitted on the decision
@@ -29,6 +39,7 @@
 
 #include "cluster/cluster.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/perturbation.hpp"
 #include "graph/task_graph.hpp"
 #include "obs/analysis.hpp"
 #include "obs/events.hpp"
@@ -45,6 +56,15 @@ enum class RecoveryPolicy {
 
 /// Table label of a policy ("retry" / "replan").
 const char* to_string(RecoveryPolicy p);
+
+/// How run_with_faults mitigates a detected straggler.
+enum class StragglerMitigation {
+  kSpeculate,  ///< launch a speculative copy; first finisher wins
+  kReplan,     ///< mask the slowed processors and replan via FixedPrefix
+};
+
+/// Table label of a mitigation ("speculate" / "replan").
+const char* to_string(StragglerMitigation m);
 
 /// Knobs of the recovery executor.
 struct RecoveryOptions {
@@ -66,6 +86,21 @@ struct RecoveryOptions {
   /// recovery loop so every round replays identically).
   double runtime_noise = 0.0;
   std::uint64_t seed = 42;
+
+  /// Optional performance-fault script injected into every simulation
+  /// round (SimOptions::perturb). Null = model-exact execution. Must be
+  /// sized for the cluster; the caller keeps ownership.
+  const PerturbationPlan* perturb = nullptr;
+
+  /// Straggler detection threshold: a task still running at
+  /// straggler_threshold x its modeled time is declared a straggler at
+  /// that instant and mitigated. 0 (the default) disables detection;
+  /// values in (0, 1] are rejected (detection would fire before the
+  /// modeled finish).
+  double straggler_threshold = 0.0;
+
+  /// Mitigation applied to detected stragglers.
+  StragglerMitigation straggler_mitigation = StragglerMitigation::kSpeculate;
 
   /// Planner used for the initial plan and for degraded replans.
   LocMPSOptions planner;
@@ -101,12 +136,27 @@ struct RecoveryResult {
   double wasted_proc_seconds = 0.0;   ///< processor-time thrown away by kills
   double backoff_seconds = 0.0;       ///< summed retry backoff waits
   ProcessorSet masked;                ///< processors masked out by replans
+
+  // Straggler-mitigation accounting ("mitigation.*" counters and events
+  // reconcile with these, three ways — tests/test_robustness.cpp).
+  std::size_t stragglers = 0;         ///< stragglers detected
+  std::size_t speculations = 0;       ///< speculative copies launched
+  std::size_t spec_wins = 0;          ///< the copy finished first
+  std::size_t spec_losses = 0;        ///< the original finished first
+  std::size_t straggler_replans = 0;  ///< slowdown-triggered replans issued
+  /// Processor-seconds of cancelled losers: the straggler's partial run
+  /// when a copy or replan supersedes it, the copy's run when the original
+  /// wins the race.
+  double mitigation_wasted_seconds = 0.0;
 };
 
-/// Executes \p g on \p cluster under the failure script \p plan.
-/// Deterministic: identical inputs give identical results, traces and
-/// counter values. Throws std::invalid_argument when \p plan is sized for
-/// a different cluster.
+/// Executes \p g on \p cluster under the failure script \p plan (and the
+/// performance-fault script \p opt.perturb, when set). Deterministic:
+/// identical inputs give identical results, traces and counter values.
+/// Throws std::invalid_argument when \p plan or \p opt.perturb is sized
+/// for a different cluster, or when \p opt is malformed (negative backoff,
+/// zero retries, min_procs beyond the cluster, ... — every violation is
+/// named in the message).
 RecoveryResult run_with_faults(const TaskGraph& g, const Cluster& cluster,
                                const FaultPlan& plan,
                                const RecoveryOptions& opt = {});

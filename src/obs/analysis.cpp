@@ -311,6 +311,26 @@ void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
   f.present = f.injected > 0.0;
 }
 
+void join_perturb_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
+  PerturbStats& p = a.perturb;
+  p.slowed_tasks = snap.counter("perturb.slowed_tasks");
+  p.stretch_seconds = snap.counter("perturb.stretch_seconds");
+  p.degraded_transfers = snap.counter("perturb.degraded_transfers");
+  p.link_delay_seconds = snap.counter("perturb.link_delay_seconds");
+  p.present = p.slowed_tasks > 0.0 || p.degraded_transfers > 0.0;
+}
+
+void join_mitigation_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
+  MitigationStats& m = a.mitigation;
+  m.stragglers = snap.counter("mitigation.stragglers");
+  m.speculations = snap.counter("mitigation.speculations");
+  m.spec_wins = snap.counter("mitigation.spec_wins");
+  m.spec_losses = snap.counter("mitigation.spec_losses");
+  m.replans = snap.counter("mitigation.replans");
+  m.wasted_seconds = snap.counter("mitigation.wasted_seconds");
+  m.present = m.stragglers > 0.0;
+}
+
 void join_event_health(ScheduleAnalysis& a, const MetricsSnapshot& snap) {
   a.events_dropped = snap.counter("obs.events.dropped");
   a.trace_dropped = snap.counter("obs.trace.dropped");
@@ -530,6 +550,22 @@ TraceSummary summarize_trace(const std::vector<TraceRecord>& records,
       ++ts.recovery_retries;
     } else if (r.ev == "recovery.replan") {
       ++ts.recovery_replans;
+    } else if (r.ev == "perturb.slow") {
+      ++ts.perturb_slow_events;
+      ts.perturb_stretch_s += r.num("stretch_s");
+    } else if (r.ev == "perturb.link") {
+      ++ts.perturb_link_events;
+      ts.perturb_link_delay_s += r.num("delay_s");
+    } else if (r.ev == "mitigation.straggler") {
+      ++ts.mitigation_stragglers;
+    } else if (r.ev == "mitigation.speculate") {
+      ++ts.mitigation_speculations;
+      ts.mitigation_wasted_s += r.num("wasted_s");
+    } else if (r.ev == "mitigation.replan") {
+      ++ts.mitigation_replans;
+      ts.mitigation_wasted_s += r.num("wasted_s");
+    } else if (r.ev == "robust.sample") {
+      ++ts.robust_samples;
     }
   }
   std::sort(ts.fault_windows.begin(), ts.fault_windows.end(),

@@ -159,6 +159,54 @@ struct FaultWindow {
   double repair_s = -1.0;  ///< < 0: never repaired
 };
 
+/// One processor-slowdown window (a performance fault), for the report's
+/// straggler lanes. Filled from a PerturbationPlan via join_perturbation
+/// (faults/robustness.hpp) or from the trace's "mitigation.straggler"
+/// events.
+struct SlowdownWindow {
+  ProcId proc = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double factor = 1.0;  ///< compute-stretch multiplier inside the window
+};
+
+/// Performance-fault exposure of the run, joined from the "perturb.*"
+/// counters (join_perturb_stats) — absent for unperturbed runs.
+struct PerturbStats {
+  bool present = false;
+  double slowed_tasks = 0.0;        ///< perturb.slowed_tasks
+  double stretch_seconds = 0.0;     ///< perturb.stretch_seconds
+  double degraded_transfers = 0.0;  ///< perturb.degraded_transfers
+  double link_delay_seconds = 0.0;  ///< perturb.link_delay_seconds
+};
+
+/// Straggler-mitigation accounting, joined from the "mitigation.*"
+/// counters (join_mitigation_stats) — absent when detection was off.
+struct MitigationStats {
+  bool present = false;
+  double stragglers = 0.0;      ///< mitigation.stragglers (detections)
+  double speculations = 0.0;    ///< mitigation.speculations (copies)
+  double spec_wins = 0.0;       ///< mitigation.spec_wins
+  double spec_losses = 0.0;     ///< mitigation.spec_losses
+  double replans = 0.0;         ///< mitigation.replans
+  double wasted_seconds = 0.0;  ///< mitigation.wasted_seconds
+};
+
+/// Monte-Carlo robustness digest, joined from a RobustnessReport
+/// (faults/robustness.hpp join_robustness) — absent (samples == 0) when
+/// no ensemble was run.
+struct RobustnessSummary {
+  std::size_t samples = 0;
+  double nominal = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double median_lo = 0.0;  ///< order-statistic CI bounds (util/stats.hpp)
+  double median_hi = 0.0;
+  double p95 = 0.0;
+  double worst = 0.0;
+  double p95_over_nominal = 1.0;
+};
+
 /// Fault-injection and recovery accounting, joined from the run's
 /// "fault.*" / "recovery.*" counters (join_fault_stats) — absent for
 /// fault-free runs.
@@ -210,6 +258,14 @@ struct ScheduleAnalysis {
   /// empty for fault-free runs. Drawn as the Gantt fault lane.
   std::vector<FaultWindow> fault_windows;
 
+  PerturbStats perturb;
+  MitigationStats mitigation;
+  RobustnessSummary robustness;
+  /// Slowdown windows of the run's PerturbationPlan, sorted by
+  /// (begin_s, proc); empty for unperturbed runs. Drawn as the Gantt
+  /// straggler lanes.
+  std::vector<SlowdownWindow> slowdown_windows;
+
   /// Decision events discarded by a full EventBuffer during the run
   /// ("obs.events.dropped", joined by join_event_health). Non-zero means
   /// the decision trace is truncated; surfaced by locmps-inspect and the
@@ -238,6 +294,12 @@ void join_backfill_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
 /// Fills \p a.faults from the run's "fault.*" / "recovery.*" counters.
 void join_fault_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
+
+/// Fills \p a.perturb from the run's "perturb.*" counters.
+void join_perturb_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
+
+/// Fills \p a.mitigation from the run's "mitigation.*" counters.
+void join_mitigation_stats(ScheduleAnalysis& a, const MetricsSnapshot& snap);
 
 /// Fills \p a.events_dropped / \p a.trace_dropped from the run's
 /// "obs.events.dropped" / "obs.trace.dropped" counters.
@@ -286,6 +348,19 @@ struct TraceSummary {
   std::size_t recovery_replans = 0;        ///< "recovery.replan" lines
   /// Failure windows from "fault.fail" events, sorted by (fail_s, proc).
   std::vector<FaultWindow> fault_windows;
+
+  // Performance-fault digest ("perturb.*" / "mitigation.*" events). Must
+  // reconcile with the same run's counters and its SimResult /
+  // RecoveryResult fields (the third book of the three-way check).
+  std::size_t perturb_slow_events = 0;   ///< "perturb.slow" lines
+  double perturb_stretch_s = 0.0;        ///< summed stretch_s fields
+  std::size_t perturb_link_events = 0;   ///< "perturb.link" lines
+  double perturb_link_delay_s = 0.0;     ///< summed delay_s fields
+  std::size_t mitigation_stragglers = 0;   ///< "mitigation.straggler" lines
+  std::size_t mitigation_speculations = 0; ///< "mitigation.speculate" lines
+  std::size_t mitigation_replans = 0;      ///< "mitigation.replan" lines
+  double mitigation_wasted_s = 0.0;        ///< summed wasted_s fields
+  std::size_t robust_samples = 0;          ///< "robust.sample" lines
 };
 
 /// Digests \p records for a schedule of \p num_tasks tasks.

@@ -77,7 +77,7 @@ const char kStyle[] = R"css(
     --loc-none: #e1e0d9; --loc-local: #86b6ef; --loc-partial: #2a78d6;
     --loc-remote: #104281;
     --cp-compute: #2a78d6; --cp-redist: #eb6834; --cp-wait: #e1e0d9;
-    --bar: #2a78d6; --fault: #c0392b;
+    --bar: #2a78d6; --fault: #c0392b; --slow: #c98f00;
     margin: 0; padding: 24px; background: var(--page); color: var(--ink);
     font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
   }
@@ -89,7 +89,7 @@ const char kStyle[] = R"css(
       --loc-none: #2c2c2a; --loc-local: #6da7ec; --loc-partial: #2a78d6;
       --loc-remote: #184f95;
       --cp-compute: #3987e5; --cp-redist: #d95926; --cp-wait: #2c2c2a;
-      --bar: #3987e5; --fault: #e05a4b;
+      --bar: #3987e5; --fault: #e05a4b; --slow: #e0ac2e;
     }
   }
   h1 { font-size: 20px; margin: 0 0 4px 0; }
@@ -123,6 +123,7 @@ const char kStyle[] = R"css(
   .loc-remote { fill: var(--loc-remote); }
   .recv { opacity: 0.35; }
   .fault { fill: var(--fault); opacity: 0.28; }
+  .slow { fill: var(--slow); opacity: 0.30; }
   .gantt-grid { stroke: var(--grid); stroke-width: 1; }
   .gantt-label { fill: var(--muted); font-size: 10px;
                  font-family: system-ui, sans-serif; }
@@ -235,6 +236,23 @@ void render_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
        << "\" width=\"" << fmt(w, 2) << "\" height=\"" << fmt(row_h, 1)
        << "\"><title>" << xml_escape(tip.str()) << "</title></rect>\n";
   }
+
+  // Straggler lane: each slowdown window shades its processor row like a
+  // fault window, but in the slowdown hue — the processor kept running,
+  // just slower by the given factor.
+  for (const SlowdownWindow& sw : a.slowdown_windows) {
+    if (sw.proc >= P || sw.begin_s >= horizon) continue;
+    const double end_t = std::min(sw.end_s, horizon);
+    const double y = static_cast<double>(sw.proc) * (row_h + row_gap);
+    const double x = gutter + sw.begin_s * scale;
+    const double w = std::max(0.5, (end_t - sw.begin_s) * scale);
+    std::ostringstream tip;
+    tip << "p" << sw.proc << " slowed " << fmt(sw.factor, 2) << "x over ["
+        << fmt(sw.begin_s, 3) << ", " << fmt(sw.end_s, 3) << ")s";
+    os << "<rect class=\"slow\" x=\"" << fmt(x, 2) << "\" y=\"" << fmt(y, 1)
+       << "\" width=\"" << fmt(w, 2) << "\" height=\"" << fmt(row_h, 1)
+       << "\"><title>" << xml_escape(tip.str()) << "</title></rect>\n";
+  }
   os << "</svg>\n";
 }
 
@@ -271,6 +289,73 @@ void render_faults(std::ostream& os, const ScheduleAnalysis& a) {
          << (fw.repair_s >= 0.0 ? fmt(fw.repair_s, 3)
                                 : std::string("&#8212;"))
          << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  os << "</div>\n";
+}
+
+/// Robustness panel: perturbation exposure, straggler mitigation
+/// accounting, and the Monte-Carlo makespan distribution (when scored).
+void render_robustness(std::ostream& os, const ScheduleAnalysis& a) {
+  os << "<div class=\"panel\">";
+  if (a.perturb.present) {
+    os << "<table>\n"
+       << "<tr><th>perturbation exposure</th><th class=\"num\">value</th>"
+          "</tr>\n"
+       << "<tr><td>tasks slowed</td><td class=\"num\">"
+       << fmt(a.perturb.slowed_tasks, 0) << "</td></tr>\n"
+       << "<tr><td>compute stretch (s)</td><td class=\"num\">"
+       << fmt(a.perturb.stretch_seconds, 3) << "</td></tr>\n"
+       << "<tr><td>transfers degraded</td><td class=\"num\">"
+       << fmt(a.perturb.degraded_transfers, 0) << "</td></tr>\n"
+       << "<tr><td>link delay (s)</td><td class=\"num\">"
+       << fmt(a.perturb.link_delay_seconds, 3) << "</td></tr>\n</table>\n";
+  }
+  if (a.mitigation.present) {
+    os << "<table>\n"
+       << "<tr><th>straggler mitigation</th><th class=\"num\">value</th>"
+          "</tr>\n"
+       << "<tr><td>stragglers detected</td><td class=\"num\">"
+       << fmt(a.mitigation.stragglers, 0) << "</td></tr>\n"
+       << "<tr><td>speculative copies</td><td class=\"num\">"
+       << fmt(a.mitigation.speculations, 0) << "</td></tr>\n"
+       << "<tr><td>copy wins / losses</td><td class=\"num\">"
+       << fmt(a.mitigation.spec_wins, 0) << " / "
+       << fmt(a.mitigation.spec_losses, 0) << "</td></tr>\n"
+       << "<tr><td>degraded replans</td><td class=\"num\">"
+       << fmt(a.mitigation.replans, 0) << "</td></tr>\n"
+       << "<tr><td>mitigation waste (proc-s)</td><td class=\"num\">"
+       << fmt(a.mitigation.wasted_seconds, 3) << "</td></tr>\n</table>\n";
+  }
+  if (a.robustness.samples > 0) {
+    const RobustnessSummary& r = a.robustness;
+    os << "<table>\n"
+       << "<tr><th>makespan distribution (" << r.samples
+       << " perturbed samples)</th><th class=\"num\">seconds</th></tr>\n"
+       << "<tr><td>nominal (unperturbed)</td><td class=\"num\">"
+       << fmt(r.nominal, 3) << "</td></tr>\n"
+       << "<tr><td>mean</td><td class=\"num\">" << fmt(r.mean, 3)
+       << "</td></tr>\n"
+       << "<tr><td>median [CI]</td><td class=\"num\">" << fmt(r.median, 3)
+       << " [" << fmt(r.median_lo, 3) << ", " << fmt(r.median_hi, 3)
+       << "]</td></tr>\n"
+       << "<tr><td>p95</td><td class=\"num\">" << fmt(r.p95, 3)
+       << "</td></tr>\n"
+       << "<tr><td>worst</td><td class=\"num\">" << fmt(r.worst, 3)
+       << "</td></tr>\n"
+       << "<tr><td>p95 / nominal</td><td class=\"num\">"
+       << fmt(r.p95_over_nominal, 3) << "x</td></tr>\n</table>\n";
+  }
+  if (!a.slowdown_windows.empty()) {
+    os << "<table>\n<tr><th>proc</th><th class=\"num\">slowed from (s)</th>"
+          "<th class=\"num\">until (s)</th><th class=\"num\">factor</th>"
+          "</tr>\n";
+    for (const SlowdownWindow& sw : a.slowdown_windows) {
+      os << "<tr><td>p" << sw.proc << "</td><td class=\"num\">"
+         << fmt(sw.begin_s, 3) << "</td><td class=\"num\">"
+         << fmt(sw.end_s, 3) << "</td><td class=\"num\">"
+         << fmt(sw.factor, 2) << "x</td></tr>\n";
     }
     os << "</table>\n";
   }
@@ -529,6 +614,15 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
     tile(os, fmt(a.faults.retries + a.faults.replans, 0),
          "recovery actions");
   }
+  if (a.perturb.present)
+    tile(os, fmt(a.perturb.stretch_seconds + a.perturb.link_delay_seconds,
+                 2) + " s",
+         "perturbation delay");
+  if (a.mitigation.present)
+    tile(os, fmt(a.mitigation.stragglers, 0), "stragglers mitigated");
+  if (a.robustness.samples > 0)
+    tile(os, fmt(a.robustness.p95_over_nominal, 2) + "x",
+         "p95 / nominal makespan");
   os << "</div>\n";
 
   os << "<h2>Schedule (Gantt, colored by input locality)</h2>\n";
@@ -540,6 +634,8 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
   os << "<span>faded slice = receive window</span>";
   if (!a.fault_windows.empty())
     swatch(os, "fault", "processor failure window");
+  if (!a.slowdown_windows.empty())
+    swatch(os, "slow", "processor slowdown window");
   os << "</div>\n";
   os << "<div class=\"panel\">\n";
   render_gantt(os, g, s, a, opt);
@@ -579,6 +675,12 @@ void write_html_report(std::ostream& os, const TaskGraph& g,
   if (a.faults.present || !a.fault_windows.empty()) {
     os << "<h2>Fault timeline and recovery accounting</h2>\n";
     render_faults(os, a);
+  }
+
+  if (a.perturb.present || a.mitigation.present ||
+      a.robustness.samples > 0 || !a.slowdown_windows.empty()) {
+    os << "<h2>Robustness under performance faults</h2>\n";
+    render_robustness(os, a);
   }
 
   if (opt.decisions != nullptr) {
@@ -649,6 +751,27 @@ std::string text_report(const ScheduleAnalysis& a) {
        << " retry(ies), " << fmt(a.faults.replans, 0)
        << " degraded replan(s), " << fmt(a.faults.masked_procs, 0)
        << " proc(s) masked in " << fmt(a.faults.rounds, 0) << " round(s)\n";
+  if (a.perturb.present)
+    os << "perturbation    " << fmt(a.perturb.slowed_tasks, 0)
+       << " task(s) slowed (+" << fmt(a.perturb.stretch_seconds, 3)
+       << " s stretch), " << fmt(a.perturb.degraded_transfers, 0)
+       << " transfer(s) degraded (+" << fmt(a.perturb.link_delay_seconds, 3)
+       << " s link delay)\n";
+  if (a.mitigation.present)
+    os << "mitigation      " << fmt(a.mitigation.stragglers, 0)
+       << " straggler(s): " << fmt(a.mitigation.speculations, 0)
+       << " speculative cop(ies) (" << fmt(a.mitigation.spec_wins, 0)
+       << " won, " << fmt(a.mitigation.spec_losses, 0) << " lost), "
+       << fmt(a.mitigation.replans, 0) << " replan(s), "
+       << fmt(a.mitigation.wasted_seconds, 3) << " proc-seconds wasted\n";
+  if (a.robustness.samples > 0)
+    os << "robustness      " << a.robustness.samples
+       << " perturbed sample(s): median " << fmt(a.robustness.median, 3)
+       << " s [" << fmt(a.robustness.median_lo, 3) << ", "
+       << fmt(a.robustness.median_hi, 3) << "], p95 "
+       << fmt(a.robustness.p95, 3) << " s ("
+       << fmt(a.robustness.p95_over_nominal, 3) << "x nominal), worst "
+       << fmt(a.robustness.worst, 3) << " s\n";
   if (a.backfill.present)
     os << "backfill        " << fmt(a.backfill.hits, 0) << "/"
        << fmt(a.backfill.tasks_placed, 0) << " placements backfilled ("

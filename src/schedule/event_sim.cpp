@@ -31,6 +31,16 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
   if (fp != nullptr && fp->processors() != P)
     throw std::invalid_argument(
         "simulate_execution: fault plan sized for a different cluster");
+  const PerturbationPlan* const pp = opt.perturb;
+  if (pp != nullptr && pp->processors() != P)
+    throw std::invalid_argument(
+        "simulate_execution: perturbation plan sized for a different "
+        "cluster");
+  if (pp != nullptr && !pp->task_noise().empty() &&
+      pp->task_noise().size() != n)
+    throw std::invalid_argument(
+        "simulate_execution: perturbation task noise sized for a different "
+        "graph");
 
   // Per-task multiplicative runtime perturbation.
   std::vector<double> noise;
@@ -42,6 +52,10 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
   } else {
     noise = make_noise_factors(n, opt.runtime_noise, opt.seed);
   }
+  // The perturbation plan's bounded per-task noise composes with the
+  // caller's factors (the recovery loop passes its own fixed vector).
+  if (pp != nullptr && !pp->task_noise().empty())
+    for (std::size_t t = 0; t < n; ++t) noise[t] *= pp->task_noise()[t];
 
   // Replay tasks in the schedule's start order: the schedule is precedence
   // consistent, so parents (and earlier tasks on shared processors) always
@@ -138,7 +152,19 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
         s.at(ed.src).procs.for_each(raise);
         plc.procs.for_each(raise);
       }
-      const double end = start + dur;
+      const double end =
+          pp != nullptr ? pp->transfer_finish(start, dur) : start + dur;
+      if (pp != nullptr && end > start + dur) {
+        ++res.degraded_transfers;
+        res.link_delay_seconds += end - (start + dur);
+        if (obs::wants_events(obs))
+          obs->sink->emit(obs::Event("perturb.link")
+                              .with("edge", e)
+                              .with("dst", t)
+                              .with("begin", start)
+                              .with("nominal_s", dur)
+                              .with("delay_s", end - (start + dur)));
+      }
       if (fp != nullptr) {
         // A failure onset at either endpoint strictly inside the transfer
         // window times the redistribution out and kills the consumer. A
@@ -146,9 +172,13 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
         // completed producer's data survives on disk, so it succeeds.
         auto scan = [&](const ProcessorSet& ps) {
           ps.for_each([&](ProcId q) {
-            const FaultEvent* ev = fp->event_of(q);
-            if (ev != nullptr && ev->fail_at > start && ev->fail_at < end)
-              offer_kill(ev->fail_at, q, TaskKill::Kind::kTransfer);
+            for (const FaultEvent& ev : fp->intervals_of(q)) {
+              if (ev.fail_at >= end) break;  // onset-ordered
+              if (ev.fail_at > start) {
+                offer_kill(ev.fail_at, q, TaskKill::Kind::kTransfer);
+                break;
+              }
+            }
           });
         };
         scan(s.at(ed.src).procs);
@@ -184,7 +214,18 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
     const double st = comm.overlap() ? std::max(ready, data_arrived)
                                      : std::max(serial_clock, data_arrived);
     const double et = g.task(t).profile.time(plc.np()) * noise[t];
-    const double fin = st + et;
+    const double fin =
+        pp != nullptr ? pp->compute_finish(plc.procs, st, et) : st + et;
+    if (pp != nullptr && fin > st + et) {
+      ++res.slowed_tasks;
+      res.stretch_seconds += fin - (st + et);
+      if (obs::wants_events(obs))
+        obs->sink->emit(obs::Event("perturb.slow")
+                            .with("task", t)
+                            .with("start", st)
+                            .with("nominal_s", et)
+                            .with("stretch_s", fin - (st + et)));
+    }
     if (fp != nullptr) {
       plc.procs.for_each([&](ProcId q) {
         if (!fp->alive(q, st)) {
@@ -234,6 +275,13 @@ SimResult simulate_execution(const TaskGraph& g, const Schedule& s,
     met->add("sim.local_edges", static_cast<double>(obs_local_edges));
     met->add("sim.remote_bytes", res.total_transfer_bytes);
     met->add("sim.transfer_seconds", res.total_transfer_time);
+    if (pp != nullptr) {
+      met->add("perturb.slowed_tasks", static_cast<double>(res.slowed_tasks));
+      met->add("perturb.stretch_seconds", res.stretch_seconds);
+      met->add("perturb.degraded_transfers",
+               static_cast<double>(res.degraded_transfers));
+      met->add("perturb.link_delay_seconds", res.link_delay_seconds);
+    }
   }
   return res;
 }

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "faults/fault_plan.hpp"
+#include "faults/perturbation.hpp"
 #include "obs/events.hpp"
 #include "schedule/schedule.hpp"
 #include "util/rng.hpp"
@@ -75,6 +76,17 @@ struct SimOptions {
   /// are skipped (SimResult::skipped). Null reproduces the fault-free
   /// replay bit for bit.
   const FaultPlan* faults = nullptr;
+
+  /// Optional performance-fault script (see faults/perturbation.hpp). When
+  /// set, computation is integrated piecewise across the plan's processor
+  /// slowdown windows (a gang runs at its slowest member's pace), transfers
+  /// are integrated across its degraded-link windows, and its bounded
+  /// per-task noise multiplies the runtime factors above. The realized
+  /// stretch is counted in SimResult and the "perturb.*" telemetry. Null
+  /// reproduces the unperturbed replay bit for bit. Composes with `faults`:
+  /// a stretched computation is killed by a failure onset inside its
+  /// (stretched) window.
+  const PerturbationPlan* perturb = nullptr;
 };
 
 /// The multiplicative runtime factors simulate_execution derives from
@@ -120,6 +132,15 @@ struct SimResult {
   /// Tasks skipped because an ancestor was killed (their inputs never
   /// materialized); like killed tasks they are absent from `executed`.
   std::size_t skipped = 0;
+
+  // Performance-fault accounting (zero unless SimOptions::perturb is set).
+  // Reconciles with the "perturb.*" counters and the "perturb.slow" /
+  // "perturb.link" trace events of the same run.
+  std::size_t slowed_tasks = 0;      ///< tasks stretched by slowdown windows
+  double stretch_seconds = 0.0;      ///< summed compute stretch (realized -
+                                     ///< nominal window lengths)
+  std::size_t degraded_transfers = 0;  ///< transfers hit by degraded links
+  double link_delay_seconds = 0.0;     ///< summed transfer stretch
 
   /// True when every task executed (kills.empty() implies skipped == 0).
   bool clean() const { return kills.empty(); }

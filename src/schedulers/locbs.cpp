@@ -54,6 +54,8 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
   if (met != nullptr) met->add("locbs.calls");
   if (np.size() != n)
     throw std::invalid_argument("locbs: allocation size mismatch");
+  if (!(opt.slack_factor >= 1.0))
+    throw std::invalid_argument("locbs: slack_factor must be >= 1.0");
   if (fixed != nullptr && fixed->available != nullptr &&
       fixed->available->capacity() != P)
     throw std::invalid_argument(
@@ -81,7 +83,12 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
   std::vector<double> west(g.num_edges(), 0.0);
   {
     LOCMPS_SPAN(obs, "locbs.edge_costs");
-    for (TaskId t = 0; t < n; ++t) et[t] = g.task(t).profile.time(np[t]);
+    // slack_factor > 1 books reservations longer than the profile predicts
+    // (slack-aware placement); every downstream consumer — priorities,
+    // hole feasibility, occupancy, G' vertex times — sees the inflated
+    // model consistently.
+    for (TaskId t = 0; t < n; ++t)
+      et[t] = g.task(t).profile.time(np[t]) * opt.slack_factor;
     if (!opt.comm_blind)
       for (EdgeId e = 0; e < g.num_edges(); ++e)
         west[e] = comm.edge_cost(g.edge(e).volume_bytes, np[g.edge(e).src],

@@ -34,6 +34,19 @@ struct LocBSOptions {
   /// edge weights, redistribution times and priorities ignore data volumes.
   bool comm_blind = false;
 
+  /// Slack-aware placement: inflate every task's modeled execution time by
+  /// this factor during the hole scan, so reservations are longer than the
+  /// nominal profile predicts. Feasibility (`window >= tau + exec`) and
+  /// occupancy both see the inflated duration, which spreads placements
+  /// across processors and leaves headroom that absorbs performance faults
+  /// (stragglers, degraded links — see faults/perturbation.hpp). The
+  /// realized simulation still runs at profile speed, so the cost is paid
+  /// only through placement and ordering changes. 1.0 (the default) is the
+  /// paper's tight packing; values < 1.0 are rejected. The robustness
+  /// benchmark (bench/ext_robustness.cpp) scores the resulting
+  /// mean-makespan vs p95-degradation tradeoff.
+  double slack_factor = 1.0;
+
   /// Seeded-divergence hook for differential attribution (obs/rundiff.hpp)
   /// and its tests: when set, this task adopts the distinct runner-up of
   /// its candidate scan instead of the winner — one controlled placement

@@ -24,6 +24,7 @@ SchedulerPtr make_scheduler(const std::string& name,
     LocMPSOptions opt;
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
+    opt.locbs.slack_factor = sopt.slack_factor;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-nbf") {
@@ -31,6 +32,7 @@ SchedulerPtr make_scheduler(const std::string& name,
     opt.locbs.backfill = false;
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
+    opt.locbs.slack_factor = sopt.slack_factor;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-noloc") {
@@ -38,12 +40,14 @@ SchedulerPtr make_scheduler(const std::string& name,
     opt.locbs.locality = false;
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
+    opt.locbs.slack_factor = sopt.slack_factor;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "icaslb") {
     LocMPSOptions opt;
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
+    opt.locbs.slack_factor = sopt.slack_factor;
     return std::make_unique<ICASLBScheduler>(opt);
   }
   if (name == "cpr") return std::make_unique<CPRScheduler>();

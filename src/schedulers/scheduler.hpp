@@ -28,6 +28,13 @@ struct SchedulerOptions {
   /// 0 = one worker per hardware thread.
   std::size_t threads = 1;
 
+  /// Slack-aware placement: forwarded to LocBSOptions::slack_factor by
+  /// every LoCBS-backed scheme. Inflates modeled execution times during
+  /// the hole scan so schedules carry headroom against performance faults
+  /// (see schedulers/locbs.hpp). 1.0 = the paper's tight packing; ignored
+  /// by schemes without LoCBS.
+  double slack_factor = 1.0;
+
   /// Seeded-divergence hook: forwarded to LocBSOptions::perturb_task by
   /// every LoCBS-backed scheme (see schedulers/locbs.hpp). The named task
   /// adopts the distinct runner-up of its final placement scan, giving

@@ -140,16 +140,65 @@ TEST(Recovery, RetryGivesUpWhenAProcessorNeverRepairs) {
 }
 
 TEST(Recovery, RetryGivesUpWhenRetriesAreExhausted) {
-  const TaskGraph g = workload(2);
-  const Cluster c(8);
-  const FaultPlan plan = plan_for(g, c, 0.25, true, 11);
+  // One 10 s task on a one-processor cluster whose only processor bounces
+  // three times, each interval timed to kill the next attempt (retry k
+  // restarts at repair + backoff_base_s * backoff_factor^(k-1)).
+  const TaskGraph g = test::chain(1, 10.0, 1, 0.0);
+  const Cluster c(1);
+  const FaultPlan plan(1, {{0, 5.0, 6.0}, {0, 12.0, 13.0}, {0, 20.0, 21.0}});
 
   RecoveryOptions opt;
   opt.policy = RecoveryPolicy::kRetryInPlace;
-  opt.max_retries = 0;
+  opt.max_retries = 2;
   const RecoveryResult r = run_with_faults(g, c, plan, opt);
   EXPECT_FALSE(r.completed);
   EXPECT_NE(r.error.find("max_retries"), std::string::npos) << r.error;
+  EXPECT_EQ(r.kills, 3u);
+  EXPECT_EQ(r.retries, 2u);
+}
+
+TEST(Recovery, RejectsMalformedOptions) {
+  const TaskGraph g = test::chain(2, 5.0, 2, 0.0);
+  const Cluster c(4);
+  const FaultPlan plan(4, {{0, 1.0, 2.0}});
+
+  auto expect_rejected = [&](RecoveryOptions opt, const char* needle) {
+    try {
+      run_with_faults(g, c, plan, opt);
+      FAIL() << "expected invalid_argument mentioning '" << needle << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  RecoveryOptions opt;
+  opt.max_retries = 0;
+  expect_rejected(opt, "max_retries");
+
+  opt = RecoveryOptions{};
+  opt.backoff_base_s = -1.0;
+  expect_rejected(opt, "backoff_base_s");
+
+  opt = RecoveryOptions{};
+  opt.backoff_factor = 0.0;
+  expect_rejected(opt, "backoff_factor");
+
+  opt = RecoveryOptions{};
+  opt.min_procs = 5;  // cluster only has 4
+  expect_rejected(opt, "min_procs");
+
+  opt = RecoveryOptions{};
+  opt.runtime_noise = 1.0;
+  expect_rejected(opt, "runtime_noise");
+
+  opt = RecoveryOptions{};
+  opt.max_rounds = 0;
+  expect_rejected(opt, "max_rounds");
+
+  opt = RecoveryOptions{};
+  opt.straggler_threshold = 0.5;  // must be 0 (off) or > 1
+  expect_rejected(opt, "straggler_threshold");
 }
 
 TEST(Recovery, ReplanFailsStructurallyBelowMinimumWidth) {

@@ -27,6 +27,7 @@
 
 #include "core/experiment.hpp"
 #include "faults/recovery.hpp"
+#include "faults/robustness.hpp"
 #include "graph/io.hpp"
 #include "network/comm_model.hpp"
 #include "obs/analysis.hpp"
@@ -80,6 +81,28 @@ void usage(std::ostream& os) {
         "delay\n"
         "  --fault-policy <p>     recovery policy: replan (default) or "
         "retry\n"
+        "\n"
+        "Performance faults (docs/fault_tolerance.md):\n"
+        "  --robustness <N>       Monte-Carlo robustness mode: replay the\n"
+        "                         planned schedule under N seeded\n"
+        "                         perturbation ensembles and report the\n"
+        "                         makespan distribution\n"
+        "  --straggler-rate <k>   straggler mode: run under a seeded\n"
+        "                         processor slowdown with deadline-based\n"
+        "                         detection at k x the modeled time\n"
+        "                         (k > 1), mitigate, and reconcile the\n"
+        "                         mitigation accounting\n"
+        "  --mitigation <m>       straggler mitigation: speculate "
+        "(default)\n"
+        "                         or replan\n"
+        "  --slow-factor <x>      injected slowdown magnitude (default "
+        "4)\n"
+        "  --slack <f>            LoCBS slack factor >= 1: inflate\n"
+        "                         reservations during placement (default "
+        "1)\n"
+        "  --gate-ratio <r>       straggler mode: exit 1 unless the\n"
+        "                         recovered makespan is <= r x the clean\n"
+        "                         planned makespan\n"
         "\n"
         "Provenance and run diffing (docs/observability.md):\n"
         "  --explain <task>       print the task's placement decision\n"
@@ -150,6 +173,12 @@ struct Options {
   std::string diff_b;
   std::string diff_json;
   TaskId perturb_task = kNoTask;
+  std::size_t robustness = 0;     // Monte-Carlo samples; 0 = mode off
+  double straggler_rate = 0.0;    // detection threshold k; 0 = mode off
+  std::string mitigation = "speculate";
+  double slow_factor = 4.0;
+  double slack = 1.0;
+  double gate_ratio = 0.0;        // 0 = no gate
 };
 
 /// Shorthand for this tool's error diagnostics (obs/log.hpp).
@@ -262,6 +291,24 @@ std::optional<Options> parse(int argc, char** argv) {
       if ((v = need(i, "--perturb-task")) == nullptr) return std::nullopt;
       o.perturb_task =
           static_cast<TaskId>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--robustness") {
+      if ((v = need(i, "--robustness")) == nullptr) return std::nullopt;
+      o.robustness = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--straggler-rate") {
+      if ((v = need(i, "--straggler-rate")) == nullptr) return std::nullopt;
+      o.straggler_rate = std::strtod(v, nullptr);
+    } else if (a == "--mitigation") {
+      if ((v = need(i, "--mitigation")) == nullptr) return std::nullopt;
+      o.mitigation = v;
+    } else if (a == "--slow-factor") {
+      if ((v = need(i, "--slow-factor")) == nullptr) return std::nullopt;
+      o.slow_factor = std::strtod(v, nullptr);
+    } else if (a == "--slack") {
+      if ((v = need(i, "--slack")) == nullptr) return std::nullopt;
+      o.slack = std::strtod(v, nullptr);
+    } else if (a == "--gate-ratio") {
+      if ((v = need(i, "--gate-ratio")) == nullptr) return std::nullopt;
+      o.gate_ratio = std::strtod(v, nullptr);
     } else if (a == "--version") {
       std::cout << "locmps-inspect " << LOCMPS_GIT_DESCRIBE << "\n";
       std::exit(0);
@@ -281,6 +328,37 @@ std::optional<Options> parse(int argc, char** argv) {
   }
   if (o.fault_policy != "replan" && o.fault_policy != "retry") {
     err() << "--fault-policy must be 'replan' or 'retry'";
+    return std::nullopt;
+  }
+  // 0.0 is the exact flag-unset sentinel. LINT-ALLOW(float-eq)
+  if (o.straggler_rate != 0.0 && o.straggler_rate <= 1.0) {
+    err() << "--straggler-rate must be > 1 (detection fires at k x the "
+             "modeled time)";
+    return std::nullopt;
+  }
+  if (o.mitigation != "speculate" && o.mitigation != "replan") {
+    err() << "--mitigation must be 'speculate' or 'replan'";
+    return std::nullopt;
+  }
+  if (o.slow_factor < 1.0) {
+    err() << "--slow-factor must be >= 1";
+    return std::nullopt;
+  }
+  if (o.slack < 1.0) {
+    err() << "--slack must be >= 1";
+    return std::nullopt;
+  }
+  if (o.gate_ratio < 0.0) {
+    err() << "--gate-ratio must be positive";
+    return std::nullopt;
+  }
+  // 0.0 is the exact flag-unset sentinel. LINT-ALLOW(float-eq)
+  if (o.gate_ratio > 0.0 && o.straggler_rate == 0.0) {
+    err() << "--gate-ratio needs --straggler-rate";
+    return std::nullopt;
+  }
+  if (o.robustness > 0 && o.straggler_rate > 0.0) {
+    err() << "--robustness and --straggler-rate are separate modes";
     return std::nullopt;
   }
   if ((!o.explain.empty() || o.why_critical) && o.obs_out.empty() &&
@@ -369,6 +447,294 @@ bool join_and_reconcile(SchemeRun& run, const std::string& trace_path,
               << digest.transfer_events << " transfers)\n";
   }
   return ok;
+}
+
+/// `--robustness N`: plans once (honoring --scheme, --threads and
+/// --slack), then replays the schedule through N seeded perturbation
+/// ensembles and reports the makespan distribution. With --obs-out the
+/// "robust.*" accounting is reconciled across its three books: the
+/// metrics counters, the trace events and the RobustnessReport. Returns
+/// the process exit code.
+int run_robustness_mode(const Options& o, const TaskGraph& g,
+                        const Cluster& cluster) {
+  const CommModel comm(cluster);
+
+  obs::MetricsRegistry met;
+  std::ofstream jsonl;
+  std::optional<obs::JsonlSink> sink;
+  obs::ObsContext ctx{&met, nullptr};
+  if (!o.obs_out.empty()) {
+    jsonl.open(o.obs_out);
+    if (!jsonl) {
+      err() << "cannot open " << o.obs_out;
+      return 2;
+    }
+    sink.emplace(jsonl);
+    ctx.sink = &*sink;
+  }
+
+  SchedulerOptions sched_opt;
+  sched_opt.threads = o.threads;
+  sched_opt.slack_factor = o.slack;
+  const SchedulerPtr sched = make_scheduler(o.scheme, sched_opt);
+  const SchedulerResult plan = sched->schedule(g, cluster);
+
+  RobustnessOptions ropt;
+  ropt.samples = o.robustness;
+  ropt.obs = &ctx;
+  // Scale the perturbation family to the realized (unperturbed) replay,
+  // not the planner's estimate: under --slack the estimate is inflated by
+  // design, and scaling from it would expose slacked schedules to longer
+  // perturbation windows than tight ones — an unfair comparison.
+  const double span = std::max(
+      1e-6, simulate_execution(g, plan.schedule, comm, {}).makespan);
+  ropt.perturb.seed = o.fault_seed;
+  ropt.perturb.slow_factor = o.slow_factor;
+  ropt.perturb.horizon_s = span;
+  ropt.perturb.slow_duration_s = 0.5 * span;
+  ropt.perturb.link_windows = 2;
+  ropt.perturb.link_duration_s = 0.2 * span;
+  const RobustnessReport rep = score_robustness(g, plan.schedule, comm, ropt);
+  if (sink && sink->dropped() > 0)
+    met.add("obs.trace.dropped", static_cast<double>(sink->dropped()));
+  sink.reset();
+  jsonl.close();
+
+  if (!o.quiet)
+    std::cout << "robustness mode " << o.scheme << ", slack "
+              << fmt(o.slack, 2) << ", " << o.robustness
+              << " perturbed sample(s), slow-factor "
+              << fmt(o.slow_factor, 2) << "\n";
+
+  obs::ScheduleAnalysis a = obs::analyze_schedule(g, plan.schedule, comm);
+  const obs::MetricsSnapshot snap = met.snapshot();
+  obs::join_event_health(a, snap);
+  join_robustness(a, rep);
+
+  bool ok = true;
+  if (!o.obs_out.empty()) {
+    std::ifstream in(o.obs_out);
+    if (!in) {
+      err() << "cannot read trace " << o.obs_out;
+      return 1;
+    }
+    const auto records = obs::read_trace(in);
+    const auto digest = obs::summarize_trace(records, a.num_tasks);
+    // Three books: the counters, the trace and the report must agree on
+    // the ensemble size, and counters/report on the distribution summary.
+    auto book = [&](const char* what, double x, double y, double z) {
+      const double scale =
+          std::max({1.0, std::fabs(x), std::fabs(y), std::fabs(z)});
+      if (std::fabs(x - y) > 1e-9 * scale ||
+          std::fabs(x - z) > 1e-9 * scale) {
+        err() << what << " mismatch: counter " << x << ", trace " << y
+              << ", report " << z;
+        ok = false;
+      }
+    };
+    book("robust.samples", snap.counter("robust.samples"),
+         static_cast<double>(digest.robust_samples),
+         static_cast<double>(rep.samples));
+    book("robust.p95", snap.counter("robust.p95"), rep.p95, rep.p95);
+    book("robust.worst", snap.counter("robust.worst"), rep.worst,
+         rep.worst);
+    if (ok && !o.quiet)
+      std::cout << "reconciled      robust counters == trace == report ("
+                << rep.samples << " samples)\n";
+  }
+
+  if (!o.quiet) std::cout << obs::text_report(a);
+
+  if (!o.report_out.empty()) {
+    obs::ReportOptions ro;
+    ro.title = !o.title.empty() ? o.title
+                                : o.scheme + " robustness on " +
+                                      std::to_string(o.procs) +
+                                      " processors";
+    std::ostringstream sub;
+    sub << g.num_tasks() << " tasks, slack " << fmt(o.slack, 2) << ", "
+        << rep.samples << " perturbed samples, p95 "
+        << fmt(rep.p95_over_nominal, 3) << "x nominal";
+    ro.subtitle = sub.str();
+    std::ofstream html(o.report_out);
+    if (!html) {
+      err() << "cannot open " << o.report_out;
+      return 2;
+    }
+    obs::write_html_report(html, g, plan.schedule, a, ro);
+    if (!o.quiet) std::cout << "report          " << o.report_out << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+/// `--straggler-rate k`: executes the workload under a seeded processor
+/// slowdown (no fail-stop failures), detects tasks running past k x their
+/// modeled time, mitigates them with the selected policy, and reconciles
+/// the "perturb.*"/"mitigation.*" accounting. With --gate-ratio the exit
+/// code enforces recovered makespan <= ratio x the clean plan. Returns
+/// the process exit code.
+int run_straggler_mode(const Options& o, const TaskGraph& g,
+                       const Cluster& cluster) {
+  const CommModel comm(cluster);
+
+  RecoveryOptions ro;
+  ro.planner.locbs.slack_factor = o.slack;
+  ro.perturb = nullptr;
+  ro.straggler_threshold = o.straggler_rate;
+  ro.straggler_mitigation = o.mitigation == "replan"
+                                ? StragglerMitigation::kReplan
+                                : StragglerMitigation::kSpeculate;
+
+  // The slowdown windows scale from the clean planned makespan so they
+  // overlap the busy chart.
+  const double base =
+      LocMPSScheduler(ro.planner).schedule(g, cluster).estimated_makespan;
+  PerturbationParams pp;
+  pp.seed = o.fault_seed;
+  pp.slow_factor = o.slow_factor;
+  pp.horizon_s = std::max(1e-6, 0.6 * base);
+  pp.slow_duration_s = std::max(1e-6, 0.5 * base);
+  pp.link_windows = 0;
+  const PerturbationPlan plan =
+      make_perturbation_plan(cluster.processors, g.num_tasks(), pp);
+  const FaultPlan no_faults(cluster.processors, {});
+
+  obs::MetricsRegistry met;
+  std::ofstream jsonl;
+  std::optional<obs::JsonlSink> sink;
+  obs::ObsContext ctx{&met, nullptr};
+  if (!o.obs_out.empty()) {
+    jsonl.open(o.obs_out);
+    if (!jsonl) {
+      err() << "cannot open " << o.obs_out;
+      return 2;
+    }
+    sink.emplace(jsonl);
+    ctx.sink = &*sink;
+  }
+  ro.perturb = &plan;
+  ro.obs = &ctx;
+  const RecoveryResult res = run_with_faults(g, cluster, no_faults, ro);
+  if (sink && sink->dropped() > 0)
+    met.add("obs.trace.dropped", static_cast<double>(sink->dropped()));
+  sink.reset();
+  jsonl.close();
+
+  if (!o.quiet)
+    std::cout << "straggler mode  " << plan.slowdowns().size()
+              << " slowdown window(s) at " << fmt(o.slow_factor, 2)
+              << "x, detect at " << fmt(o.straggler_rate, 2)
+              << "x modeled, mitigation " << o.mitigation << ", slack "
+              << fmt(o.slack, 2) << "\n";
+  if (!res.completed) {
+    err() << "recovery gave up after " << res.rounds
+          << " round(s): " << res.error;
+    return 1;
+  }
+  const std::string diag = res.executed.validate(g, comm);
+  if (!diag.empty()) {
+    err() << "recovered schedule invalid: " << diag;
+    return 1;
+  }
+
+  obs::ScheduleAnalysis a = obs::analyze_schedule(g, res.executed, comm);
+  const obs::MetricsSnapshot snap = met.snapshot();
+  obs::join_backfill_stats(a, snap);
+  obs::join_perturb_stats(a, snap);
+  obs::join_mitigation_stats(a, snap);
+  obs::join_event_health(a, snap);
+  join_perturbation(a, plan);
+
+  bool ok = true;
+  if (!o.obs_out.empty()) {
+    std::ifstream in(o.obs_out);
+    if (!in) {
+      err() << "cannot read trace " << o.obs_out;
+      return 1;
+    }
+    const auto records = obs::read_trace(in);
+    const auto digest = obs::summarize_trace(records, a.num_tasks);
+    obs::join_trace(a, digest);
+    auto book = [&](const char* what, double counter, double traced,
+                    double result) {
+      const double scale = std::max(
+          {1.0, std::fabs(counter), std::fabs(traced), std::fabs(result)});
+      if (std::fabs(counter - traced) > 1e-9 * scale ||
+          std::fabs(counter - result) > 1e-9 * scale) {
+        err() << what << " mismatch: counter " << counter << ", trace "
+              << traced << ", result " << result;
+        ok = false;
+      }
+    };
+    // Mitigation accounting reconciles across all three books; the
+    // perturbation exposure across two (the final clean round is the only
+    // obs-attached simulation, and RecoveryResult does not re-expose it).
+    book("mitigation.stragglers", snap.counter("mitigation.stragglers"),
+         static_cast<double>(digest.mitigation_stragglers),
+         static_cast<double>(res.stragglers));
+    book("mitigation.speculations", snap.counter("mitigation.speculations"),
+         static_cast<double>(digest.mitigation_speculations),
+         static_cast<double>(res.speculations));
+    book("mitigation.replans", snap.counter("mitigation.replans"),
+         static_cast<double>(digest.mitigation_replans),
+         static_cast<double>(res.straggler_replans));
+    book("mitigation.wasted_seconds",
+         snap.counter("mitigation.wasted_seconds"),
+         digest.mitigation_wasted_s, res.mitigation_wasted_seconds);
+    book("perturb.slowed_tasks", snap.counter("perturb.slowed_tasks"),
+         static_cast<double>(digest.perturb_slow_events),
+         snap.counter("perturb.slowed_tasks"));
+    book("perturb.stretch_seconds", snap.counter("perturb.stretch_seconds"),
+         digest.perturb_stretch_s, snap.counter("perturb.stretch_seconds"));
+    if (ok && !o.quiet)
+      std::cout << "reconciled      mitigation counters == trace == result; "
+                   "perturb counters == trace\n";
+  }
+
+  if (!o.quiet) {
+    std::cout << "makespan        clean plan " << fmt(res.planned_makespan, 3)
+              << " s, recovered " << fmt(res.makespan, 3) << " s ("
+              << fmt(res.makespan / std::max(1e-9, res.planned_makespan), 3)
+              << "x)\n";
+    std::cout << obs::text_report(a);
+  }
+
+  if (!o.report_out.empty()) {
+    obs::ReportOptions ropt;
+    ropt.title = !o.title.empty() ? o.title
+                                  : "loc-mps under stragglers on " +
+                                        std::to_string(o.procs) +
+                                        " processors";
+    std::ostringstream sub;
+    sub << g.num_tasks() << " tasks, " << fmt(o.slow_factor, 2)
+        << "x slowdown, detect at " << fmt(o.straggler_rate, 2)
+        << "x, mitigation " << o.mitigation << ", realized makespan "
+        << fmt(res.makespan, 3) << " s (planned "
+        << fmt(res.planned_makespan, 3) << " s)";
+    ropt.subtitle = sub.str();
+    std::ofstream html(o.report_out);
+    if (!html) {
+      err() << "cannot open " << o.report_out;
+      return 2;
+    }
+    obs::write_html_report(html, g, res.executed, a, ropt);
+    if (!o.quiet) std::cout << "report          " << o.report_out << "\n";
+  }
+
+  if (o.gate_ratio > 0.0) {
+    if (res.stragglers == 0) {
+      err() << "gate failed: no straggler was detected — the gate proves "
+               "nothing";
+      return 1;
+    }
+    if (res.makespan > o.gate_ratio * res.planned_makespan) {
+      err() << "gate failed: recovered makespan " << fmt(res.makespan, 3)
+            << " s exceeds " << fmt(o.gate_ratio, 2) << " x clean plan "
+            << fmt(res.planned_makespan, 3) << " s";
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
 }
 
 /// Executes the workload under injected fail-stop failures, recovers with
@@ -521,11 +887,14 @@ int main(int argc, char** argv) {
     const Cluster cluster(o.procs, o.bandwidth_mbps * 1e6 / 8.0, o.overlap);
 
     if (!o.diff_a.empty()) return run_diff_mode(o, g);
+    if (o.robustness > 0) return run_robustness_mode(o, g, cluster);
+    if (o.straggler_rate > 0.0) return run_straggler_mode(o, g, cluster);
     if (o.fault_rate > 0.0) return run_fault_mode(o, g, cluster);
 
     SchedulerOptions sched_opt;
     sched_opt.threads = o.threads;
     sched_opt.perturb_task = o.perturb_task;
+    sched_opt.slack_factor = o.slack;
     const bool want_profile = o.profile || !o.flame_out.empty() ||
                               !o.report_out.empty();
     std::optional<obs::Profiler> profiler;
