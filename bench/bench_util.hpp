@@ -73,6 +73,13 @@ inline std::size_t suite_size() {
   return env_size("LOCMPS_GRAPHS", full_scale() ? 30 : 6);
 }
 
+/// Timed planning repetitions per (graph, scheme, procs) cell
+/// (LOCMPS_SCHED_REPS). Panels whose sched_seconds medians are ratcheted
+/// by scripts/bench_diff.py need n >= 5 samples for the order-statistic
+/// CIs to exist; planning is deterministic, so extra reps change no
+/// result (core/experiment.hpp).
+inline std::size_t sched_reps() { return env_size("LOCMPS_SCHED_REPS", 5); }
+
 /// Processor-count sweep (paper: up to 128). The sweep must reach the
 /// task-scalability limit (Amax <= 64) for the figures to show the paper's
 /// DATA crossover, so even the quick pass goes to 128.

@@ -4,6 +4,16 @@
 /// Expected shape: LoC-MPS is the most expensive scheme and CPA the
 /// cheapest, but LoC-MPS's planning time stays orders of magnitude below
 /// the application makespans it improves.
+///
+/// Every timed panel re-plans each cell LOCMPS_SCHED_REPS times (default
+/// 5) so the sched_seconds medians carry order-statistic CIs the
+/// scripts/bench_diff.py ratchet can gate on. Panel c additionally runs a
+/// from-scratch (incremental = false) companion at the reference thread
+/// count: the committed telemetry then contains both sides of the
+/// incremental-replanning speedup, which CI pins with
+/// `--speedup-gate` (an intra-document ratio, machine-independent).
+/// Panel d stresses planning on a |V| >= 2000 synthetic DAG under a
+/// bounded refinement budget (docs/incremental.md).
 
 #include <iostream>
 #include <vector>
@@ -24,7 +34,8 @@ void panel(const char* name, const TaskGraph& g, const char* csv) {
   const auto procs = bench::proc_sweep();
   const std::vector<TaskGraph> graphs{g};
   const Comparison c =
-      compare_schemes(graphs, paper_schemes(), procs, kMyrinetBps);
+      compare_schemes(graphs, paper_schemes(), procs, kMyrinetBps, true, {},
+                      0, {}, bench::sched_reps());
 
   std::cout << "\n=== Fig 10" << name << ": scheduling time (seconds) ===\n";
   Table t = scheduling_time_table(c);
@@ -45,9 +56,11 @@ void panel(const char* name, const TaskGraph& g, const char* csv) {
 }
 
 /// Planning-time scaling of the speculative LoC-MPS probe pool
-/// (docs/parallelism.md) on a suite of large synthetic DAGs. Every thread
-/// count produces bit-identical schedules, so the panels differ only in
-/// sched_seconds; the per-count panel labels keep scripts/bench_diff.py's
+/// (docs/parallelism.md) on a suite of large synthetic DAGs, plus a
+/// from-scratch companion at the reference thread count that pins the
+/// incremental-replanning speedup. Every configuration produces
+/// bit-identical schedules, so the panels differ only in sched_seconds;
+/// the per-count panel labels keep scripts/bench_diff.py's
 /// (label, scheme, procs) join stable across runs.
 void thread_sweep_panel(const std::vector<std::size_t>& thread_counts) {
   const auto procs = bench::proc_sweep();
@@ -66,10 +79,35 @@ void thread_sweep_panel(const std::vector<std::size_t>& thread_counts) {
     SchedulerOptions so;
     so.threads = t;
     runs.push_back(compare_schemes(graphs, {"loc-mps"}, procs, kMyrinetBps,
-                                   true, {}, 1, so));
+                                   true, {}, 1, so, bench::sched_reps()));
     bench::telemetry().record(
         "c (synthetic, threads=" + std::to_string(t) + ")", runs.back(),
         graphs);
+  }
+  // The from-scratch reference: identical schedules, every LoCBS
+  // evaluation re-scanned in full. Its sched_seconds against the
+  // incremental panel above is the replay speedup CI ratchets.
+  {
+    SchedulerOptions so;
+    so.threads = thread_counts.front();
+    so.incremental = false;
+    const Comparison scratch =
+        compare_schemes(graphs, {"loc-mps"}, procs, kMyrinetBps, true, {}, 1,
+                        so, bench::sched_reps());
+    bench::telemetry().record(
+        "c (synthetic, threads=" + std::to_string(thread_counts.front()) +
+            ", from-scratch)",
+        scratch, graphs);
+    std::cout << "\nIncremental replanning speedup (threads="
+              << thread_counts.front() << "):\n";
+    Table inc({"P", "from-scratch(s)", "incremental(s)", "speedup"});
+    for (std::size_t pi = 0; pi < procs.size(); ++pi) {
+      const double off = scratch.sched_seconds[pi][0];
+      const double on = runs.front().sched_seconds[pi][0];
+      inc.add_row({std::to_string(procs[pi]), fmt(off, 4), fmt(on, 4),
+                   fmt(on > 0 ? off / on : 0.0, 2)});
+    }
+    inc.print(std::cout);
   }
 
   Table t({"P", "threads", "sched(s)", "speedup", "makespan(s)"});
@@ -88,6 +126,36 @@ void thread_sweep_panel(const std::vector<std::size_t>& thread_counts) {
   std::cout << "(speedup = sched time at threads=" << thread_counts.front()
             << " / sched time at the row's count; schedules are"
                " bit-identical across counts)\n";
+}
+
+/// Large-graph planning stress: one |V| >= 2000 synthetic DAG at the
+/// sweep's largest processor count, refinement capped by
+/// SchedulerOptions::plan_budget so the panel stays bounded at any
+/// scale. Exercises the incremental hot path where it matters most —
+/// thousands of placements per LoCBS evaluation.
+void large_graph_panel() {
+  const auto procs = bench::proc_sweep();
+  SyntheticParams p;
+  p.min_tasks = 2048;
+  p.max_tasks = 2048;
+  p.avg_degree = 4.0;
+  p.ccr = 0.5;
+  p.max_procs = procs.back();
+  Rng rng(20480101);
+  const std::vector<TaskGraph> graphs{make_synthetic_dag(p, rng)};
+  const std::vector<std::size_t> big{procs.back()};
+
+  SchedulerOptions so;
+  so.plan_budget = 256;
+  const Comparison c = compare_schemes(graphs, {"loc-mps"}, big, kMyrinetBps,
+                                       true, {}, 1, so, bench::sched_reps());
+  std::cout << "\n=== Fig 10d: LoC-MPS planning time, |V| = "
+            << graphs[0].num_tasks() << " (plan budget " << so.plan_budget
+            << ") ===\n";
+  Table t = scheduling_time_table(c);
+  t.print(std::cout);
+  t.maybe_write_csv("fig10d.csv");
+  bench::telemetry().record("d (large synthetic, |V|=2048)", c, graphs);
 }
 
 }  // namespace
@@ -112,6 +180,7 @@ int main(int argc, char** argv) {
   panel("a (CCSD T1)", make_ccsd_t1(tp), "fig10a.csv");
   panel("b (Strassen 4096)", make_strassen(sp), "fig10b.csv");
   thread_sweep_panel(bench::thread_sweep(argc, argv));
+  large_graph_panel();
   bench::write_telemetry();
   bench::maybe_dump_obs(obs);
   bench::maybe_dump_profile(prof, "fig10_scheduling_times");

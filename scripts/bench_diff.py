@@ -32,6 +32,17 @@ failed gate ships with the decisions that caused it, not just a
 number (docs/observability.md, "Provenance & run diffing").
 Explanation failures print a WARNING and never mask the exit code.
 
+Speedup gates: `--speedup-gate 'BASE_LABEL::FAST_LABEL::METRIC::FACTOR'`
+(repeatable) asserts an intra-document ratio on the CANDIDATE file: for
+every (scheme, procs) row present in both named panels, the gate
+computes BASE / FAST of the chosen metric's statistic and requires the
+ratio at the largest joined processor count to be >= FACTOR. Because
+both sides come from the same run on the same machine, the gate is
+machine-independent — it ratchets an algorithmic speedup (e.g. the
+incremental-replanning panel of fig10 against its from-scratch
+companion), not absolute wall-clock. A failed gate exits 1 like a
+regression.
+
 Phase-budget profiles: when both inputs are BENCH_*_profile.json
 documents (`"kind": "profile"`, written by a bench binary's
 `--profile-out`), rows are span paths instead. `wall_s` and `cpu_s` use
@@ -157,6 +168,62 @@ def inside_ci(value, stat):
     return stat["ci_lo"] <= value <= stat["ci_hi"]
 
 
+def check_speedup_gates(cand_doc, specs, stat):
+    """Intra-document speedup ratchets on the candidate file. Returns the
+    list of failure lines (empty when every gate holds); exits 2 on a
+    malformed spec or a gate that matches no rows."""
+    failures = []
+    cand = rows(cand_doc)
+    for spec in specs:
+        parts = spec.split("::")
+        if len(parts) != 4:
+            print(f"bench_diff: malformed --speedup-gate {spec!r} "
+                  "(want BASE_LABEL::FAST_LABEL::METRIC::FACTOR)",
+                  file=sys.stderr)
+            sys.exit(2)
+        base_label, fast_label, metric, factor_s = parts
+        try:
+            factor = float(factor_s)
+        except ValueError:
+            print(f"bench_diff: bad factor {factor_s!r} in --speedup-gate",
+                  file=sys.stderr)
+            sys.exit(2)
+        base_rows = {(s, p): r for (lbl, s, p), r in cand.items()
+                     if lbl == base_label}
+        fast_rows = {(s, p): r for (lbl, s, p), r in cand.items()
+                     if lbl == fast_label}
+        joined = sorted(set(base_rows) & set(fast_rows))
+        if not joined:
+            print(f"bench_diff: --speedup-gate {spec!r} matches no "
+                  f"(scheme, procs) rows shared by panels "
+                  f"{base_label!r} and {fast_label!r}", file=sys.stderr)
+            sys.exit(2)
+        largest = max(p for (_, p) in joined)
+        for key in joined:
+            b, f = base_rows[key], fast_rows[key]
+            if metric not in b or metric not in f:
+                print(f"bench_diff: metric {metric!r} missing from a "
+                      f"--speedup-gate row {key}", file=sys.stderr)
+                sys.exit(2)
+            try:
+                bval, fval = b[metric][stat], f[metric][stat]
+            except (KeyError, TypeError):
+                print(f"bench_diff: {metric} in {key} lacks the "
+                      f"{stat!r} statistic", file=sys.stderr)
+                sys.exit(2)
+            ratio = bval / fval if fval > 0 else float("inf")
+            gated = key[1] == largest
+            line = (f"{base_label!r} / {fast_label!r} / {key[0]} / "
+                    f"P={key[1]} / {metric}: {bval:.6g} / {fval:.6g} = "
+                    f"{ratio:.2f}x (need >= {factor}x"
+                    f"{' at largest P' if not gated else ''})")
+            if gated and ratio < factor:
+                failures.append(line)
+            else:
+                print(f"  {'gate   ' if gated else 'info   '}{line}")
+    return failures
+
+
 def diff_profiles(base_doc, cand_doc, args):
     """Compares two phase-budget profile documents and exits."""
     base, cand = phase_rows(base_doc), phase_rows(cand_doc)
@@ -262,6 +329,12 @@ def main():
     ap.add_argument("--explain-workload", metavar="ARGS", default=None,
                     help="locmps-inspect workload arguments "
                          f"(default: {DEFAULT_EXPLAIN_WORKLOAD!r})")
+    ap.add_argument("--speedup-gate", action="append", default=[],
+                    metavar="BASE_LABEL::FAST_LABEL::METRIC::FACTOR",
+                    help="require candidate panel BASE/FAST metric ratio "
+                         ">= FACTOR at the largest joined processor count "
+                         "(intra-document, machine-independent; "
+                         "repeatable)")
     args = ap.parse_args()
 
     base_doc = load(args.baseline, role="baseline")
@@ -281,6 +354,10 @@ def main():
               "telemetry", file=sys.stderr)
         sys.exit(2)
     if base_prof:
+        if args.speedup_gate:
+            print("bench_diff: --speedup-gate applies to panel telemetry, "
+                  "not phase-budget profiles", file=sys.stderr)
+            sys.exit(2)
         diff_profiles(base_doc, cand_doc, args)
         return  # diff_profiles exits
 
@@ -326,10 +403,14 @@ def main():
             elif not args.quiet:
                 print(f"  ok     {line}")
 
+    gate_failures = check_speedup_gates(cand_doc, args.speedup_gate,
+                                        args.metric)
     for line in improvements:
         print(f"  better {line}")
     for line in regressions:
         print(f"  WORSE  {line}")
+    for line in gate_failures:
+        print(f"  WORSE  speedup gate failed: {line}")
 
     missing = sorted(set(base) - set(cand))
     if missing:
@@ -338,12 +419,13 @@ def main():
 
     print(f"bench_diff: {compared} comparisons, "
           f"{len(improvements)} improvement(s), "
-          f"{len(regressions)} regression(s) "
+          f"{len(regressions)} regression(s), "
+          f"{len(gate_failures)} speedup-gate failure(s) "
           f"(threshold {args.threshold}%/{args.sched_threshold}% on "
           f"{args.metric})")
     if regressions:
         auto_explain(args)
-    sys.exit(1 if regressions else 0)
+    sys.exit(1 if regressions or gate_failures else 0)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Builds the `coverage` preset, runs the test suite, and reports gcov line
+# coverage aggregated per source directory.
+#
+#   scripts/coverage.sh [--min-schedule PCT] [extra ctest args...]
+#
+# With --min-schedule the script exits 1 when the line coverage of
+# src/schedule/ (the Timeline/Schedule layer the incremental replanner
+# leans on, docs/incremental.md) falls below PCT — this is the ratchet CI
+# gates on. Any remaining arguments are forwarded to ctest, e.g.
+# `-R Incremental` to scope the run while iterating.
+set -euo pipefail
+cd -- "$(dirname -- "$0")/.." || exit 1
+
+min_schedule=""
+if [ "${1:-}" = "--min-schedule" ]; then
+  min_schedule=$2
+  shift 2
+fi
+jobs="${LOCMPS_JOBS:-$(nproc)}"
+
+cmake --preset coverage
+cmake --build --preset coverage -j "$jobs"
+# Stale counters from a previous run would inflate coverage.
+find build-coverage -name '*.gcda' -delete
+ctest --preset coverage -j "$jobs" "$@"
+
+# gcov emits one JSON document per object file; the summarizer aggregates
+# executed/executable lines per source directory and applies the gate.
+find build-coverage -name '*.gcda' \
+  -exec gcov --json-format --stdout {} + \
+  > build-coverage/gcov.jsonl
+
+python3 - "$min_schedule" <<'EOF'
+import collections
+import json
+import os
+import sys
+
+min_schedule = float(sys.argv[1]) if sys.argv[1] else None
+root = os.getcwd()
+
+# line -> covered, unioned across translation units including a header.
+lines = collections.defaultdict(bool)
+with open("build-coverage/gcov.jsonl") as fh:
+    for doc_line in fh:
+        doc_line = doc_line.strip()
+        if not doc_line:
+            continue
+        doc = json.loads(doc_line)
+        cwd = doc.get("current_working_directory", root)
+        for f in doc.get("files", []):
+            path = os.path.normpath(os.path.join(cwd, f["file"]))
+            rel = os.path.relpath(path, root)
+            if rel.startswith("..") or not rel.startswith("src" + os.sep):
+                continue
+            for ln in f["lines"]:
+                key = (rel, ln["line_number"])
+                lines[key] = lines[key] or ln["count"] > 0
+
+per_dir = collections.defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+for (rel, _), covered in lines.items():
+    d = os.path.dirname(rel)
+    per_dir[d][1] += 1
+    per_dir[d][0] += covered
+
+print(f"{'directory':<24} {'covered':>8} {'total':>8} {'line%':>7}")
+total_cov = total_all = 0
+for d in sorted(per_dir):
+    cov, tot = per_dir[d]
+    total_cov += cov
+    total_all += tot
+    print(f"{d:<24} {cov:>8} {tot:>8} {100.0 * cov / tot:>6.1f}%")
+print(f"{'TOTAL':<24} {total_cov:>8} {total_all:>8} "
+      f"{100.0 * total_cov / total_all:>6.1f}%")
+
+if min_schedule is not None:
+    cov, tot = per_dir.get("src/schedule", (0, 0))
+    pct = 100.0 * cov / tot if tot else 0.0
+    if pct < min_schedule:
+        print(f"coverage: src/schedule line coverage {pct:.1f}% is below "
+              f"the {min_schedule:.1f}% gate", file=sys.stderr)
+        sys.exit(1)
+    print(f"coverage: src/schedule {pct:.1f}% >= gate {min_schedule:.1f}%")
+EOF

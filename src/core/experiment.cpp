@@ -120,12 +120,32 @@ SchemeRun evaluate_scheme(const std::string& scheme, const TaskGraph& g,
   return run;
 }
 
+namespace {
+
+/// One timed planning-only pass with a fresh scheduler and registry: the
+/// extra sched_reps samples behind compare_schemes' timing statistics.
+/// Simulation and analysis are skipped — only sched_samples grows.
+double time_planning_pass(const std::string& scheme, const TaskGraph& g,
+                          const Cluster& cluster,
+                          const SchedulerOptions& sched_opt) {
+  obs::MetricsRegistry metrics;
+  obs::ObsContext obs{&metrics, nullptr, nullptr};
+  const SchedulerPtr sched = make_scheduler(scheme, sched_opt);
+  sched->attach_observability(&obs);
+  Stopwatch sw;
+  (void)sched->schedule(g, cluster);
+  return sw.seconds();
+}
+
+}  // namespace
+
 Comparison compare_schemes(std::span<const TaskGraph> graphs,
                            const std::vector<std::string>& schemes,
                            const std::vector<std::size_t>& procs,
                            double bandwidth_Bps, bool overlap,
                            const SimOptions& sim, std::size_t threads,
-                           const SchedulerOptions& sched_opt) {
+                           const SchedulerOptions& sched_opt,
+                           std::size_t sched_reps) {
   Comparison c;
   c.schemes = schemes;
   c.procs = procs;
@@ -139,28 +159,35 @@ Comparison compare_schemes(std::span<const TaskGraph> graphs,
   c.makespan_samples = c.relative_samples;
   c.sched_samples = c.relative_samples;
   const std::size_t workers = resolve_threads(threads);
+  const std::size_t reps = std::max<std::size_t>(1, sched_reps);
 
   for (std::size_t pi = 0; pi < procs.size(); ++pi) {
     const Cluster cluster(procs[pi], bandwidth_Bps, overlap);
-    // One slot per (graph, scheme); workers write disjoint cells.
+    // One slot per (graph, scheme); workers write disjoint cells. The
+    // timing reps of one cell run back-to-back on one worker so they see
+    // comparable load.
     const std::size_t ns = schemes.size();
     std::vector<double> ms(graphs.size() * ns, 0.0);
-    std::vector<double> st(graphs.size() * ns, 0.0);
+    std::vector<double> st(graphs.size() * ns * reps, 0.0);
     parallel_for(graphs.size() * ns, workers, [&](std::size_t idx) {
       const std::size_t gi = idx / ns;
       const std::size_t si = idx % ns;
       const SchemeRun run = evaluate_scheme(schemes[si], graphs[gi], cluster,
                                             sim, nullptr, sched_opt);
       ms[idx] = run.makespan;
-      st[idx] = run.scheduling_seconds;
+      st[idx * reps] = run.scheduling_seconds;
+      for (std::size_t r = 1; r < reps; ++r)
+        st[idx * reps + r] =
+            time_planning_pass(schemes[si], graphs[gi], cluster, sched_opt);
     });
     for (std::size_t si = 0; si < ns; ++si) {
       std::vector<double> rel(graphs.size()), m(graphs.size()),
-          t(graphs.size());
+          t(graphs.size() * reps);
       for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
         rel[gi] = ms[gi * ns] / ms[gi * ns + si];
         m[gi] = ms[gi * ns + si];
-        t[gi] = st[gi * ns + si];
+        for (std::size_t r = 0; r < reps; ++r)
+          t[gi * reps + r] = st[(gi * ns + si) * reps + r];
       }
       c.relative[pi][si] = mean(rel);
       c.makespan[pi][si] = mean(m);

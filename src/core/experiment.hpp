@@ -97,13 +97,23 @@ struct Comparison {
 /// runs out over worker threads. Results are deterministic regardless of
 /// the thread count; per-run scheduling-time measurements become noisier
 /// under oversubscription.
+///
+/// \p sched_reps > 1 re-plans every (graph, scheme, procs) cell that many
+/// times with a fresh scheduler and registry, timing each pass, so
+/// sched_samples carries graphs x sched_reps wall-clock samples instead
+/// of one per graph — enough for the benchmark telemetry's median /
+/// order-statistic-CI statistics to be meaningful on single-graph panels
+/// (fig10's sched_seconds ratchet needs n >= 5). Planning is
+/// deterministic, so the extra reps change no schedule and only the
+/// timing vectors grow; makespan/relative samples stay one per graph.
 Comparison compare_schemes(std::span<const TaskGraph> graphs,
                            const std::vector<std::string>& schemes,
                            const std::vector<std::size_t>& procs,
                            double bandwidth_Bps, bool overlap = true,
                            const SimOptions& sim = {},
                            std::size_t threads = 0,
-                           const SchedulerOptions& sched_opt = {});
+                           const SchedulerOptions& sched_opt = {},
+                           std::size_t sched_reps = 1);
 
 /// Renders a Comparison's relative performance as a paper-style table
 /// (rows = processor counts, columns = schemes).

@@ -89,6 +89,12 @@ class CommModel {
   /// outlive the model; copies of the model share the same cell.
   void count_evals_into(double* cell) { evals_ = cell; }
 
+  /// The attached evaluation-counter cell (null when counting is off).
+  /// Incremental replay (schedulers/incremental.hpp) reads it to capture
+  /// per-placement evaluation deltas and credit them on replayed steps,
+  /// keeping "comm.cost_evals" bit-identical to a from-scratch run.
+  double* evals_cell() const { return evals_; }
+
  private:
   Cluster cluster_;
   double* evals_ = nullptr;

@@ -35,10 +35,16 @@ class ScheduleDag {
 
   const TaskGraph& graph() const { return *g_; }
 
-  void set_vertex_time(TaskId t, double w) { vertex_time_[t] = w; }
+  void set_vertex_time(TaskId t, double w) {
+    vertex_time_[t] = w;
+    cp_valid_ = false;
+  }
   double vertex_time(TaskId t) const { return vertex_time_[t]; }
 
-  void set_edge_time(EdgeId e, double w) { edge_time_[e] = w; }
+  void set_edge_time(EdgeId e, double w) {
+    edge_time_[e] = w;
+    cp_valid_ = false;
+  }
   double edge_time(EdgeId e) const { return edge_time_[e]; }
 
   /// Adds an induced dependence src -> dst (weight 0). Must not create a
@@ -52,9 +58,17 @@ class ScheduleDag {
   }
 
   /// Longest path through G' under the stored weights.
+  ///
+  /// Memoized: the refinement loop asks for the critical path of the same
+  /// realized dag several times per round (diagnosis, termination test,
+  /// look-ahead steps), so the result is cached until the next weight or
+  /// pseudo-edge mutation. The cache travels with copies, so a memoized
+  /// LoCBS result replays its critical path instead of recomputing it.
   CriticalPathInfo critical_path() const;
 
  private:
+  CriticalPathInfo compute_critical_path() const;
+
   const TaskGraph* g_;
   std::vector<double> vertex_time_;
   std::vector<double> edge_time_;
@@ -62,6 +76,9 @@ class ScheduleDag {
   // Pseudo adjacency, indexed by task.
   std::vector<std::vector<TaskId>> pseudo_out_;
   std::vector<std::vector<TaskId>> pseudo_in_;
+  // Dirty-tracked critical-path cache (invalidated by every mutator).
+  mutable bool cp_valid_ = false;
+  mutable CriticalPathInfo cp_cache_;
 };
 
 }  // namespace locmps

@@ -11,9 +11,17 @@ Timeline::Timeline(std::size_t num_procs) : busy_(num_procs) {}
 void Timeline::occupy(const ProcessorSet& procs, double start, double end) {
   assert(start <= end);
   if (end <= start) return;  // zero-length bookings are no-ops
+  ++epoch_;
   procs.for_each([&](ProcId q) {
     auto& v = busy_[q];
     const Interval iv{start, end};
+    // Frontier fast path: most bookings extend the chart, so they land at
+    // the back without a search.
+    if (v.empty() || v.back().start < start) {
+      assert(v.empty() || v.back().end <= start + 1e-9);
+      v.push_back(iv);
+      return;
+    }
     auto it = std::upper_bound(
         v.begin(), v.end(), iv,
         [](const Interval& a, const Interval& b) { return a.start < b.start; });
@@ -23,13 +31,35 @@ void Timeline::occupy(const ProcessorSet& procs, double start, double end) {
   });
 }
 
+void Timeline::release(const ProcessorSet& procs, double start, double end) {
+  if (end <= start) return;  // zero-length bookings were never stored
+  ++epoch_;
+  procs.for_each([&](ProcId q) {
+    auto& v = busy_[q];
+    const Interval iv{start, end};
+    auto it = std::lower_bound(
+        v.begin(), v.end(), iv,
+        [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    // Exact identity lookup: a release must name bounds bit-equal to the
+    // booking that stored them (callers pass back the booked values, never
+    // recomputed ones), so tolerance matching would be a bug mask.
+    assert(it != v.end() && it->start == start &&  // LINT-ALLOW(float-eq)
+           it->end == end);                        // LINT-ALLOW(float-eq)
+    if (it != v.end() && it->start == start &&  // LINT-ALLOW(float-eq)
+        it->end == end)                         // LINT-ALLOW(float-eq)
+      v.erase(it);
+  });
+}
+
 bool Timeline::is_free(ProcId q, double start, double end) const {
   const auto& v = busy_[q];
-  for (const Interval& iv : v) {
-    if (iv.start >= end) break;
-    if (iv.end > start) return false;
-  }
-  return true;
+  // First interval ending after `start` is the only one that can overlap
+  // [start, end): everything before it ended by `start`, everything after
+  // it starts no earlier than it does.
+  auto it = std::upper_bound(
+      v.begin(), v.end(), start,
+      [](double x, const Interval& iv) { return x < iv.end; });
+  return it == v.end() || it->start >= end;
 }
 
 double Timeline::free_until(ProcId q, double t) const {
@@ -82,6 +112,40 @@ void Timeline::available_at(double t, std::vector<FreeProc>& out) const {
   for (ProcId q = 0; q < busy_.size(); ++q) {
     const double until = free_until(q, t);
     if (until >= 0.0) out.push_back(FreeProc{q, until});
+  }
+}
+
+void Timeline::Sweep::available_at(double t, std::vector<FreeProc>& out) {
+  const Timeline& tl = *tl_;
+  const std::size_t P = tl.num_procs();
+  if (epoch_ != tl.epoch_ || t < last_t_) {
+    // Mutation or non-monotone probe: re-seek every cursor to the first
+    // interval ending after t (the only interval that can cover t).
+    for (ProcId q = 0; q < P; ++q) {
+      const auto& v = tl.busy_[q];
+      idx_[q] = static_cast<std::uint32_t>(
+          std::upper_bound(v.begin(), v.end(), t,
+                           [](double x, const Interval& iv) {
+                             return x < iv.end;
+                           }) -
+          v.begin());
+    }
+    epoch_ = tl.epoch_;
+  }
+  last_t_ = t;
+  out.clear();
+  out.reserve(P);
+  for (ProcId q = 0; q < P; ++q) {
+    const auto& v = tl.busy_[q];
+    std::uint32_t i = idx_[q];
+    while (i < v.size() && v[i].end <= t) ++i;
+    idx_[q] = i;
+    if (i == v.size()) {
+      out.push_back(FreeProc{q, kForever});
+    } else if (v[i].start > t) {
+      out.push_back(FreeProc{q, v[i].start});
+    }
+    // else: v[i].start <= t < v[i].end — busy, matching free_until < 0.
   }
 }
 

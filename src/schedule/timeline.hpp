@@ -8,7 +8,18 @@
 ///  * which "holes" (idle windows) exist at or after a given time, and
 ///  * which processors are free over a candidate window and until when.
 /// The no-backfill variant (Fig 6) only consults latest_free_time().
+///
+/// Storage is an augmented sorted-interval structure: per-processor
+/// disjoint busy intervals kept sorted by start (so end times are sorted
+/// too), with an append fast path for the common frontier booking, a
+/// mutation epoch, and a monotone Sweep cursor that answers the hole
+/// scan's ascending availability queries in amortized O(1) per processor
+/// instead of a binary search per probe instant (docs/incremental.md).
+/// Every query keeps the exact semantics of the original linear scan —
+/// the Timeline property-fuzz suite (tests/test_timeline.cpp) checks each
+/// against a naive reference implementation across hundreds of seeds.
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -30,6 +41,13 @@ class Timeline {
   /// not overlap (the scheduler only books verified-free windows; checked
   /// by assertion in debug builds).
   void occupy(const ProcessorSet& procs, double start, double end);
+
+  /// Reverses a prior occupy(): erases the booking [start, end) from every
+  /// processor in \p procs. The exact interval must have been booked
+  /// (bookings are never split or merged, so it survives verbatim);
+  /// asserted in debug builds, a per-processor no-op when absent in
+  /// release builds.
+  void release(const ProcessorSet& procs, double start, double end);
 
   /// True when \p q is idle throughout [start, end).
   [[nodiscard]] bool is_free(ProcId q, double start, double end) const;
@@ -74,13 +92,39 @@ class Timeline {
   /// packed timeline yields an empty vector, as does horizon <= 0.
   [[nodiscard]] std::vector<Hole> holes(ProcId q, double horizon) const;
 
+  /// Monotone availability cursor over the timeline.
+  ///
+  /// The backfill hole scan probes instants in ascending order; a Sweep
+  /// remembers, per processor, the first busy interval ending after the
+  /// last probe and only advances it, so a whole ascending scan costs
+  /// O(P + intervals) instead of O(P log I) per probe. Any timeline
+  /// mutation (detected through the epoch counter) or a non-monotone
+  /// query transparently re-seeks, so results are always identical to
+  /// Timeline::available_at.
+  class Sweep {
+   public:
+    explicit Sweep(const Timeline& tl) : tl_(&tl), idx_(tl.num_procs(), 0) {}
+
+    /// Same result as tl.available_at(t, out).
+    void available_at(double t, std::vector<FreeProc>& out);
+
+   private:
+    const Timeline* tl_;
+    std::uint64_t epoch_ = ~0ull;  // forces the first call to seek
+    double last_t_ = -kForever;
+    std::vector<std::uint32_t> idx_;  // per proc: first interval end > t
+  };
+
  private:
   struct Interval {
     double start;
     double end;
   };
-  // Per-processor busy intervals kept sorted by start.
+  // Per-processor busy intervals kept sorted by start; disjointness makes
+  // the end times sorted as well (the invariant the Sweep cursor rides).
   std::vector<std::vector<Interval>> busy_;
+  // Bumped by every occupy()/release() so cursors know to re-seek.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace locmps

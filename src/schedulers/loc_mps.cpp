@@ -16,6 +16,7 @@
 
 #include "graph/algorithms.hpp"
 #include "obs/profile.hpp"
+#include "schedulers/incremental.hpp"
 #include "util/annotations.hpp"
 #include "util/thread_pool.hpp"
 
@@ -68,6 +69,10 @@ struct ProbeObs {
   // (their epoch is not the session profiler's).
   obs::Profiler prof{/*record_intervals=*/false};
   obs::ObsContext ctx;
+  // Private replay stream (docs/incremental.md): a walk's successive
+  // allocations differ by one task, so within-probe replay thrives while
+  // staying lock-free.
+  IncrementalContext incr;
 };
 
 /// Purity-backed memo shared by the speculative probes: with (graph, comm
@@ -79,16 +84,21 @@ struct ProbeObs {
 class ProbeMemo {
  public:
   struct Entry {
-    LocBSResult result;
+    // Immutable once stored; shared by pointer so a hit costs a refcount
+    // bump instead of a schedule + DAG deep copy.
+    std::shared_ptr<const LocBSResult> result;
     obs::MetricsSnapshot deltas;
     obs::ProfileSnapshot profile;
   };
 
-  /// Copy of the cached entry for \p np, or nullopt on a miss.
-  std::optional<Entry> lookup(const Allocation& np) LOCMPS_EXCLUDES(mu_) {
+  /// The cached entry for \p np, or null on a miss. Entries are immutable
+  /// once stored, so a hit shares the stored entry by pointer instead of
+  /// copying its result and telemetry snapshots under the lock.
+  std::shared_ptr<const Entry> lookup(const Allocation& np)
+      LOCMPS_EXCLUDES(mu_) {
     const MutexLock lk(mu_);
     const auto it = entries_.find(np);
-    if (it == entries_.end()) return std::nullopt;
+    if (it == entries_.end()) return nullptr;
     return it->second;
   }
 
@@ -96,13 +106,14 @@ class ProbeMemo {
   void store(const Allocation& np, Entry e) LOCMPS_EXCLUDES(mu_) {
     const MutexLock lk(mu_);
     if (entries_.size() >= kCap) entries_.clear();
-    entries_.emplace(np, std::move(e));
+    entries_.emplace(np, std::make_shared<const Entry>(std::move(e)));
   }
 
  private:
   static constexpr std::size_t kCap = 4096;
   Mutex mu_;
-  std::map<Allocation, Entry> entries_ LOCMPS_GUARDED_BY(mu_);
+  std::map<Allocation, std::shared_ptr<const Entry>> entries_
+      LOCMPS_GUARDED_BY(mu_);
 };
 
 /// Worker count: the option, with 0 meaning one per hardware thread.
@@ -175,8 +186,20 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   const TaskId perturb = lopt.perturb_task;
   lopt.perturb_task = kNoTask;
 
-  LocBSResult best_run = locbs(g, best_alloc, comm, lopt, fixed, obs);
-  double best_sl = best_run.makespan;
+  // Incremental replanning (docs/incremental.md): the refinement stream's
+  // LoCBS evaluations replay their unchanged placement prefix from a
+  // recorded earlier evaluation. Stands down when a sink or profiler is
+  // attached — those runs take the from-scratch reference path so traces
+  // and span shapes stay exact (the schedule is identical either way).
+  const bool incr_on =
+      opt_.incremental && !obs::wants_events(obs) && prof == nullptr;
+  IncrementalContext session_incr;
+  IncrementalContext* const sincr = incr_on ? &session_incr : nullptr;
+
+  std::shared_ptr<const LocBSResult> best_run =
+      std::make_shared<const LocBSResult>(
+          locbs(g, best_alloc, comm, lopt, fixed, obs, sincr));
+  double best_sl = best_run->makespan;
   std::size_t calls = 1;
   if (obs::wants_events(obs))
     obs->sink->emit(obs::Event("locmps.begin")
@@ -270,29 +293,40 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
 
   // Probe memo (see ProbeMemo above). Events cannot be replayed from a
   // cache without reordering them, so the memo stands down whenever a
-  // sink is attached; threads = 1 never uses it (the sequential reference
-  // path stays untouched).
+  // sink is attached. Speculative runs always use it; sequential runs use
+  // it when incremental replanning is on (repeated allocations — notably
+  // the per-round re-realization — then replay instead of recomputing),
+  // and fall back to the untouched reference path otherwise.
   ProbeMemo memo;
-  const bool memo_enabled = speculative && !obs::wants_events(obs);
+  const bool memo_enabled =
+      (speculative || incr_on) && !obs::wants_events(obs);
 
-  // Every LoCBS evaluation funnels through here. \p wobs / \p wcomm are
-  // the caller's observability context and its comm model (the session's
-  // on the direct path, a probe's own on a speculative walk).
+  // Every LoCBS evaluation funnels through here. \p wobs / \p wcomm /
+  // \p wincr are the caller's observability context, its comm model, and
+  // its incremental replay stream (the session's on the direct path, a
+  // probe's own on a speculative walk).
   auto eval_locbs = [&](const Allocation& np, obs::ObsContext* wobs,
-                        const CommModel& wcomm) -> LocBSResult {
-    if (!memo_enabled) return locbs(g, np, wcomm, lopt, fixed, wobs);
+                        const CommModel& wcomm, IncrementalContext* wincr)
+      -> std::shared_ptr<const LocBSResult> {
+    if (!memo_enabled)
+      return std::make_shared<const LocBSResult>(
+          locbs(g, np, wcomm, lopt, fixed, wobs, wincr));
     obs::MetricsRegistry* const wmet = obs::metrics_of(wobs);
     obs::Profiler* const wprof = obs::profiler_of(wobs);
-    if (std::optional<ProbeMemo::Entry> hit = memo.lookup(np)) {
-      if (wmet != nullptr) wmet->merge_from(hit->deltas);
+    if (std::shared_ptr<const ProbeMemo::Entry> hit = memo.lookup(np)) {
+      if (wmet != nullptr) {
+        wmet->merge_from(hit->deltas);
+        if (wincr != nullptr) wmet->add("incr.cache_hits");
+      }
       // Replaying the cached span deltas keeps the threaded span tree's
       // counts bit-identical to the sequential tree (the cached wall/CPU
       // times are the miss run's actuals).
       if (wprof != nullptr) wprof->merge_from(hit->profile);
-      return std::move(hit->result);
+      return hit->result;
     }
     if (wmet == nullptr && wprof == nullptr)
-      return locbs(g, np, wcomm, lopt, fixed, nullptr);
+      return std::make_shared<const LocBSResult>(
+          locbs(g, np, wcomm, lopt, fixed, nullptr, wincr));
     // Miss with metrics/profiling on: run under scratch observability so
     // this call's exact counter/timer/span deltas can be captured for
     // replay on later hits, then fold them into the caller's context.
@@ -303,7 +337,8 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     CommModel scomm(cluster);
     if (wmet != nullptr)
       scomm.count_evals_into(scratch.cell_ptr("comm.cost_evals"));
-    LocBSResult res = locbs(g, np, scomm, lopt, fixed, &sctx);
+    auto res = std::make_shared<const LocBSResult>(
+        locbs(g, np, scomm, lopt, fixed, &sctx, wincr));
     ProbeMemo::Entry e{res, scratch.snapshot(), sprof.snapshot()};
     if (wmet != nullptr) wmet->merge_from(e.deltas);
     if (wprof != nullptr) wprof->merge_from(e.profile);
@@ -356,7 +391,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
                       const std::vector<char>& medge, double start_best,
                       const Allocation& base_alloc, std::size_t budget,
                       obs::ObsContext* wobs, const CommModel& wcomm,
-                      std::size_t probe_index,
+                      IncrementalContext* wincr, std::size_t probe_index,
                       std::atomic<std::size_t>* race) -> WalkResult {
     obs::MetricsRegistry* const wmet = obs::metrics_of(wobs);
     // One span per look-ahead round. Sequentially it nests under
@@ -371,7 +406,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       wobs->sink->emit(obs::Event("locmps.lookahead_begin")
                           .with("round", static_cast<std::uint64_t>(round_no))
                           .with("best", start_best));
-    std::optional<LocBSResult> cur;
+    std::shared_ptr<const LocBSResult> cur;
     for (std::size_t iter = 0; iter < opt_.look_ahead_depth; ++iter) {
       if (race != nullptr && iter > 0 &&
           race->load(std::memory_order_relaxed) < probe_index) {
@@ -432,7 +467,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         wmet->add(ep.is_task ? "locmps.widened_tasks"
                              : "locmps.widened_edges");
 
-      cur = eval_locbs(np, wobs, wcomm);
+      cur = eval_locbs(np, wobs, wcomm, wincr);
       ++r.used;
       const bool adopted = cur->makespan < r.sl;
       if (adopted) {
@@ -552,7 +587,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   // Termination test (Alg. 1 step 40): every critical-path task saturated
   // or marked, and (when comm-aware) every refinable path edge marked.
   auto exhausted_now = [&]() -> bool {
-    const CriticalPathInfo cp = best_run.dag.critical_path();
+    const CriticalPathInfo cp = best_run->dag.critical_path();
     bool exhausted = true;
     for (TaskId t : cp.tasks) {
       if (best_alloc[t] < cap[t] && !marked_task[t]) {
@@ -564,7 +599,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       for (EdgeId e : cp.edges) {
         if (e == kNoEdge) continue;
         const Edge& ed = g.edge(e);
-        if (marked_edge[e] || best_run.dag.edge_time(e) <= 0.0) continue;
+        if (marked_edge[e] || best_run->dag.edge_time(e) <= 0.0) continue;
         if (best_alloc[ed.src] < ecap(ed.src) ||
             best_alloc[ed.dst] < ecap(ed.dst)) {
           exhausted = false;
@@ -604,7 +639,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
     CriticalPathInfo cp0;
     {
       obs::ScopedTimer cp_timer(met, "locmps.critical_path");
-      cp0 = best_run.dag.critical_path();
+      cp0 = best_run->dag.critical_path();
     }
 
     // Predict the entry chain: round j's entry point assumes rounds
@@ -615,7 +650,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       std::vector<char> pmt = marked_task, pme = marked_edge;
       for (std::size_t j = 0; j < k; ++j) {
         FirstStep fs;
-        if (!first_step(cp0, best_run.dag, pmt, pme, fs)) break;
+        if (!first_step(cp0, best_run->dag, pmt, pme, fs)) break;
         mtask_at.push_back(pmt);
         medge_at.push_back(pme);
         const EntryPoint ep = fs.ep;
@@ -647,12 +682,12 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
       const double old_sl = best_sl;
       const WalkResult w = run_walk(
           steps[0], round, mtask_at[0], medge_at[0], best_sl, best_alloc,
-          opt_.max_locbs_calls - calls, obs, comm, 0, nullptr);
+          opt_.max_locbs_calls - calls, obs, comm, sincr, 0, nullptr);
       calls += w.used;
       finish_round(round, steps[0].ep, old_sl, w, calls);
       // Re-realize the best allocation (unchanged allocations keep their
       // schedule); its critical path drives termination.
-      best_run = eval_locbs(best_alloc, obs, comm);
+      best_run = eval_locbs(best_alloc, obs, comm, sincr);
       ++calls;
       if (met != nullptr) {
         met->sample("locmps.best_makespan", best_sl);
@@ -695,7 +730,8 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
                 pobs[j]->reg.cell_ptr("comm.cost_evals"));
           results[j] = run_walk(steps[j], round_base + j + 1, mtask_at[j],
                                 medge_at[j], start_best, best_alloc,
-                                opt_.look_ahead_depth, pctx, pcomm, j,
+                                opt_.look_ahead_depth, pctx, pcomm,
+                                incr_on ? &pobs[j]->incr : nullptr, j,
                                 &first_improved);
         }));
       }
@@ -742,7 +778,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
         // The sequential algorithm re-realizes the best allocation after
         // every round; eval_locbs elides the recomputation on the memo
         // path while keeping the call count and telemetry identical.
-        best_run = eval_locbs(best_alloc, obs, comm);
+        best_run = eval_locbs(best_alloc, obs, comm, sincr);
         ++calls;
         if (met != nullptr) {
           met->sample("locmps.best_makespan", best_sl);
@@ -778,8 +814,9 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
   // rundiff and `--explain` read precisely those. This pass is also where
   // an armed perturb_task takes effect (and the only place it does).
   if (perturb != kNoTask || obs::wants_events(obs)) {
-    best_run = locbs(g, best_alloc, comm, opt_.locbs, fixed, obs);
-    best_sl = best_run.makespan;
+    best_run = std::make_shared<const LocBSResult>(
+        locbs(g, best_alloc, comm, opt_.locbs, fixed, obs));
+    best_sl = best_run->makespan;
     ++calls;
   }
 
@@ -794,7 +831,7 @@ SchedulerResult LocMPSScheduler::run(const TaskGraph& g,
             .with("locbs_calls", static_cast<std::uint64_t>(calls)));
 
   SchedulerResult out;
-  out.schedule = std::move(best_run.schedule);
+  out.schedule = best_run->schedule;  // the result may be memo-shared
   out.allocation = std::move(best_alloc);
   out.estimated_makespan = best_sl;
   out.iterations = calls;

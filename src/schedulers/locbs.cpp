@@ -14,6 +14,7 @@
 #include "obs/profile.hpp"
 #include "obs/provenance.hpp"
 #include "schedule/timeline.hpp"
+#include "schedulers/incremental.hpp"
 #include "util/stats.hpp"
 
 namespace locmps {
@@ -41,11 +42,135 @@ struct Candidate {
   std::vector<ProcId> procs;      ///< ascending
 };
 
+/// Brings \p ps up to date for \p np: execution times, allocation-stage
+/// edge costs, bottom levels, and the static priority bottomL(t) + max
+/// incoming edge weight (Alg. 2 step 4). A fresh state is computed in
+/// full; a valid one is updated via the dirty region of the np diff —
+/// only changed tasks, their incident edges, and the ancestors their
+/// bottom levels propagate to are recomputed, with the exact arithmetic
+/// of the full pass, so the arrays stay bit-identical to a from-scratch
+/// computation (docs/incremental.md). Elided edge-cost evaluations are
+/// credited to the comm model's evaluation counter so "comm.cost_evals"
+/// matches the reference run.
+void update_priority_state(const TaskGraph& g, const Allocation& np,
+                           const CommModel& comm, const LocBSOptions& opt,
+                           PriorityState& ps, obs::ObsContext* obs) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t ne = g.num_edges();
+  if (!ps.valid || ps.np.size() != n || ps.west.size() != ne) {
+    {
+      LOCMPS_SPAN(obs, "locbs.edge_costs");
+      ps.et.resize(n);
+      ps.west.assign(ne, 0.0);
+      // slack_factor > 1 books reservations longer than the profile
+      // predicts (slack-aware placement); every downstream consumer —
+      // priorities, hole feasibility, occupancy, G' vertex times — sees
+      // the inflated model consistently.
+      for (TaskId t = 0; t < n; ++t)
+        ps.et[t] = g.task(t).profile.time(np[t]) * opt.slack_factor;
+      if (!opt.comm_blind)
+        for (EdgeId e = 0; e < ne; ++e)
+          ps.west[e] = comm.edge_cost(g.edge(e).volume_bytes,
+                                      np[g.edge(e).src], np[g.edge(e).dst]);
+    }
+    LOCMPS_SPAN(obs, "locbs.priority");
+    ps.order = topological_order(g);
+    ps.bottom.assign(n, 0.0);
+    for (auto it = ps.order.rbegin(); it != ps.order.rend(); ++it) {
+      const TaskId t = *it;
+      double below = 0.0;
+      for (EdgeId e : g.out_edges(t))
+        below = std::max(below, ps.west[e] + ps.bottom[g.edge(e).dst]);
+      ps.bottom[t] = ps.et[t] + below;
+    }
+    ps.prio.resize(n);
+    for (TaskId t = 0; t < n; ++t) {
+      double max_in = 0.0;
+      for (EdgeId e : g.in_edges(t)) max_in = std::max(max_in, ps.west[e]);
+      ps.prio[t] = ps.bottom[t] + max_in;
+    }
+    ps.np = np;
+    ps.valid = true;
+    return;
+  }
+
+  LOCMPS_SPAN(obs, "locbs.priority");
+  ps.et_changed.assign(n, 0);
+  ps.bottom_changed.assign(n, 0);
+  ps.prio_dirty.assign(n, 0);
+  ps.edge_seen.assign(ne, 0);
+  std::size_t recomputed_edges = 0;
+  // An edge cost depends on both endpoint widths; recompute each incident
+  // edge once. A changed cost dirties the source's bottom level (west
+  // feeds its out-edge max) and the destination's priority (west feeds
+  // its in-edge max).
+  auto recompute_edge = [&](EdgeId e) {
+    if (ps.edge_seen[e]) return;
+    ps.edge_seen[e] = 1;
+    ++recomputed_edges;
+    const Edge& ed = g.edge(e);
+    const double w = comm.edge_cost(ed.volume_bytes, np[ed.src], np[ed.dst]);
+    if (w != ps.west[e]) {  // LINT-ALLOW(float-eq)
+      ps.west[e] = w;
+      ps.et_changed[ed.src] = 1;  // bottom input changed
+      ps.prio_dirty[ed.dst] = 1;
+    }
+  };
+  for (TaskId t = 0; t < n; ++t) {
+    if (ps.np[t] == np[t]) continue;
+    const double v = g.task(t).profile.time(np[t]) * opt.slack_factor;
+    if (v != ps.et[t]) ps.et_changed[t] = 1;  // LINT-ALLOW(float-eq)
+    ps.et[t] = v;
+    if (!opt.comm_blind) {
+      for (EdgeId e : g.in_edges(t)) recompute_edge(e);
+      for (EdgeId e : g.out_edges(t)) recompute_edge(e);
+    }
+  }
+  // Bottom levels: one reverse-topological walk recomputing exactly the
+  // tasks whose inputs changed; propagation stops where the recomputed
+  // value is bit-identical to the cached one.
+  for (auto it = ps.order.rbegin(); it != ps.order.rend(); ++it) {
+    const TaskId t = *it;
+    bool need = ps.et_changed[t] != 0;
+    if (!need) {
+      for (EdgeId e : g.out_edges(t)) {
+        if (ps.bottom_changed[g.edge(e).dst]) {
+          need = true;
+          break;
+        }
+      }
+    }
+    if (!need) continue;
+    double below = 0.0;
+    for (EdgeId e : g.out_edges(t))
+      below = std::max(below, ps.west[e] + ps.bottom[g.edge(e).dst]);
+    const double nb = ps.et[t] + below;
+    if (nb != ps.bottom[t]) {  // LINT-ALLOW(float-eq)
+      ps.bottom[t] = nb;
+      ps.bottom_changed[t] = 1;
+      ps.prio_dirty[t] = 1;
+    }
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    if (!ps.prio_dirty[t]) continue;
+    double max_in = 0.0;
+    for (EdgeId e : g.in_edges(t)) max_in = std::max(max_in, ps.west[e]);
+    ps.prio[t] = ps.bottom[t] + max_in;
+  }
+  // The reference pass evaluates every edge cost through the comm model;
+  // credit the elided evaluations so the counter stays bit-identical
+  // (tests/test_incremental.cpp checks "comm.cost_evals").
+  if (!opt.comm_blind && comm.evals_cell() != nullptr)
+    *comm.evals_cell() += static_cast<double>(ne - recomputed_edges);
+  ps.np = np;
+}
+
 }  // namespace
 
 LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                   const CommModel& comm, const LocBSOptions& opt,
-                  const FixedPrefix* fixed, obs::ObsContext* obs) {
+                  const FixedPrefix* fixed, obs::ObsContext* obs,
+                  IncrementalContext* incr) {
   const std::size_t n = g.num_tasks();
   const std::size_t P = comm.cluster().processors;
   obs::MetricsRegistry* const met = obs::metrics_of(obs);
@@ -77,36 +202,16 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
 
   const bool overlap = comm.overlap();
 
-  // Execution times under this allocation, and allocation-stage edge costs
-  // (block-cyclic redistribution volumes through the comm model).
-  std::vector<double> et(n);
-  std::vector<double> west(g.num_edges(), 0.0);
-  {
-    LOCMPS_SPAN(obs, "locbs.edge_costs");
-    // slack_factor > 1 books reservations longer than the profile predicts
-    // (slack-aware placement); every downstream consumer — priorities,
-    // hole feasibility, occupancy, G' vertex times — sees the inflated
-    // model consistently.
-    for (TaskId t = 0; t < n; ++t)
-      et[t] = g.task(t).profile.time(np[t]) * opt.slack_factor;
-    if (!opt.comm_blind)
-      for (EdgeId e = 0; e < g.num_edges(); ++e)
-        west[e] = comm.edge_cost(g.edge(e).volume_bytes, np[g.edge(e).src],
-                                 np[g.edge(e).dst]);
-  }
-
-  // Static priority: bottomL(t) + max incoming edge weight (Alg. 2 step 4).
-  std::vector<double> prio(n);
-  {
-    LOCMPS_SPAN(obs, "locbs.priority");
-    const Levels lv = compute_levels(
-        g, [&](TaskId t) { return et[t]; }, [&](EdgeId e) { return west[e]; });
-    for (TaskId t = 0; t < n; ++t) {
-      double max_in = 0.0;
-      for (EdgeId e : g.in_edges(t)) max_in = std::max(max_in, west[e]);
-      prio[t] = lv.bottom[t] + max_in;
-    }
-  }
+  // Allocation-dependent arrays: execution times, edge costs, bottom
+  // levels, and the static priority bottomL(t) + max incoming edge weight
+  // (Alg. 2 step 4). The from-scratch path computes them in full into a
+  // local state; a stream updates its cached state via the dirty region
+  // of the np diff — bit-identical either way (update_priority_state).
+  PriorityState local_ps;
+  PriorityState& ps = incr != nullptr ? incr->prio_state : local_ps;
+  update_priority_state(g, np, comm, opt, ps, obs);
+  const std::vector<double>& et = ps.et;
+  const std::vector<double>& prio = ps.prio;
 
   Timeline timeline(P);
   LocBSResult res{Schedule(n, P), ScheduleDag(g), 0.0};
@@ -155,11 +260,73 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     if (open == 0) ready.push_back(t);
   }
 
+  // Incremental replay (schedulers/incremental.hpp, docs/incremental.md):
+  // pick the recorded evaluation with the longest matching prefix and
+  // replay its placements verbatim until the first divergent priority
+  // pick; only the dirty remainder is scanned. The placement scan is a
+  // deterministic function of (picked task, its np, the committed prefix
+  // state), so a matching pick with a matching processor count guarantees
+  // a bit-identical placement — including its telemetry, which replays
+  // from the recorded values.
+  const ReplayRecord* rec = incr != nullptr ? incr->pick_record(np) : nullptr;
+  std::size_t ri = 0;  // next recorded step to match
+  bool replay_live = rec != nullptr;
+  ReplayRecord newrec;  // this evaluation, recorded for future replays
+  std::size_t replayed_tasks = 0;
+  std::size_t scanned_tasks = 0;
+  double* const evals_cell = comm.evals_cell();
+  if (incr != nullptr) {
+    newrec.np = np;
+    newrec.steps.reserve(n - n_frozen);
+  }
+  // Dirty-pick mask against the chosen record: while every ready task's
+  // priority is bit-identical to what the record computed and every pick
+  // so far matched it, the live argmax sees the same candidate set with
+  // the same keys and tie-break, so it provably returns the recorded pick
+  // and the O(|ready|) scan is skipped outright.
+  std::vector<char> pick_dirty;
+  std::size_t ready_dirty = 0;
+  if (rec != nullptr) {
+    pick_dirty.assign(n, 1);
+    if (rec->prio != nullptr && rec->prio->size() == n) {
+      const std::vector<double>& rp = *rec->prio;
+      for (TaskId t = 0; t < n; ++t)
+        pick_dirty[t] = rp[t] != prio[t] ? 1 : 0;  // LINT-ALLOW(float-eq)
+    }
+    for (TaskId t : ready) ready_dirty += pick_dirty[t];
+  }
+
+  // Per-placement counter cells, resolved once per pass instead of ~8
+  // string-keyed registry lookups per placement (cell addresses are
+  // stable; obs/metrics.hpp). Resolving creates the counters at zero, so
+  // a pass always exposes the full locbs.* family.
+  struct PlaceCells {
+    double* tasks_placed = nullptr;
+    double* holes_scanned = nullptr;
+    double* backfill_hits = nullptr;
+    double* scan_cutoffs = nullptr;
+    double* locality_wins = nullptr;
+    double* horizon_wins = nullptr;
+    double* local_bytes = nullptr;
+    double* remote_bytes = nullptr;
+  } cells;
+  if (met != nullptr) {
+    cells.tasks_placed = met->cell_ptr("locbs.tasks_placed");
+    cells.holes_scanned = met->cell_ptr("locbs.holes_scanned");
+    cells.backfill_hits = met->cell_ptr("locbs.backfill_hits");
+    cells.scan_cutoffs = met->cell_ptr("locbs.scan_cutoffs");
+    cells.locality_wins = met->cell_ptr("locbs.locality_subset_wins");
+    cells.horizon_wins = met->cell_ptr("locbs.horizon_subset_wins");
+    cells.local_bytes = met->cell_ptr("locbs.local_bytes");
+    cells.remote_bytes = met->cell_ptr("locbs.remote_bytes");
+  }
+
   // Scratch buffers shared across task placements (hot loop: no per-task
   // heap churn).
   struct DursCache {
     std::vector<ProcId> procs;
     std::vector<double> durs;
+    std::vector<double> rvol;  ///< remote bytes per comm edge (pre-duration)
   };
   DursCache durs_cache[4];
   std::vector<double> score(P);
@@ -169,25 +336,105 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
   eligible.reserve(P);
   std::vector<ProcId> sel;
   sel.reserve(P);
-  std::vector<double> times;
-  times.reserve(n + 1);
   std::vector<Timeline::FreeProc> avail_scratch;
+  Timeline::Sweep sweep(timeline);
   obs::ShortlistRecorder shortlist;
+  // Candidate buffers reused across placements (their proc vectors keep
+  // their capacity; the per-task reset is finish = kInf).
+  Candidate best;
+  Candidate second;
+  Candidate cand;
+  std::vector<Candidate> shadows;
+  std::vector<char> is_parent(n, 0);
+
+  // Block-cyclic remote fraction, always computed directly: the fraction
+  // is O(|src| + |dst|) with a tiny constant, so any hash-keyed memo of it
+  // costs more per lookup than the computation it would skip (measured
+  // ~6x; docs/incremental.md). Memoization lives at the evaluation level
+  // (the LoC-MPS probe memo) where a hit elides a whole LoCBS pass.
+  auto rfrac = [&](const std::vector<ProcId>& src,
+                   const std::vector<ProcId>& dst) {
+    return remote_fraction(src, dst);
+  };
 
   for (std::size_t scheduled = n_frozen; scheduled < n; ++scheduled) {
-    // Highest-priority ready task.
-    std::size_t pick = 0;
-    for (std::size_t i = 1; i < ready.size(); ++i) {
-      if (prio[ready[i]] > prio[ready[pick]] ||
-          (prio[ready[i]] == prio[ready[pick]] && ready[i] < ready[pick]))
-        pick = i;
+    TaskId tp;
+    if (replay_live && ready_dirty == 0 && ri < rec->steps.size()) {
+      // Clean window: no ready task's priority differs from the record's
+      // and every pick so far matched it, so the ready sets are identical
+      // and the argmax below would return exactly the recorded pick.
+      tp = rec->steps[ri]->task;
+      std::size_t i = 0;
+      const std::size_t m = ready.size();
+      while (i < m && ready[i] != tp) ++i;
+      if (i == m) throw std::logic_error("locbs: replay pick not ready");
+      ready[i] = ready.back();
+      ready.pop_back();
+    } else {
+      // Highest-priority ready task.
+      std::size_t pick = 0;
+      for (std::size_t i = 1; i < ready.size(); ++i) {
+        if (prio[ready[i]] > prio[ready[pick]] ||
+            (prio[ready[i]] == prio[ready[pick]] && ready[i] < ready[pick]))
+          pick = i;
+      }
+      tp = ready[pick];
+      ready[pick] = ready.back();
+      ready.pop_back();
+      if (replay_live) ready_dirty -= pick_dirty[tp];
     }
-    const TaskId tp = ready[pick];
-    ready[pick] = ready.back();
-    ready.pop_back();
 
     const std::size_t need = np[tp];
     const double exec = et[tp];
+
+    // Replay fast path: the live pick and its processor count match the
+    // recorded step, so the whole placement — timings, processors, G'
+    // weights, pseudo-edges, telemetry — is provably the one a full scan
+    // would produce. Commit it directly; the step is shared into the new
+    // record by pointer (one refcount bump, no deep copy).
+    if (replay_live) {
+      const ReplayStep* rs =
+          ri < rec->steps.size() ? rec->steps[ri].get() : nullptr;
+      if (rs != nullptr && rs->task == tp && rs->np == need) {
+        ++ri;
+        timeline.occupy(rs->pset, rs->busy_from, rs->finish);
+        {
+          const auto it = std::lower_bound(finish_events.begin(),
+                                           finish_events.end(), rs->finish);
+          if (it == finish_events.end() || *it != rs->finish)
+            finish_events.insert(it, rs->finish);
+        }
+        res.schedule.place(tp, rs->busy_from, rs->start, rs->finish, rs->pset);
+        placed[tp] = rs->procs;
+        ft[tp] = rs->finish;
+        done[tp] = 1;
+        res.dag.set_vertex_time(tp, exec);
+        for (const auto& [e, w] : rs->edge_times) res.dag.set_edge_time(e, w);
+        for (TaskId pd : rs->pseudo_preds) res.dag.add_pseudo_edge(pd, tp);
+        if (evals_cell != nullptr) *evals_cell += rs->cost_evals;
+        if (met != nullptr) {
+          *cells.tasks_placed += 1.0;
+          *cells.holes_scanned += static_cast<double>(rs->holes_probed);
+          if (rs->backfilled) *cells.backfill_hits += 1.0;
+          if (rs->pruned) *cells.scan_cutoffs += 1.0;
+          *(rs->subset == 0 ? cells.locality_wins : cells.horizon_wins) += 1.0;
+          *cells.local_bytes += rs->local_bytes;
+          *cells.remote_bytes += rs->remote_bytes;
+        }
+        newrec.steps.push_back(rec->steps[ri - 1]);
+        ++replayed_tasks;
+        for (EdgeId e : g.out_edges(tp)) {
+          const TaskId dst = g.edge(e).dst;
+          if (--waiting[dst] == 0) {
+            ready.push_back(dst);
+            ready_dirty += pick_dirty[dst];
+          }
+        }
+        continue;
+      }
+      replay_live = false;  // first divergence: scan the dirty remainder
+    }
+    const double evals_before = evals_cell != nullptr ? *evals_cell : 0.0;
 
     // Per-placement telemetry, accumulated in plain locals and flushed
     // once at commit so the obs-off path never touches the registry.
@@ -228,12 +475,13 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       LOCMPS_SPAN(obs, "locbs.redist_durs");
       c.procs = procs;
       c.durs.resize(comm_edges.size());
+      c.rvol.resize(comm_edges.size());
       for (std::size_t k = 0; k < comm_edges.size(); ++k) {
         const Edge& ed = g.edge(comm_edges[k]);
         const double rv =
-            opt.locality
-                ? ed.volume_bytes * remote_fraction(placed[ed.src], procs)
-                : ed.volume_bytes;
+            opt.locality ? ed.volume_bytes * rfrac(placed[ed.src], procs)
+                         : ed.volume_bytes;
+        c.rvol[k] = rv;
         c.durs[k] =
             comm.transfer_duration(rv, placed[ed.src].size(), need);
       }
@@ -277,13 +525,13 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       c.finish = c.start + exec;
     };
 
-    Candidate best;
+    best.finish = kInf;
 
     // Decision provenance: record the scored shortlist and track the
     // distinct runner-up (different subset or start). The runner-up feeds
     // both the decision record's margin and the perturb_task hook, which
     // must work even without an attached sink.
-    Candidate second;
+    second.finish = kInf;
     const bool want_prov = obs::wants_events(obs);
     const bool want_second = want_prov || tp == opt.perturb_task;
     std::uint64_t cands_scored = 0;
@@ -301,7 +549,7 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     // attaching a sink or arming the perturb hook must not change the
     // committed schedule. Kept sorted ascending by finish, bounded.
     constexpr std::size_t kMaxShadows = 8;
-    std::vector<Candidate> shadows;
+    shadows.clear();
     auto offer_shadow = [&](Candidate&& c) {
       auto it = std::upper_bound(
           shadows.begin(), shadows.end(), c,
@@ -325,9 +573,8 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       for (EdgeId e : comm_edges) {
         const Edge& ed = g.edge(e);
         pc.remote_bytes +=
-            opt.locality
-                ? ed.volume_bytes * remote_fraction(placed[ed.src], c.procs)
-                : ed.volume_bytes;
+            opt.locality ? ed.volume_bytes * rfrac(placed[ed.src], c.procs)
+                         : ed.volume_bytes;
       }
       for (ProcId q : c.procs) pc.locality_score += score[q];
       pc.procs = c.procs;
@@ -388,17 +635,16 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
       };
       auto consider = [&](std::vector<ProcId>& procs, int slot) {
         std::sort(procs.begin(), procs.end());
-        Candidate c;
-        time_on(tau, procs, slot, c);
-        if (!feasible(c)) return;
-        if (want_prov || want_second) record_cand(c, tau);
-        if (c.finish < best.finish) {
-          if (want_second && best.finish < kInf && distinct_cand(best, c))
-            second = std::move(best);
-          best = std::move(c);
-        } else if (want_second && c.finish < second.finish &&
-                   distinct_cand(c, best)) {
-          second = std::move(c);
+        time_on(tau, procs, slot, cand);
+        if (!feasible(cand)) return;
+        if (want_prov || want_second) record_cand(cand, tau);
+        if (cand.finish < best.finish) {
+          if (want_second && best.finish < kInf && distinct_cand(best, cand))
+            std::swap(second, best);
+          std::swap(best, cand);
+        } else if (want_second && cand.finish < second.finish &&
+                   distinct_cand(cand, best)) {
+          std::swap(second, cand);
         }
       };
       // Locality-first subset (ties broken towards longer idle windows).
@@ -462,24 +708,28 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
     LOCMPS_SPAN(obs, "locbs.place");
     if (opt.backfill) {
       LOCMPS_SPAN(obs, "locbs.hole_scan");
-      times.clear();
-      times.push_back(est0);
-      for (auto it = std::upper_bound(finish_events.begin(),
-                                      finish_events.end(), est0);
-           it != finish_events.end(); ++it)
-        times.push_back(*it);
-      for (std::size_t i = 0; i < times.size(); ++i) {
-        timeline.available_at(times[i], avail_scratch);
-        probe(times[i], avail_scratch);
+      // Probe instants ascend (est0, then every later finish event), so
+      // the sweep cursor answers each availability query in amortized
+      // O(1) per processor; the event list is walked in place instead of
+      // being materialized per task. It is only mutated at commit, after
+      // the scan, so the iterator stays valid throughout.
+      auto next_ev =
+          std::upper_bound(finish_events.begin(), finish_events.end(), est0);
+      double tau = est0;
+      for (;;) {
+        sweep.available_at(tau, avail_scratch);
+        probe(tau, avail_scratch);
+        if (next_ev == finish_events.end()) break;
         // Monotone pruning: any later hole acquires processors at
-        // >= times[i+1], and no subset beats the arrival lower bound.
-        if (best.finish < kInf && i + 1 < times.size() &&
-            best.finish <= finish_lb(times[i + 1])) {
+        // >= *next_ev, and no subset beats the arrival lower bound.
+        if (best.finish < kInf && best.finish <= finish_lb(*next_ev)) {
           scan_pruned = true;
           if (!want_second || second.finish < kInf ||
               ++extension > kProvExtension)
             break;
         }
+        tau = *next_ev;
+        ++next_ev;
       }
     } else {
       // No-backfill variant (Fig 6): only the latest free time of each
@@ -551,51 +801,77 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
 
     // Realized weights for the schedule-DAG.
     res.dag.set_vertex_time(tp, exec);
+    ReplayStep step;  // recorded only when incr != nullptr
     if (!comm_edges.empty()) {
       const std::vector<double>& durs = durs_for(best.procs, 3);
-      for (std::size_t k = 0; k < comm_edges.size(); ++k)
+      for (std::size_t k = 0; k < comm_edges.size(); ++k) {
         res.dag.set_edge_time(comm_edges[k], durs[k]);
+        if (incr != nullptr) step.edge_times.emplace_back(comm_edges[k], durs[k]);
+      }
     }
 
     // Pseudo-edges for resource-induced waiting (Alg. 2 steps 17-18): link
     // every task finishing exactly when we could finally proceed and
     // sharing a processor with us.
     if (best.resource_induced) {
-      // Direct parents already impose the dependence; skip them.
-      std::vector<char> is_parent(n, 0);
+      // Direct parents already impose the dependence; skip them. The
+      // shared mask is cleared entry-wise below, not reallocated.
       for (EdgeId e : g.in_edges(tp)) is_parent[g.edge(e).src] = 1;
       for (TaskId ti = 0; ti < n; ++ti) {
         if (ti == tp || !done[ti] || is_parent[ti]) continue;
         if (about(ft[ti], best.touch) &&
-            res.schedule.at(ti).procs.intersection_count(pset) > 0)
+            res.schedule.at(ti).procs.intersection_count(pset) > 0) {
           res.dag.add_pseudo_edge(ti, tp);
+          if (incr != nullptr) step.pseudo_preds.push_back(ti);
+        }
       }
+      for (EdgeId e : g.in_edges(tp)) is_parent[g.edge(e).src] = 0;
+    }
+
+    // Realized redistribution split for this placement: bytes that stay
+    // on shared block-cyclic-aligned processors vs. bytes that cross
+    // the network (Section III-B locality saving). Needed both for the
+    // telemetry flush and for the replay record.
+    double local_bytes = 0.0, remote_bytes = 0.0;
+    const bool backfilled = later_than(chart_end, best.busy_from);
+    if ((obs != nullptr || incr != nullptr) && !comm_edges.empty()) {
+      // The G'-weights pass above just filled slot 3 for exactly this
+      // subset; its remote volumes are the realized redistribution split.
+      const std::vector<double>& rvol = durs_cache[3].rvol;
+      for (std::size_t k = 0; k < comm_edges.size(); ++k) {
+        remote_bytes += rvol[k];
+        local_bytes += g.edge(comm_edges[k]).volume_bytes - rvol[k];
+      }
+    }
+    if (incr != nullptr) {
+      step.task = tp;
+      step.np = need;
+      step.busy_from = best.busy_from;
+      step.start = best.start;
+      step.finish = best.finish;
+      step.procs = best.procs;
+      step.pset = pset;
+      step.holes_probed = static_cast<std::uint32_t>(holes_probed);
+      step.subset = static_cast<std::uint8_t>(best.subset);
+      step.pruned = scan_pruned;
+      step.backfilled = backfilled;
+      step.local_bytes = local_bytes;
+      step.remote_bytes = remote_bytes;
+      step.cost_evals =
+          evals_cell != nullptr ? *evals_cell - evals_before : 0.0;
+      newrec.steps.push_back(std::make_shared<ReplayStep>(std::move(step)));
+      ++scanned_tasks;
     }
 
     if (obs != nullptr) {
-      // Realized redistribution split for this placement: bytes that stay
-      // on shared block-cyclic-aligned processors vs. bytes that cross
-      // the network (Section III-B locality saving).
-      double local_bytes = 0.0, remote_bytes = 0.0;
-      for (EdgeId e : comm_edges) {
-        const Edge& ed = g.edge(e);
-        const double rv =
-            opt.locality
-                ? ed.volume_bytes * remote_fraction(placed[ed.src], best.procs)
-                : ed.volume_bytes;
-        remote_bytes += rv;
-        local_bytes += ed.volume_bytes - rv;
-      }
-      const bool backfilled = later_than(chart_end, best.busy_from);
       if (met != nullptr) {
-        met->add("locbs.tasks_placed");
-        met->add("locbs.holes_scanned", static_cast<double>(holes_probed));
-        if (backfilled) met->add("locbs.backfill_hits");
-        if (scan_pruned) met->add("locbs.scan_cutoffs");
-        met->add(best.subset == 0 ? "locbs.locality_subset_wins"
-                                  : "locbs.horizon_subset_wins");
-        met->add("locbs.local_bytes", local_bytes);
-        met->add("locbs.remote_bytes", remote_bytes);
+        *cells.tasks_placed += 1.0;
+        *cells.holes_scanned += static_cast<double>(holes_probed);
+        if (backfilled) *cells.backfill_hits += 1.0;
+        if (scan_pruned) *cells.scan_cutoffs += 1.0;
+        *(best.subset == 0 ? cells.locality_wins : cells.horizon_wins) += 1.0;
+        *cells.local_bytes += local_bytes;
+        *cells.remote_bytes += remote_bytes;
       }
       if (obs::wants_events(obs)) {
         std::string procs_str;
@@ -655,6 +931,21 @@ LocBSResult locbs(const TaskGraph& g, const Allocation& np,
 
     for (EdgeId e : g.out_edges(tp))
       if (--waiting[g.edge(e).dst] == 0) ready.push_back(g.edge(e).dst);
+  }
+
+  if (incr != nullptr) {
+    // Stream bookkeeping: dirty vs replayed split of this evaluation, and
+    // whether it had any replay base at all (incr.cache_hits — whole
+    // evaluations served from the memo — is accounted at the eval_locbs
+    // funnel). The incr.* family is digest-excluded (the from-scratch
+    // oracle produces none), like the locmps.parallel.* wall-clock family.
+    if (met != nullptr) {
+      met->add("incr.dirty_tasks", static_cast<double>(scanned_tasks));
+      met->add("incr.replayed_tasks", static_cast<double>(replayed_tasks));
+      if (replayed_tasks == 0) met->add("incr.full_rebuilds");
+    }
+    newrec.prio = std::make_shared<const std::vector<double>>(prio);
+    incr->remember(std::move(newrec));
   }
 
   res.makespan = res.schedule.makespan();

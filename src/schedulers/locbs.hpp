@@ -19,6 +19,8 @@
 
 namespace locmps {
 
+class IncrementalContext;  // schedulers/incremental.hpp
+
 /// Behavioural switches of LoCBS (used for the paper's ablations).
 struct LocBSOptions {
   /// Backfill into idle slots. When false, only the latest free time of
@@ -110,9 +112,19 @@ struct FixedPrefix {
 /// (obs/provenance.hpp documents the record schema). Null — the default —
 /// is a zero-cost fast path: all instrumentation hides behind
 /// per-placement branches.
+///
+/// \p incr (optional) is the incremental-replanning context of the
+/// caller's evaluation stream (schedulers/incremental.hpp,
+/// docs/incremental.md): the pass replays the longest placement prefix
+/// that provably matches a recorded earlier evaluation, scans only the
+/// dirty remainder, memoizes redistribution fractions, and records itself
+/// for future replays. The result — schedule, G', counters — is
+/// bit-identical to incr == nullptr (the from-scratch oracle path); only
+/// the digest-excluded `incr.*` counters reveal which path ran.
 LocBSResult locbs(const TaskGraph& g, const Allocation& np,
                   const CommModel& comm, const LocBSOptions& opt = {},
                   const FixedPrefix* fixed = nullptr,
-                  obs::ObsContext* obs = nullptr);
+                  obs::ObsContext* obs = nullptr,
+                  IncrementalContext* incr = nullptr);
 
 }  // namespace locmps

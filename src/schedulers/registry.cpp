@@ -25,6 +25,8 @@ SchedulerPtr make_scheduler(const std::string& name,
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
     opt.locbs.slack_factor = sopt.slack_factor;
+    opt.incremental = sopt.incremental;
+    if (sopt.plan_budget > 0) opt.max_locbs_calls = sopt.plan_budget;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-nbf") {
@@ -33,6 +35,8 @@ SchedulerPtr make_scheduler(const std::string& name,
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
     opt.locbs.slack_factor = sopt.slack_factor;
+    opt.incremental = sopt.incremental;
+    if (sopt.plan_budget > 0) opt.max_locbs_calls = sopt.plan_budget;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "loc-mps-noloc") {
@@ -41,6 +45,8 @@ SchedulerPtr make_scheduler(const std::string& name,
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
     opt.locbs.slack_factor = sopt.slack_factor;
+    opt.incremental = sopt.incremental;
+    if (sopt.plan_budget > 0) opt.max_locbs_calls = sopt.plan_budget;
     return std::make_unique<LocMPSScheduler>(opt);
   }
   if (name == "icaslb") {
@@ -48,6 +54,8 @@ SchedulerPtr make_scheduler(const std::string& name,
     opt.threads = sopt.threads;
     opt.locbs.perturb_task = sopt.perturb_task;
     opt.locbs.slack_factor = sopt.slack_factor;
+    opt.incremental = sopt.incremental;
+    if (sopt.plan_budget > 0) opt.max_locbs_calls = sopt.plan_budget;
     return std::make_unique<ICASLBScheduler>(opt);
   }
   if (name == "cpr") return std::make_unique<CPRScheduler>();

@@ -41,6 +41,22 @@ struct SchedulerOptions {
   /// differential attribution (obs/rundiff.hpp) a controlled single-flip
   /// run to diff against. Ignored by schemes without LoCBS.
   TaskId perturb_task = kNoTask;
+
+  /// Incremental replanning (docs/incremental.md): LoC-MPS-backed schemes
+  /// replay the unchanged prefix of each refinement-round LoCBS evaluation
+  /// from the previous round instead of re-scanning every task, update
+  /// priorities over the dirty region only, and serve repeated allocations
+  /// from the evaluation memo. Results are bit-identical to the
+  /// from-scratch path (the differential oracle of tests/test_incremental);
+  /// false forces the from-scratch reference. Ignored by schemes without
+  /// LoCBS.
+  bool incremental = true;
+
+  /// When > 0, caps the planner's refinement budget (LoCBS invocations for
+  /// LoC-MPS-backed schemes). Bounds planning time on very large graphs —
+  /// the |V| >= 2000 fig10 panel runs under such a cap. 0 (the default)
+  /// keeps each scheme's own safety valve. Ignored by one-shot schemes.
+  std::size_t plan_budget = 0;
 };
 
 /// Output of a scheduling scheme.

@@ -20,6 +20,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "schedulers/loc_mps.hpp"
+#include "test_util.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/strassen.hpp"
@@ -27,6 +28,8 @@
 #include "workloads/tce.hpp"
 
 using namespace locmps;
+using test::DifferentialChecker;
+using test::RunCapture;
 
 namespace {
 
@@ -83,110 +86,25 @@ TEST(ThreadPool, SubmitFutureCarriesResultAndException) {
 
 // ---------------------------------------------------------------------------
 // Determinism equivalence
-
-/// Everything one instrumented LoC-MPS run produces.
-struct RunCapture {
-  SchedulerResult result;
-  obs::MetricsSnapshot metrics;
-  std::vector<obs::Event> events;
-};
+//
+// RunCapture, the digest-excluded counter families (locmps.parallel.*,
+// incr.*), and the comparison machinery live in tests/test_util.hpp —
+// shared with the incremental-replanning oracle (test_incremental.cpp).
 
 RunCapture run_locmps(const TaskGraph& g, const Cluster& cluster,
                       std::size_t threads, bool with_sink,
-                      std::size_t max_locbs_calls = 100000) {
+                      std::size_t max_locbs_calls = 100000,
+                      bool incremental = true) {
   LocMPSOptions opt;
   opt.threads = threads;
   opt.max_locbs_calls = max_locbs_calls;
-  LocMPSScheduler sched(opt);
-  obs::MetricsRegistry reg;
-  obs::EventBuffer buf;
-  obs::ObsContext ctx{&reg, with_sink ? &buf : nullptr};
-  sched.attach_observability(&ctx);
-  RunCapture cap{sched.schedule(g, cluster), {}, {}};
-  cap.metrics = reg.snapshot();
-  cap.events = buf.events();
-  return cap;
-}
-
-/// Counters that legitimately differ across thread counts: the
-/// locmps.parallel.* accounting of the fan-out itself.
-bool digest_excluded(const std::string& name) {
-  return name.rfind("locmps.parallel.", 0) == 0;
-}
-
-void expect_same_counters(const obs::MetricsSnapshot& ref,
-                          const obs::MetricsSnapshot& par,
-                          const std::string& label) {
-  auto filter = [](const obs::MetricsSnapshot& s) {
-    std::vector<std::pair<std::string, double>> out;
-    for (const auto& kv : s.counters)
-      if (!digest_excluded(kv.first)) out.push_back(kv);
-    return out;
-  };
-  const auto a = filter(ref), b = filter(par);
-  ASSERT_EQ(a.size(), b.size()) << label;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].first, b[i].first) << label;
-    if (a[i].second == b[i].second) continue;
-    // Byte-volume counters are floating-point sums whose addition tree
-    // changes when per-probe subtotals are merged; they reconcile within
-    // ULPs. Every other counter must be bit-equal (docs/parallelism.md).
-    EXPECT_TRUE(a[i].first.ends_with("_bytes"))
-        << label << ": " << a[i].first << " differs (" << a[i].second
-        << " vs " << b[i].second << ")";
-    EXPECT_NEAR(a[i].second, b[i].second, 1e-9 * std::abs(a[i].second))
-        << label << ": " << a[i].first;
-  }
-}
-
-void expect_same_series_values(const obs::MetricsSnapshot& ref,
-                               const obs::MetricsSnapshot& par,
-                               const std::string& label) {
-  ASSERT_EQ(ref.series.size(), par.series.size()) << label;
-  for (std::size_t i = 0; i < ref.series.size(); ++i) {
-    EXPECT_EQ(ref.series[i].name, par.series[i].name) << label;
-    ASSERT_EQ(ref.series[i].points.size(), par.series[i].points.size())
-        << label << ": " << ref.series[i].name;
-    // Timestamps are wall-clock and differ; the recorded values must not.
-    for (std::size_t p = 0; p < ref.series[i].points.size(); ++p)
-      EXPECT_EQ(ref.series[i].points[p].value, par.series[i].points[p].value)
-          << label << ": " << ref.series[i].name << "[" << p << "]";
-  }
-}
-
-void expect_same_events(const std::vector<obs::Event>& ref,
-                        const std::vector<obs::Event>& par,
-                        const std::string& label) {
-  ASSERT_EQ(ref.size(), par.size()) << label;
-  for (std::size_t i = 0; i < ref.size(); ++i) {
-    EXPECT_EQ(ref[i].name(), par[i].name())
-        << label << ": event " << i;
-    EXPECT_TRUE(ref[i].fields() == par[i].fields())
-        << label << ": fields of event " << i << " (" << ref[i].name()
-        << ")";
-  }
+  opt.incremental = incremental;
+  return test::run_locmps_capture(g, cluster, opt, with_sink);
 }
 
 void expect_identical(const RunCapture& ref, const RunCapture& par,
                       const TaskGraph& g, const std::string& label) {
-  EXPECT_EQ(ref.result.estimated_makespan, par.result.estimated_makespan)
-      << label;
-  EXPECT_EQ(ref.result.iterations, par.result.iterations) << label;
-  ASSERT_EQ(ref.result.allocation, par.result.allocation) << label;
-  for (TaskId t : g.task_ids()) {
-    const Placement& a = ref.result.schedule.at(t);
-    const Placement& b = par.result.schedule.at(t);
-    EXPECT_EQ(a.busy_from, b.busy_from) << label << ": task " << t;
-    EXPECT_EQ(a.start, b.start) << label << ": task " << t;
-    EXPECT_EQ(a.finish, b.finish) << label << ": task " << t;
-    EXPECT_TRUE(a.procs == b.procs) << label << ": task " << t;
-  }
-  EXPECT_EQ(ref.metrics.counter("locmps.locbs_calls"),
-            par.metrics.counter("locmps.locbs_calls"))
-      << label;
-  expect_same_counters(ref.metrics, par.metrics, label);
-  expect_same_series_values(ref.metrics, par.metrics, label);
-  expect_same_events(ref.events, par.events, label);
+  DifferentialChecker(g).expect_identical(ref, par, label);
 }
 
 /// The seeded workload sweep: synthetic DAGs across CCR regimes, Strassen,
@@ -281,6 +199,52 @@ TEST(ParallelLocMPS, BudgetCappedRunsMatchSequential) {
   }
 }
 
+TEST(ParallelLocMPS, IncrementalModeReconcilesAcrossThreads) {
+  // Three-way reconciliation of the execution knobs: the from-scratch
+  // sequential oracle, the incremental sequential run, and the
+  // incremental threaded runs must be pairwise identical on every
+  // workload family (synthetic, Strassen, TCE). This is the cross
+  // product the incremental oracle (test_incremental.cpp) and the
+  // parallel wall each cover one axis of.
+  const Cluster cluster(16);
+  std::vector<std::pair<std::string, TaskGraph>> ws;
+  {
+    SyntheticParams p;
+    p.ccr = 0.5;
+    p.max_procs = 16;
+    Rng rng(31337);
+    ws.emplace_back("synthetic ccr=0.5", make_synthetic_dag(p, rng));
+  }
+  {
+    StrassenParams sp;
+    sp.n = 512;
+    sp.max_procs = 16;
+    ws.emplace_back("strassen 512", make_strassen(sp));
+  }
+  {
+    TCEParams tp;
+    tp.occupied = 8;
+    tp.virt = 32;
+    tp.max_procs = 16;
+    ws.emplace_back("ccsd t1 (8,32)", make_ccsd_t1(tp));
+  }
+  for (const auto& [label, g] : ws) {
+    const RunCapture oracle =
+        run_locmps(g, cluster, 1, /*with_sink=*/false, 100000,
+                   /*incremental=*/false);
+    const RunCapture incr_seq = run_locmps(g, cluster, 1, false);
+    expect_identical(oracle, incr_seq, g, label + " incr@1t");
+    for (const std::size_t threads : {2u, 8u}) {
+      const RunCapture incr_par = run_locmps(g, cluster, threads, false);
+      expect_identical(oracle, incr_par, g,
+                       label + " incr@" + std::to_string(threads) + "t");
+      expect_identical(incr_seq, incr_par, g,
+                       label + " incr 1t-vs-" + std::to_string(threads) +
+                           "t");
+    }
+  }
+}
+
 TEST(ParallelLocMPS, ParallelCountersExposeTheFanOut) {
   // A workload with failed look-aheads ramps the speculative fan-out, so
   // a threaded run must account its batches/probes, while the sequential
@@ -292,8 +256,10 @@ TEST(ParallelLocMPS, ParallelCountersExposeTheFanOut) {
   const TaskGraph g = make_synthetic_dag(p, rng);
   const Cluster cluster(16);
   const RunCapture ref = run_locmps(g, cluster, 1, false);
+  // The sequential reference reports none of the fan-out accounting (the
+  // incr.* family may appear — incremental replay runs at any threads).
   for (const auto& kv : ref.metrics.counters)
-    EXPECT_FALSE(digest_excluded(kv.first)) << kv.first;
+    EXPECT_FALSE(kv.first.rfind("locmps.parallel.", 0) == 0) << kv.first;
   ASSERT_GE(ref.metrics.counter("locmps.reverts"), 2.0)
       << "workload too easy to exercise speculation";
 

@@ -1,6 +1,13 @@
 #include "schedule/timeline.hpp"
 
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.hpp"
 
 namespace locmps {
 namespace {
@@ -174,6 +181,247 @@ TEST(Timeline, BookingOutOfOrderKeepsSortedState) {
   EXPECT_DOUBLE_EQ(tl.free_until(0, 0.0), 2.0);
   EXPECT_DOUBLE_EQ(tl.free_until(0, 4.0), 10.0);
   EXPECT_DOUBLE_EQ(tl.latest_free_time(0), 12.0);
+}
+
+TEST(Timeline, ReleaseRestoresTheWindow) {
+  Timeline tl(2);
+  const auto ps = ProcessorSet::of(2, {0, 1});
+  tl.occupy(ps, 2.0, 5.0);
+  tl.occupy(ProcessorSet::of(2, {0}), 7.0, 9.0);
+  tl.release(ps, 2.0, 5.0);
+  EXPECT_TRUE(tl.is_free(0, 0.0, 7.0));
+  EXPECT_TRUE(tl.is_free(1, 0.0, 100.0));
+  EXPECT_DOUBLE_EQ(tl.latest_free_time(0), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property fuzz: every query vs a naive reference implementation
+//
+// The Timeline's augmented interval storage (sorted vectors, frontier
+// fast path, Sweep cursor) must answer every query exactly as the obvious
+// brute-force bookkeeping would. The fuzz drives both through the same
+// random op stream — occupy, release, and the full query surface — on a
+// grid of times chosen so abutting bookings, holes starting at t = 0, and
+// bookings running past the probed horizon all occur frequently.
+
+/// Brute-force shadow: unordered busy intervals per processor.
+struct NaiveTimeline {
+  std::vector<std::vector<std::pair<double, double>>> busy;
+
+  explicit NaiveTimeline(std::size_t p) : busy(p) {}
+
+  void occupy(const std::vector<ProcId>& ps, double s, double e) {
+    if (e <= s) return;
+    for (ProcId q : ps) busy[q].emplace_back(s, e);
+  }
+  void release(const std::vector<ProcId>& ps, double s, double e) {
+    if (e <= s) return;
+    for (ProcId q : ps) {
+      auto& v = busy[q];
+      for (std::size_t i = 0; i < v.size(); ++i)
+        if (v[i].first == s && v[i].second == e) {
+          v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+    }
+  }
+  bool is_free(ProcId q, double s, double e) const {
+    for (const auto& iv : busy[q])
+      if (iv.first < e && iv.second > s) return false;
+    return true;
+  }
+  double free_until(ProcId q, double t) const {
+    for (const auto& iv : busy[q])
+      if (iv.first <= t && t < iv.second) return -1.0;
+    double next = kForever;
+    for (const auto& iv : busy[q])
+      if (iv.first > t) next = std::min(next, iv.first);
+    return next;
+  }
+  double latest_free_time(ProcId q) const {
+    double latest = 0.0;
+    for (const auto& iv : busy[q]) latest = std::max(latest, iv.second);
+    return latest;
+  }
+  std::vector<double> candidate_times(double from) const {
+    std::vector<double> out{from};
+    for (const auto& v : busy)
+      for (const auto& iv : v)
+        if (iv.second > from) out.push_back(iv.second);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+  std::vector<Timeline::FreeProc> available_at(double t) const {
+    std::vector<Timeline::FreeProc> out;
+    for (ProcId q = 0; q < busy.size(); ++q) {
+      const double fu = free_until(q, t);
+      if (fu >= 0.0) out.push_back({q, fu});
+    }
+    return out;
+  }
+  std::vector<Timeline::Hole> holes(ProcId q, double horizon) const {
+    std::vector<Timeline::Hole> out;
+    if (horizon <= 0.0) return out;
+    auto v = busy[q];
+    std::sort(v.begin(), v.end());
+    double cursor = 0.0;
+    for (const auto& iv : v) {
+      const double s = std::min(iv.first, horizon);
+      if (s > cursor) out.push_back({cursor, s});
+      cursor = std::max(cursor, std::min(iv.second, horizon));
+    }
+    if (cursor < horizon) out.push_back({cursor, horizon});
+    return out;
+  }
+};
+
+void expect_queries_match(const Timeline& tl, const NaiveTimeline& naive,
+                          Rng& rng, std::uint64_t seed) {
+  const std::size_t P = tl.num_procs();
+  // Probe instants: grid points (t = 0 included) so exact boundaries hit.
+  std::vector<double> probes{0.0};
+  for (int i = 0; i < 4; ++i)
+    probes.push_back(0.25 * static_cast<double>(rng.uniform_int(0, 96)));
+  for (const double t : probes) {
+    for (ProcId q = 0; q < P; ++q) {
+      EXPECT_EQ(tl.free_until(q, t) < 0.0, naive.free_until(q, t) < 0.0)
+          << "seed " << seed << " q=" << q << " t=" << t;
+      if (naive.free_until(q, t) >= 0.0)
+        EXPECT_EQ(tl.free_until(q, t), naive.free_until(q, t))
+            << "seed " << seed << " q=" << q << " t=" << t;
+      const double e = t + 0.25 * static_cast<double>(rng.uniform_int(1, 24));
+      EXPECT_EQ(tl.is_free(q, t, e), naive.is_free(q, t, e))
+          << "seed " << seed << " q=" << q << " [" << t << "," << e << ")";
+    }
+    EXPECT_EQ(tl.candidate_times(t), naive.candidate_times(t))
+        << "seed " << seed << " t=" << t;
+    const auto a = tl.available_at(t);
+    const auto b = naive.available_at(t);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed << " t=" << t;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].proc, b[i].proc) << "seed " << seed << " t=" << t;
+      EXPECT_EQ(a[i].until, b[i].until) << "seed " << seed << " t=" << t;
+    }
+  }
+  for (ProcId q = 0; q < P; ++q) {
+    EXPECT_EQ(tl.latest_free_time(q), naive.latest_free_time(q))
+        << "seed " << seed << " q=" << q;
+    // Horizons: 0 (no holes), a mid-range value most bookings straddle,
+    // and one past every booking (full trailing hole).
+    for (const double horizon :
+         {0.0, 0.25 * static_cast<double>(rng.uniform_int(1, 64)), 64.0}) {
+      const auto h = tl.holes(q, horizon);
+      const auto hn = naive.holes(q, horizon);
+      ASSERT_EQ(h.size(), hn.size())
+          << "seed " << seed << " q=" << q << " horizon=" << horizon;
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        EXPECT_EQ(h[i].start, hn[i].start) << "seed " << seed << " q=" << q;
+        EXPECT_EQ(h[i].end, hn[i].end) << "seed " << seed << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(TimelineFuzz, MatchesNaiveReferenceAcrossSeeds) {
+  constexpr std::uint64_t kSeeds = 220;
+  // The generators below must actually exercise the boundary shapes the
+  // suite exists for; count them and assert at the end.
+  std::size_t holes_at_zero = 0, bookings_past_horizon = 0, releases = 0;
+
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(0xf00dull * (seed + 1));
+    const std::size_t P = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    Timeline tl(P);
+    NaiveTimeline naive(P);
+    struct Booking {
+      std::vector<ProcId> procs;
+      double start, end;
+    };
+    std::vector<Booking> live;
+
+    const int ops = static_cast<int>(rng.uniform_int(10, 36));
+    for (int op = 0; op < ops; ++op) {
+      const double roll = rng.uniform();
+      if (roll < 0.62 || live.empty()) {
+        // Attempt a booking on a random subset over a coarse time grid
+        // (multiples of 0.25 in [0, 20]) so abutting windows are common.
+        std::vector<ProcId> ps;
+        for (ProcId q = 0; q < P; ++q)
+          if (rng.bernoulli(0.5)) ps.push_back(q);
+        if (ps.empty()) ps.push_back(static_cast<ProcId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(P) - 1)));
+        const double s = 0.25 * static_cast<double>(rng.uniform_int(0, 72));
+        const double e = s + 0.25 * static_cast<double>(rng.uniform_int(0, 24));
+        bool free = true;
+        for (ProcId q : ps) free = free && naive.is_free(q, s, e);
+        if (!free || e <= s) continue;  // only verified-free windows book
+        ProcessorSet pset(P);
+        for (ProcId q : ps) pset.insert(q);
+        tl.occupy(pset, s, e);
+        naive.occupy(ps, s, e);
+        live.push_back({ps, s, e});
+      } else {
+        // Release a random live booking — the exact window, as the
+        // scheduler's speculative undo does.
+        const std::size_t i = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live.size()) - 1));
+        ProcessorSet pset(P);
+        for (ProcId q : live[i].procs) pset.insert(q);
+        tl.release(pset, live[i].start, live[i].end);
+        naive.release(live[i].procs, live[i].start, live[i].end);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        ++releases;
+      }
+    }
+
+    expect_queries_match(tl, naive, rng, seed);
+
+    // Sweep cursor: ascending probes must equal available_at, including
+    // after a mutation mid-sweep (epoch re-seek) and a non-monotone probe.
+    Timeline::Sweep sweep(tl);
+    std::vector<Timeline::FreeProc> got;
+    std::vector<double> asc{0.0};
+    for (int i = 0; i < 6; ++i)
+      asc.push_back(0.25 * static_cast<double>(rng.uniform_int(0, 96)));
+    std::sort(asc.begin(), asc.end());
+    for (const double t : asc) {
+      sweep.available_at(t, got);
+      const auto want = naive.available_at(t);
+      ASSERT_EQ(got.size(), want.size()) << "seed " << seed << " t=" << t;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].proc, want[i].proc) << "seed " << seed;
+        EXPECT_EQ(got[i].until, want[i].until) << "seed " << seed;
+      }
+    }
+    if (!live.empty()) {
+      // Mutate under the sweep, then probe below the last instant: both
+      // invalidation paths must transparently re-seek.
+      const auto& b = live.back();
+      ProcessorSet pset(P);
+      for (ProcId q : b.procs) pset.insert(q);
+      tl.release(pset, b.start, b.end);
+      naive.release(b.procs, b.start, b.end);
+      for (const double t : {asc.back(), 0.0, asc.front()}) {
+        sweep.available_at(t, got);
+        const auto want = naive.available_at(t);
+        ASSERT_EQ(got.size(), want.size()) << "seed " << seed << " t=" << t;
+        for (std::size_t i = 0; i < got.size(); ++i)
+          EXPECT_EQ(got[i].until, want[i].until) << "seed " << seed;
+      }
+    }
+
+    for (ProcId q = 0; q < P; ++q) {
+      const auto h = tl.holes(q, 18.0);
+      if (!h.empty() && h.front().start == 0.0) ++holes_at_zero;
+      if (tl.latest_free_time(q) > 18.0) ++bookings_past_horizon;
+    }
+  }
+
+  // The op mix must have covered the boundary shapes, not skirted them.
+  EXPECT_GT(holes_at_zero, 50u);
+  EXPECT_GT(bookings_past_horizon, 20u);
+  EXPECT_GT(releases, 100u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #pragma once
 /// Shared helpers for the test suite.
 
+#include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <stdexcept>
@@ -9,7 +10,14 @@
 #include <utility>
 #include <vector>
 
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/analysis.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "schedulers/loc_mps.hpp"
 #include "speedup/model.hpp"
 #include "speedup/profile.hpp"
 
@@ -482,5 +490,177 @@ inline Xml parse_xhtml_report(std::string_view report) {
     throw std::runtime_error("report does not start with <!DOCTYPE html>");
   return parse_xml(report.substr(kDoctype.size()));
 }
+
+// ---------------------------------------------------------------------------
+// Differential-equivalence checking, shared by the scheduler determinism
+// walls: the parallel-probe suite (test_parallel_locmps.cpp) and the
+// incremental-replanning oracle (test_incremental.cpp) assert the same
+// contract — two LoC-MPS runs that differ only in an execution knob
+// (thread count, incremental on/off) must be observably identical.
+//
+// "Identical" means: placements (busy_from/start/finish/procs), makespan,
+// iteration and locbs-call counts, every counter outside the
+// digest-excluded families, every sample-series value, the full decision
+// -event stream when both runs traced, and the post-mortem analysis.
+// Byte-volume counters (`*_bytes`) are floating-point sums whose addition
+// tree may legally differ across probe merges; they reconcile to 1e-9
+// relative instead of bit-equality (docs/parallelism.md).
+
+/// Everything one instrumented LoC-MPS run produces.
+struct RunCapture {
+  SchedulerResult result;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::Event> events;
+};
+
+/// Counters that legitimately differ between equivalent runs:
+///  * locmps.parallel.* — accounting of the speculative fan-out itself
+///    (batches, probes, wall time), absent at threads = 1;
+///  * incr.* — accounting of the incremental replay path (dirty tasks,
+///    cache hits, full rebuilds), different by construction between the
+///    incremental and from-scratch sides of the differential oracle.
+inline bool digest_excluded(const std::string& name) {
+  return name.rfind("locmps.parallel.", 0) == 0 ||
+         name.rfind("incr.", 0) == 0;
+}
+
+/// Runs LoC-MPS once with full instrumentation and captures the output.
+inline RunCapture run_locmps_capture(const TaskGraph& g,
+                                     const Cluster& cluster,
+                                     const LocMPSOptions& opt,
+                                     bool with_sink) {
+  LocMPSScheduler sched(opt);
+  obs::MetricsRegistry reg;
+  obs::EventBuffer buf;
+  obs::ObsContext ctx{&reg, with_sink ? &buf : nullptr};
+  sched.attach_observability(&ctx);
+  RunCapture cap{sched.schedule(g, cluster), {}, {}};
+  cap.metrics = reg.snapshot();
+  cap.events = buf.events();
+  return cap;
+}
+
+/// Asserts two runs of the same workload are observably identical (see
+/// block comment above). \p ref is the reference side (sequential /
+/// from-scratch), \p alt the side under test; \p label prefixes every
+/// failure message.
+class DifferentialChecker {
+ public:
+  explicit DifferentialChecker(const TaskGraph& g) : g_(&g) {}
+
+  void expect_identical(const RunCapture& ref, const RunCapture& alt,
+                        const std::string& label) const {
+    expect_same_schedule(ref, alt, label);
+    expect_same_counters(ref.metrics, alt.metrics, label);
+    expect_same_series_values(ref.metrics, alt.metrics, label);
+    expect_same_events(ref.events, alt.events, label);
+  }
+
+  void expect_same_schedule(const RunCapture& ref, const RunCapture& alt,
+                            const std::string& label) const {
+    EXPECT_EQ(ref.result.estimated_makespan, alt.result.estimated_makespan)
+        << label;
+    EXPECT_EQ(ref.result.iterations, alt.result.iterations) << label;
+    ASSERT_EQ(ref.result.allocation, alt.result.allocation) << label;
+    for (TaskId t : g_->task_ids()) {
+      const Placement& a = ref.result.schedule.at(t);
+      const Placement& b = alt.result.schedule.at(t);
+      EXPECT_EQ(a.busy_from, b.busy_from) << label << ": task " << t;
+      EXPECT_EQ(a.start, b.start) << label << ": task " << t;
+      EXPECT_EQ(a.finish, b.finish) << label << ": task " << t;
+      EXPECT_TRUE(a.procs == b.procs) << label << ": task " << t;
+    }
+    EXPECT_EQ(ref.metrics.counter("locmps.locbs_calls"),
+              alt.metrics.counter("locmps.locbs_calls"))
+        << label;
+  }
+
+  void expect_same_counters(const obs::MetricsSnapshot& ref,
+                            const obs::MetricsSnapshot& alt,
+                            const std::string& label) const {
+    auto filter = [](const obs::MetricsSnapshot& s) {
+      std::vector<std::pair<std::string, double>> out;
+      for (const auto& kv : s.counters)
+        if (!digest_excluded(kv.first)) out.push_back(kv);
+      return out;
+    };
+    const auto a = filter(ref), b = filter(alt);
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].first, b[i].first) << label;
+      if (a[i].second == b[i].second) continue;
+      // Byte volumes reconcile within ULPs; everything else bit-equal.
+      EXPECT_TRUE(a[i].first.ends_with("_bytes"))
+          << label << ": " << a[i].first << " differs (" << a[i].second
+          << " vs " << b[i].second << ")";
+      EXPECT_NEAR(a[i].second, b[i].second, 1e-9 * std::abs(a[i].second))
+          << label << ": " << a[i].first;
+    }
+  }
+
+  void expect_same_series_values(const obs::MetricsSnapshot& ref,
+                                 const obs::MetricsSnapshot& alt,
+                                 const std::string& label) const {
+    ASSERT_EQ(ref.series.size(), alt.series.size()) << label;
+    for (std::size_t i = 0; i < ref.series.size(); ++i) {
+      EXPECT_EQ(ref.series[i].name, alt.series[i].name) << label;
+      ASSERT_EQ(ref.series[i].points.size(), alt.series[i].points.size())
+          << label << ": " << ref.series[i].name;
+      // Timestamps are wall-clock and differ; recorded values must not.
+      for (std::size_t p = 0; p < ref.series[i].points.size(); ++p)
+        EXPECT_EQ(ref.series[i].points[p].value,
+                  alt.series[i].points[p].value)
+            << label << ": " << ref.series[i].name << "[" << p << "]";
+    }
+  }
+
+  void expect_same_events(const std::vector<obs::Event>& ref,
+                          const std::vector<obs::Event>& alt,
+                          const std::string& label) const {
+    ASSERT_EQ(ref.size(), alt.size()) << label;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].name(), alt[i].name()) << label << ": event " << i;
+      EXPECT_TRUE(ref[i].fields() == alt[i].fields())
+          << label << ": fields of event " << i << " (" << ref[i].name()
+          << ")";
+    }
+  }
+
+  /// Asserts the post-mortem analyses of both schedules agree: same
+  /// makespan decomposition, utilization, hole accounting, and locality
+  /// totals (`*_bytes` to 1e-9 relative, everything else exactly).
+  void expect_same_analysis(const obs::ScheduleAnalysis& ref,
+                            const obs::ScheduleAnalysis& alt,
+                            const std::string& label) const {
+    EXPECT_EQ(ref.makespan, alt.makespan) << label;
+    EXPECT_EQ(ref.mean_utilization, alt.mean_utilization) << label;
+    EXPECT_EQ(ref.holes.total_holes, alt.holes.total_holes) << label;
+    EXPECT_EQ(ref.holes.total_idle_s, alt.holes.total_idle_s) << label;
+    auto near_bytes = [&](double a, double b, const char* what) {
+      EXPECT_NEAR(a, b, 1e-9 * std::abs(a)) << label << ": " << what;
+    };
+    near_bytes(ref.locality.total_bytes, alt.locality.total_bytes,
+               "total_bytes");
+    near_bytes(ref.locality.local_bytes, alt.locality.local_bytes,
+               "local_bytes");
+    near_bytes(ref.locality.remote_bytes, alt.locality.remote_bytes,
+               "remote_bytes");
+    EXPECT_EQ(ref.locality.local_edges, alt.locality.local_edges) << label;
+    EXPECT_EQ(ref.locality.partial_edges, alt.locality.partial_edges)
+        << label;
+    EXPECT_EQ(ref.locality.remote_edges, alt.locality.remote_edges)
+        << label;
+    ASSERT_EQ(ref.blame.size(), alt.blame.size()) << label;
+    for (std::size_t i = 0; i < ref.blame.size(); ++i) {
+      EXPECT_EQ(ref.blame[i].kind, alt.blame[i].kind)
+          << label << ": blame of task " << i;
+      EXPECT_EQ(ref.blame[i].delay_s, alt.blame[i].delay_s)
+          << label << ": blame of task " << i;
+    }
+  }
+
+ private:
+  const TaskGraph* g_;
+};
 
 }  // namespace locmps::test
