@@ -63,8 +63,21 @@ echo "== locmps-lint =="
 cmake -B "$BUILD_DIR" -S . -DLOCMPS_BUILD_TESTS=OFF -DLOCMPS_BUILD_BENCH=OFF \
   -DLOCMPS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$BUILD_DIR" --target locmps-lint -j "$(nproc)" >/dev/null
+# GitHub Actions gets inline annotations; everywhere else the text format.
+LINT_FORMAT=text
+if [ "${GITHUB_ACTIONS:-false}" = "true" ]; then
+  LINT_FORMAT=github
+fi
+# Per-file rules plus the dependency passes (layer-violation,
+# include-cycle against tools/lint/layers.txt); the module DAG lands in
+# the build dir for the CI artifact upload.
 "$BUILD_DIR/tools/locmps-lint" --baseline tools/lint/lint_baseline.txt \
+  --deps --deps-dot "$BUILD_DIR/module_graph.dot" \
+  --format "$LINT_FORMAT" \
   src bench tools examples || fail "locmps-lint reported findings"
+"$BUILD_DIR/tools/locmps-lint" --baseline tools/lint/lint_baseline.txt \
+  --deps --format json \
+  src bench tools examples >"$BUILD_DIR/lint_findings.json" || true
 
 echo "== clang-tidy =="
 # LOCMPS_LINT_SKIP_TIDY=1 is the CI cache-hit signal: the compilation

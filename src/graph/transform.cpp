@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <stdexcept>
 
 #include "graph/algorithms.hpp"
 
@@ -93,27 +92,6 @@ Coarsening coarsen_chains(const TaskGraph& g) {
     if (a != b) c.graph.add_edge(a, b, ed.volume_bytes);
   }
   return c;
-}
-
-Schedule expand_schedule(const Coarsening& c, const TaskGraph& original,
-                         const Schedule& coarse) {
-  if (!coarse.complete())
-    throw std::invalid_argument("expand_schedule: incomplete coarse schedule");
-  Schedule out(original.num_tasks(), coarse.num_procs());
-  for (TaskId comp = 0; comp < c.members.size(); ++comp) {
-    const Placement& pl = coarse.at(comp);
-    double clock = pl.start;
-    for (std::size_t i = 0; i < c.members[comp].size(); ++i) {
-      const TaskId t = c.members[comp][i];
-      const double et = original.task(t).profile.time(pl.np());
-      // The composite's first member inherits the busy_from (it covers the
-      // incoming redistribution window on no-overlap platforms).
-      const double busy = i == 0 ? pl.busy_from : clock;
-      out.place(t, busy, clock, clock + et, pl.procs);
-      clock += et;
-    }
-  }
-  return out;
 }
 
 }  // namespace locmps

@@ -10,12 +10,13 @@
 ///    scheduled as one composite task (classic clustering); the composite
 ///    runs its members back-to-back on the same processor set, which also
 ///    internalizes the chain's communication. A coarse schedule expands
-///    back to a valid schedule of the original graph.
+///    back to a valid schedule of the original graph via expand_schedule
+///    (schedule/expand.hpp — expansion consumes Schedules, which live a
+///    layer above this one).
 
 #include <vector>
 
 #include "graph/task_graph.hpp"
-#include "schedule/schedule.hpp"
 
 namespace locmps {
 
@@ -40,12 +41,5 @@ struct Coarsening {
 /// sum_i et_i(p). Edges between different composites are preserved with
 /// their volumes; intra-chain edges are internalized.
 Coarsening coarsen_chains(const TaskGraph& g);
-
-/// Expands a schedule of the coarse graph back to the original graph:
-/// each composite's members run back-to-back on the composite's processor
-/// set inside its window. The result is a complete, valid schedule of the
-/// original graph with the same makespan.
-Schedule expand_schedule(const Coarsening& c, const TaskGraph& original,
-                         const Schedule& coarse);
 
 }  // namespace locmps

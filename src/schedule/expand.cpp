@@ -1,0 +1,28 @@
+#include "schedule/expand.hpp"
+
+#include <stdexcept>
+
+namespace locmps {
+
+Schedule expand_schedule(const Coarsening& c, const TaskGraph& original,
+                         const Schedule& coarse) {
+  if (!coarse.complete())
+    throw std::invalid_argument("expand_schedule: incomplete coarse schedule");
+  Schedule out(original.num_tasks(), coarse.num_procs());
+  for (TaskId comp = 0; comp < c.members.size(); ++comp) {
+    const Placement& pl = coarse.at(comp);
+    double clock = pl.start;
+    for (std::size_t i = 0; i < c.members[comp].size(); ++i) {
+      const TaskId t = c.members[comp][i];
+      const double et = original.task(t).profile.time(pl.np());
+      // The composite's first member inherits the busy_from (it covers the
+      // incoming redistribution window on no-overlap platforms).
+      const double busy = i == 0 ? pl.busy_from : clock;
+      out.place(t, busy, clock, clock + et, pl.procs);
+      clock += et;
+    }
+  }
+  return out;
+}
+
+}  // namespace locmps

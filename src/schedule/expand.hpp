@@ -1,0 +1,25 @@
+#pragma once
+/// \file expand.hpp
+/// Expansion of a coarse-graph schedule back to the original task graph.
+///
+/// The inverse of graph/transform.hpp's linear-chain coarsening: given a
+/// Coarsening and a complete schedule of its composite DAG, reconstruct a
+/// complete, valid schedule of the original graph with the same makespan
+/// (members run back-to-back on the composite's processor set inside its
+/// window). It lives in schedule/, not graph/: coarsening is a pure graph
+/// transformation, but expansion consumes and produces Schedules, and the
+/// graph layer sits below the schedule layer (tools/lint/layers.txt).
+
+#include "graph/transform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace locmps {
+
+/// Expands a schedule of the coarse graph back to the original graph:
+/// each composite's members run back-to-back on the composite's processor
+/// set inside its window. The result is a complete, valid schedule of the
+/// original graph with the same makespan.
+Schedule expand_schedule(const Coarsening& c, const TaskGraph& original,
+                         const Schedule& coarse);
+
+}  // namespace locmps

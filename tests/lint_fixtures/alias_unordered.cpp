@@ -1,0 +1,20 @@
+// Deliberately-bad fixture: unordered iteration hidden behind aliases.
+// The symbol table must see through `using`/`typedef` chains — both
+// functions below iterate a hash container no matter what it is called.
+
+#include <string>
+#include <unordered_map>
+
+using RankMap = std::unordered_map<std::string, int>;
+typedef RankMap ScoreTable;
+
+int sum_ranks(const RankMap& ranks) {
+  int total = 0;
+  for (const auto& kv : ranks) total += kv.second;
+  return total;
+}
+
+int first_score(const ScoreTable& scores) {
+  auto it = scores.begin();
+  return it == scores.end() ? 0 : it->second;
+}

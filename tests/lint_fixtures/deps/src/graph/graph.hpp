@@ -1,0 +1,6 @@
+#pragma once
+// Mid-tier module of the dep-graph fixture tree: depends on util only.
+
+#include "util/strings.hpp"
+
+inline int graph_name_len(const char* name) { return fixture_strlen(name); }

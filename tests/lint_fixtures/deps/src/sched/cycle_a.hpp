@@ -1,0 +1,4 @@
+#pragma once
+// Seeded violation: two-file include cycle (with cycle_b.hpp).
+
+#include "sched/cycle_b.hpp"

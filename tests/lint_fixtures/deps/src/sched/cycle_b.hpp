@@ -1,0 +1,4 @@
+#pragma once
+// Seeded violation: two-file include cycle (with cycle_a.hpp).
+
+#include "sched/cycle_a.hpp"

@@ -1,0 +1,8 @@
+#pragma once
+// Top-tier module of the dep-graph fixture tree: depends strictly
+// downward on graph and util — the clean multi-module case.
+
+#include "graph/graph.hpp"
+#include "util/strings.hpp"
+
+inline int plan_cost(const char* name) { return graph_name_len(name); }

@@ -1,0 +1,8 @@
+#pragma once
+// Bottom-tier module of the dep-graph fixture tree: no project includes.
+
+inline int fixture_strlen(const char* s) {
+  int n = 0;
+  while (s[n] != '\0') ++n;
+  return n;
+}

@@ -1,0 +1,6 @@
+#pragma once
+// Seeded violation: util (tier 0) reaching up into graph (tier 1).
+
+#include "graph/graph.hpp"
+
+inline int uplink_len(const char* name) { return graph_name_len(name); }

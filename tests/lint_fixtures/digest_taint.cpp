@@ -1,0 +1,37 @@
+// Deliberately-bad fixture: hash-iteration-derived values flowing into
+// obs sinks and sort keys. The two range-fors are unordered-iteration
+// findings in their own right and carry targeted LINT-ALLOWs so that
+// only digest-taint surfaces here; collecting the keys and sorting them
+// (the sanctioned fix, line 29) must stay clean.
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct EventBuffer {
+  void emit(const std::string& k, int v);
+  void add(const std::string& k, int v);
+};
+
+struct Event {
+  explicit Event(const char* k);
+  Event& field(const std::string& k, int v);
+};
+
+void digest(EventBuffer& buf,
+            const std::unordered_map<std::string, int>& weights) {
+  std::vector<std::string> keys;
+  for (const auto& [name, w] : weights) {  // LINT-ALLOW(unordered-iteration)
+    buf.emit(name, w);
+    keys.push_back(name);
+  }
+  std::sort(keys.begin(), keys.end());
+  int last = 0;
+  for (const auto& kv : weights) last = kv.second;  // LINT-ALLOW(unordered-iteration)
+  buf.add("last", last);
+  Event("digest").field("spill", last);
+  std::vector<int> order{1, 2, 3};
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return a * last < b * last; });
+}

@@ -1,0 +1,23 @@
+// Deliberately-bad fixture: iteration over an unordered *member* field.
+// The declaration lives in the class body, far from the loop; the symbol
+// table must still classify `names_` as a hash container. Membership
+// tests (count/find/contains) are order-independent and must stay clean.
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+
+class NameRegistry {
+ public:
+  void insert(const std::string& n) { names_.insert(n); }
+  bool contains(const std::string& n) const { return names_.count(n) != 0; }
+
+  std::size_t order_digest() const {
+    std::size_t h = 0;
+    for (const std::string& n : names_) h ^= n.size();
+    return h;
+  }
+
+ private:
+  std::unordered_set<std::string> names_;
+};

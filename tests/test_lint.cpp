@@ -1,13 +1,18 @@
-// Fixture-driven tests for locmps-lint (tools/lint/lint_core.*).
+// Fixture-driven tests for locmps-lint (tools/lint/).
 //
 // Each known-bad fixture under tests/lint_fixtures/ must trip exactly its
 // rule (right count, right lines, no collateral findings from the other
 // rules), the clean fixture must trip nothing, and the LINT-ALLOW fixture
 // must be fully suppressed. Fixtures are linted under a synthetic src/
 // path so every decision-path rule is armed regardless of where the test
-// binary runs.
+// binary runs. The dependency passes (dep_graph.hpp) are exercised over
+// in-memory SourceSets assembled from the deps/ fixture tree, and the CLI
+// driver (driver.hpp) is run in-process against scratch trees so exit
+// codes and output formats are pinned without shelling out.
 
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -15,12 +20,17 @@
 
 #include <gtest/gtest.h>
 
+#include "dep_graph.hpp"
+#include "driver.hpp"
 #include "lint_core.hpp"
 
 namespace {
 
+using locmps::lint::DepGraph;
 using locmps::lint::Finding;
+using locmps::lint::LayerPolicy;
 using locmps::lint::Options;
+using locmps::lint::SourceSet;
 
 std::string read_fixture(const std::string& name) {
   const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
@@ -81,6 +91,31 @@ TEST(Lint, IncludeHygieneFixture) {
 TEST(Lint, RawMutexFixture) {
   const auto fs = lint_fixture("raw_mutex.cpp");
   expect_only_rule(fs, "raw-mutex", 3);
+}
+
+TEST(Lint, AliasUnorderedFixture) {
+  // The hash container hides behind `using` and a typedef-of-the-alias;
+  // the symbol table must resolve the chain to flag both iterations.
+  const auto fs = lint_fixture("alias_unordered.cpp");
+  expect_only_rule(fs, "unordered-iteration", 2);
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{13, 18}));
+}
+
+TEST(Lint, MemberUnorderedFixture) {
+  // The container is a private member declared after its use; the
+  // membership tests in the same class must stay clean.
+  const auto fs = lint_fixture("member_unordered.cpp");
+  expect_only_rule(fs, "unordered-iteration", 1);
+  EXPECT_EQ(fs[0].line, 17);
+}
+
+TEST(Lint, DigestTaintFixture) {
+  // Hash-order-derived values into emit(), add() on a sink variable, an
+  // Event fluent chain, and a sort key; the collect-keys-then-sort fix
+  // in the same function must not trip the rule.
+  const auto fs = lint_fixture("digest_taint.cpp");
+  expect_only_rule(fs, "digest-taint", 4);
+  EXPECT_EQ(lines_of(fs), (std::vector<int>{26, 32, 33, 36}));
 }
 
 TEST(Lint, CleanFixtureHasNoFindings) {
@@ -147,15 +182,244 @@ TEST(Lint, SeededViolationIsCaught) {
 TEST(Lint, RuleCatalogue) {
   const std::vector<std::string> rules = locmps::lint::rule_names();
   const std::set<std::string> got(rules.begin(), rules.end());
-  const std::set<std::string> want{"unordered-iteration", "nondet-source",
-                                   "float-sort", "float-eq",
-                                   "include-hygiene", "raw-mutex"};
+  const std::set<std::string> want{
+      "unordered-iteration", "nondet-source", "float-sort",
+      "float-eq",            "include-hygiene", "raw-mutex",
+      "digest-taint",        "layer-violation", "include-cycle"};
   EXPECT_EQ(got, want);
 }
 
 TEST(Lint, FormatIsFileLineRuleMessage) {
   const Finding f{"src/a.cpp", 12, "float-eq", "exact =="};
   EXPECT_EQ(locmps::lint::format(f), "src/a.cpp:12: [float-eq] exact ==");
+}
+
+// ---------------------------------------------------------------------------
+// Dependency passes (dep_graph.hpp) over the deps/ fixture tree
+// ---------------------------------------------------------------------------
+
+/// Assembles an in-memory SourceSet from files of the deps/ fixture tree,
+/// keyed by their repo-like "src/<module>/<file>" paths.
+SourceSet deps_sources(const std::vector<std::string>& names) {
+  SourceSet src;
+  src.roots = {"src"};
+  for (const std::string& n : names)
+    src.files["src/" + n] = read_fixture("deps/src/" + n);
+  return src;
+}
+
+LayerPolicy deps_policy() {
+  LayerPolicy p;
+  std::string err;
+  EXPECT_TRUE(locmps::lint::parse_layers(read_fixture("deps/layers.txt"),
+                                         p, err))
+      << err;
+  return p;
+}
+
+TEST(LintDeps, ModuleOf) {
+  EXPECT_EQ(locmps::lint::module_of("src/graph/transform.hpp"), "graph");
+  EXPECT_EQ(locmps::lint::module_of("src/version.hpp"), "src");
+  EXPECT_EQ(locmps::lint::module_of("seeded/src/schedulers/x.cpp"),
+            "schedulers");
+  EXPECT_EQ(locmps::lint::module_of("tools/lint/driver.cpp"), "tools");
+  EXPECT_EQ(locmps::lint::module_of("bench/fig10.cpp"), "bench");
+}
+
+TEST(LintDeps, ParseLayersErrors) {
+  LayerPolicy p;
+  std::string err;
+  EXPECT_FALSE(locmps::lint::parse_layers("layer a\nlayer a\n", p, err));
+  EXPECT_NE(err.find("more than one layer"), std::string::npos) << err;
+  EXPECT_FALSE(locmps::lint::parse_layers("tier a\n", p, err));
+  EXPECT_NE(err.find("unknown keyword"), std::string::npos) << err;
+  EXPECT_FALSE(locmps::lint::parse_layers("open a\nlayer a\n", p, err));
+  EXPECT_NE(err.find("declared in a layer first"), std::string::npos) << err;
+  EXPECT_FALSE(locmps::lint::parse_layers("# only comments\n", p, err));
+}
+
+TEST(LintDeps, CleanMultiModuleTree) {
+  const SourceSet src = deps_sources(
+      {"util/strings.hpp", "graph/graph.hpp", "sched/plan.hpp"});
+  const DepGraph g = locmps::lint::build_dep_graph(src);
+  EXPECT_EQ(g.edges.size(), 3u);  // graph->util, sched->graph, sched->util
+  EXPECT_TRUE(locmps::lint::check_layers(g, deps_policy()).empty());
+  EXPECT_TRUE(locmps::lint::find_cycles(g).empty());
+}
+
+TEST(LintDeps, UpEdgeLayerViolation) {
+  const SourceSet src = deps_sources(
+      {"util/strings.hpp", "graph/graph.hpp", "util/uplink.hpp"});
+  const DepGraph g = locmps::lint::build_dep_graph(src);
+  const auto fs = locmps::lint::check_layers(g, deps_policy());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "layer-violation");
+  EXPECT_EQ(fs[0].file, "src/util/uplink.hpp");
+  EXPECT_NE(fs[0].message.find("upward"), std::string::npos)
+      << fs[0].message;
+  EXPECT_TRUE(locmps::lint::find_cycles(g).empty());
+}
+
+TEST(LintDeps, TwoFileIncludeCycle) {
+  const SourceSet src =
+      deps_sources({"sched/cycle_a.hpp", "sched/cycle_b.hpp"});
+  const DepGraph g = locmps::lint::build_dep_graph(src);
+  EXPECT_TRUE(locmps::lint::check_layers(g, deps_policy()).empty());
+  const auto fs = locmps::lint::find_cycles(g);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "include-cycle");
+  EXPECT_EQ(fs[0].file, "src/sched/cycle_a.hpp");  // smallest member
+  EXPECT_NE(fs[0].message.find("src/sched/cycle_a.hpp -> "
+                               "src/sched/cycle_b.hpp -> "
+                               "src/sched/cycle_a.hpp"),
+            std::string::npos)
+      << fs[0].message;
+}
+
+TEST(LintDeps, InlineAllowSuppressesLayerViolation) {
+  SourceSet src = deps_sources({"util/strings.hpp", "graph/graph.hpp"});
+  src.files["src/util/uplink.hpp"] =
+      "#pragma once\n"
+      "#include \"graph/graph.hpp\"  // LINT-ALLOW(layer-violation)\n";
+  const DepGraph g = locmps::lint::build_dep_graph(src);
+  EXPECT_TRUE(locmps::lint::check_layers(g, deps_policy()).empty());
+}
+
+TEST(LintDeps, DotOutput) {
+  const SourceSet src = deps_sources(
+      {"util/strings.hpp", "graph/graph.hpp", "sched/plan.hpp"});
+  const DepGraph g = locmps::lint::build_dep_graph(src);
+  const std::string dot = locmps::lint::to_dot(g, deps_policy());
+  EXPECT_NE(dot.find("digraph locmps_modules"), std::string::npos);
+  EXPECT_NE(dot.find("\"graph\" -> \"util\" [label=\"1\"]"),
+            std::string::npos)
+      << dot;
+  EXPECT_NE(dot.find("\"sched\" -> \"graph\" [label=\"1\"]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("rankdir=BT"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CLI driver (driver.hpp): exit codes and output formats, in-process
+// ---------------------------------------------------------------------------
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = locmps::lint::run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Writes a scratch source tree under the test's working directory (the
+/// name must not contain "build" or "lint_fixtures" — the driver skips
+/// those) and returns its root.
+std::string make_tree(const std::string& name,
+                      const std::map<std::string, std::string>& files) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path("locmps_cli_scratch") / name;
+  fs::remove_all(root);
+  for (const auto& [rel, text] : files) {
+    const fs::path p = root / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << text;
+  }
+  return root.generic_string();
+}
+
+constexpr const char* kSeededUnordered =
+    "#include <unordered_map>\n"
+    "int tie(const std::unordered_map<int,int>& m) {\n"
+    "  int k = 0;\n"
+    "  for (const auto& kv : m) k = kv.first;\n"
+    "  return k;\n"
+    "}\n";
+
+TEST(LintCli, HelpAndVersionExitZero) {
+  const CliResult help = run({"--help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage: locmps-lint"), std::string::npos);
+  const CliResult ver = run({"--version"});
+  EXPECT_EQ(ver.code, 0);
+  EXPECT_NE(ver.out.find("locmps-lint "), std::string::npos);
+}
+
+TEST(LintCli, UnknownFlagExitsTwoWithUsage) {
+  const CliResult r = run({"--bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown option --bogus"), std::string::npos);
+  EXPECT_NE(r.err.find("usage: locmps-lint"), std::string::npos);
+  EXPECT_EQ(run({}).code, 2);                      // no paths
+  EXPECT_EQ(run({"--format", "yaml"}).code, 2);    // bad format value
+}
+
+TEST(LintCli, ListRulesIncludesDependencyRules) {
+  const CliResult r = run({"--list-rules"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digest-taint"), std::string::npos);
+  EXPECT_NE(r.out.find("layer-violation"), std::string::npos);
+  EXPECT_NE(r.out.find("include-cycle"), std::string::npos);
+}
+
+TEST(LintCli, CleanTreeExitsZero) {
+  const std::string root = make_tree(
+      "clean", {{"src/util/a.hpp", "#pragma once\ninline int one() "
+                                   "{ return 1; }\n"}});
+  const CliResult r = run({root});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST(LintCli, FindingsExitOneInEveryFormat) {
+  const std::string root =
+      make_tree("seeded", {{"src/schedulers/seeded.cpp", kSeededUnordered}});
+
+  const CliResult text = run({root});
+  EXPECT_EQ(text.code, 1);
+  EXPECT_NE(text.out.find("[unordered-iteration]"), std::string::npos);
+
+  const CliResult json = run({"--format=json", root});
+  EXPECT_EQ(json.code, 1);
+  EXPECT_NE(json.out.find("\"tool\": \"locmps-lint\""), std::string::npos);
+  EXPECT_NE(json.out.find("\"files_checked\": 1"), std::string::npos);
+  EXPECT_NE(json.out.find("\"rule\": \"unordered-iteration\""),
+            std::string::npos)
+      << json.out;
+  EXPECT_NE(json.out.find("\"line\": 4"), std::string::npos);
+
+  const CliResult gh = run({"--format", "github", root});
+  EXPECT_EQ(gh.code, 1);
+  EXPECT_NE(gh.out.find("::error file="), std::string::npos);
+  EXPECT_NE(gh.out.find(",title=unordered-iteration::"), std::string::npos)
+      << gh.out;
+}
+
+TEST(LintCli, DepsPassReportsCycleAndEmitsDot) {
+  const std::string root = make_tree(
+      "cycle",
+      {{"layers.txt", "layer sched\n"},
+       {"src/sched/cycle_a.hpp",
+        "#pragma once\n#include \"sched/cycle_b.hpp\"\n"},
+       {"src/sched/cycle_b.hpp",
+        "#pragma once\n#include \"sched/cycle_a.hpp\"\n"}});
+  const CliResult r = run({"--deps", "--layers", root + "/layers.txt",
+                           "--deps-dot", "-", root + "/src"});
+  EXPECT_EQ(r.code, 1) << r.out << r.err;
+  EXPECT_NE(r.out.find("digraph locmps_modules"), std::string::npos);
+  EXPECT_NE(r.out.find("[include-cycle]"), std::string::npos) << r.out;
+}
+
+TEST(LintCli, DepsRequiresReadableLayersFile) {
+  const std::string root = make_tree(
+      "nolayers", {{"src/util/a.hpp", "#pragma once\n"}});
+  const CliResult r =
+      run({"--deps", "--layers", root + "/missing.txt", root + "/src"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot read layers file"), std::string::npos);
 }
 
 }  // namespace

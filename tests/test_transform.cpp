@@ -4,6 +4,7 @@
 
 #include "core/experiment.hpp"
 #include "graph/algorithms.hpp"
+#include "schedule/expand.hpp"
 #include "schedulers/loc_mps.hpp"
 #include "test_util.hpp"
 #include "workloads/synthetic.hpp"

@@ -1,0 +1,405 @@
+#include "dep_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace locmps::lint {
+
+namespace {
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    if (slash > start) parts.emplace_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  return parts;
+}
+
+/// Joins and normalizes, resolving "." and "..". "a/b" + "../c" -> "a/c".
+std::string join_normalized(std::string_view dir, std::string_view rel) {
+  std::vector<std::string> stack = split_path(dir);
+  for (const std::string& part : split_path(rel)) {
+    if (part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;
+    }
+    stack.push_back(part);
+  }
+  std::string out;
+  for (const std::string& part : stack) {
+    if (!out.empty()) out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string dir_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+/// Extracts `#include "..."` targets and the per-line LINT-ALLOW pragmas
+/// from one file, line by line. System includes (<...>) are skipped —
+/// they can never be project edges.
+struct RawInclude {
+  int line;
+  std::string target;
+};
+
+void scan_file(const std::string& text, std::vector<RawInclude>& includes,
+               AllowMap& allows) {
+  int line = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view l(text.data() + pos, eol - pos);
+    scan_comment(l, line, allows);
+    std::size_t i = l.find_first_not_of(" \t");
+    if (i != std::string_view::npos && l[i] == '#') {
+      i = l.find_first_not_of(" \t", i + 1);
+      if (i != std::string_view::npos && l.substr(i, 7) == "include") {
+        i = l.find_first_not_of(" \t", i + 7);
+        if (i != std::string_view::npos && l[i] == '"') {
+          const std::size_t close = l.find('"', i + 1);
+          if (close != std::string_view::npos)
+            includes.push_back(
+                {line, std::string(l.substr(i + 1, close - i - 1))});
+        }
+      }
+    }
+    pos = eol + 1;
+    if (eol == text.size()) break;
+  }
+}
+
+bool line_allows(const AllowMap& allows, int line, const char* rule) {
+  for (int l = line - 1; l <= line; ++l) {
+    const auto it = allows.find(l);
+    if (it != allows.end() && it->second.count(rule)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string module_of(std::string_view path) {
+  const std::vector<std::string> parts = split_path(path);
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i)
+    if (parts[i] == "src") {
+      // src/<module>/file — a file directly under src/ is module "src".
+      return i + 2 < parts.size() ? parts[i + 1] : "src";
+    }
+  static const std::set<std::string> kTopLevel = {"tools", "bench", "tests",
+                                                  "examples"};
+  for (std::size_t i = parts.size(); i > 0; --i)
+    if (kTopLevel.count(parts[i - 1]) != 0) return parts[i - 1];
+  return parts.size() > 1 ? parts.front() : std::string();
+}
+
+bool parse_layers(std::string_view text, LayerPolicy& out, std::string& err) {
+  out = LayerPolicy{};
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_no;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string word;
+    if (!(ss >> word)) {
+      if (eol == text.size()) break;
+      continue;
+    }
+    std::vector<std::string> names;
+    std::string name;
+    while (ss >> name) names.push_back(name);
+    if (word == "layer") {
+      if (names.empty()) {
+        err = "layers.txt:" + std::to_string(line_no) +
+              ": 'layer' needs at least one module name";
+        return false;
+      }
+      for (const std::string& m : names) {
+        if (out.tier.count(m) != 0) {
+          err = "layers.txt:" + std::to_string(line_no) + ": module '" + m +
+                "' declared in more than one layer";
+          return false;
+        }
+        out.tier[m] = static_cast<int>(out.tiers.size());
+      }
+      out.tiers.push_back(names);
+    } else if (word == "open") {
+      if (names.empty()) {
+        err = "layers.txt:" + std::to_string(line_no) +
+              ": 'open' needs at least one module name";
+        return false;
+      }
+      for (const std::string& m : names) {
+        if (out.tier.count(m) == 0) {
+          err = "layers.txt:" + std::to_string(line_no) + ": open module '" +
+                m + "' must be declared in a layer first";
+          return false;
+        }
+        out.open_modules.insert(m);
+      }
+    } else {
+      err = "layers.txt:" + std::to_string(line_no) + ": unknown keyword '" +
+            word + "' (expected 'layer' or 'open')";
+      return false;
+    }
+    if (eol == text.size()) break;
+  }
+  if (out.tiers.empty()) {
+    err = "layers.txt declares no layers";
+    return false;
+  }
+  return true;
+}
+
+DepGraph build_dep_graph(const SourceSet& src) {
+  DepGraph g;
+  g.files.reserve(src.files.size());
+  for (const auto& [path, text] : src.files) g.files.push_back(path);
+  for (const auto& [path, text] : src.files) {
+    std::vector<RawInclude> includes;
+    AllowMap allows;
+    scan_file(text, includes, allows);
+    const std::string dir = dir_of(path);
+    for (const RawInclude& inc : includes) {
+      std::string resolved;
+      auto try_candidate = [&](std::string cand) {
+        if (resolved.empty() && src.files.count(cand) != 0)
+          resolved = std::move(cand);
+      };
+      for (const std::string& root : src.roots)
+        try_candidate(join_normalized(root, inc.target));
+      try_candidate(join_normalized("src", inc.target));
+      try_candidate(join_normalized(dir, inc.target));
+      if (resolved.empty()) continue;  // system or generated header
+      g.edges.push_back(
+          {path, resolved, inc.line,
+           line_allows(allows, inc.line, "layer-violation"),
+           line_allows(allows, inc.line, "include-cycle")});
+    }
+  }
+  std::sort(g.edges.begin(), g.edges.end(),
+            [](const IncludeEdge& a, const IncludeEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.line != b.line) return a.line < b.line;
+              return a.to < b.to;
+            });
+  return g;
+}
+
+std::vector<Finding> check_layers(const DepGraph& g, const LayerPolicy& p) {
+  std::vector<Finding> out;
+  std::set<std::string> undeclared_reported;
+  for (const IncludeEdge& e : g.edges) {
+    const std::string from_mod = module_of(e.from);
+    const std::string to_mod = module_of(e.to);
+    if (from_mod == to_mod) continue;
+    if (p.open_modules.count(to_mod) != 0) continue;
+    const auto from_it = p.tier.find(from_mod);
+    const auto to_it = p.tier.find(to_mod);
+    if (from_it == p.tier.end() || to_it == p.tier.end()) {
+      const std::string& missing =
+          from_it == p.tier.end() ? from_mod : to_mod;
+      if (undeclared_reported.insert(missing).second)
+        out.push_back({e.from, e.line, "layer-violation",
+                       "module '" + missing +
+                           "' has cross-module includes but is not "
+                           "declared in tools/lint/layers.txt"});
+      continue;
+    }
+    if (to_it->second < from_it->second) continue;  // strictly downward: OK
+    if (e.allowed_layer) continue;
+    const bool sideways = to_it->second == from_it->second;
+    out.push_back(
+        {e.from, e.line, "layer-violation",
+         "include of \"" + e.to + "\" makes module '" + from_mod +
+             "' (tier " + std::to_string(from_it->second) + ") depend " +
+             (sideways ? "sideways on" : "upward on") + " module '" +
+             to_mod + "' (tier " + std::to_string(to_it->second) +
+             "); the layering policy in tools/lint/layers.txt only allows "
+             "strictly downward dependencies"});
+  }
+  return out;
+}
+
+std::vector<Finding> find_cycles(const DepGraph& g) {
+  // Tarjan SCC, iterative, over the sorted file list for determinism.
+  std::map<std::string, std::vector<std::size_t>> adj;  // file -> edge idx
+  for (std::size_t i = 0; i < g.edges.size(); ++i)
+    adj[g.edges[i].from].push_back(i);
+
+  std::map<std::string, int> index, low;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    std::string node;
+    std::size_t edge_pos = 0;
+  };
+  for (const std::string& start : g.files) {
+    if (index.count(start) != 0) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack.insert(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto edges_it = adj.find(f.node);
+      const std::size_t degree =
+          edges_it == adj.end() ? 0 : edges_it->second.size();
+      if (f.edge_pos < degree) {
+        const std::string& to = g.edges[edges_it->second[f.edge_pos]].to;
+        ++f.edge_pos;
+        if (index.count(to) == 0) {
+          index[to] = low[to] = next_index++;
+          stack.push_back(to);
+          on_stack.insert(to);
+          frames.push_back({to, 0});
+        } else if (on_stack.count(to) != 0) {
+          low[f.node] = std::min(low[f.node], index[to]);
+        }
+        continue;
+      }
+      if (low[f.node] == index[f.node]) {
+        std::vector<std::string> scc;
+        for (;;) {
+          const std::string n = stack.back();
+          stack.pop_back();
+          on_stack.erase(n);
+          scc.push_back(n);
+          if (n == f.node) break;
+        }
+        if (scc.size() > 1) {
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+      }
+      const std::string done = f.node;
+      frames.pop_back();
+      if (!frames.empty())
+        low[frames.back().node] =
+            std::min(low[frames.back().node], low[done]);
+    }
+  }
+  // Self-includes are cycles too.
+  for (const IncludeEdge& e : g.edges)
+    if (e.from == e.to) sccs.push_back({e.from});
+
+  std::sort(sccs.begin(), sccs.end());
+  std::vector<Finding> out;
+  for (const std::vector<std::string>& scc : sccs) {
+    const std::set<std::string> members(scc.begin(), scc.end());
+    // Recover one concrete cycle path starting at the smallest member:
+    // DFS restricted to the SCC until we step back onto the start.
+    const std::string& start = scc.front();
+    std::vector<std::string> path{start};
+    std::set<std::string> visited{start};
+    std::vector<const IncludeEdge*> path_edges;
+    bool closed = scc.size() == 1;  // self-include
+    while (!closed) {
+      const std::string& cur = path.back();
+      const IncludeEdge* step = nullptr;
+      for (const IncludeEdge& e : g.edges) {
+        if (e.from != cur || members.count(e.to) == 0) continue;
+        if (e.to == start) {
+          step = &e;
+          break;
+        }
+        if (visited.count(e.to) == 0 && step == nullptr) step = &e;
+      }
+      if (step == nullptr) break;  // dead end; report members instead
+      path_edges.push_back(step);
+      if (step->to == start) {
+        closed = true;
+      } else {
+        path.push_back(step->to);
+        visited.insert(step->to);
+      }
+    }
+    bool allowed = false;
+    for (const IncludeEdge* e : path_edges)
+      if (e->allowed_cycle) allowed = true;
+    if (scc.size() == 1) {
+      for (const IncludeEdge& e : g.edges)
+        if (e.from == scc.front() && e.to == scc.front() && e.allowed_cycle)
+          allowed = true;
+    }
+    if (allowed) continue;
+    std::string msg = "include cycle: ";
+    if (closed) {
+      msg += start;
+      for (const IncludeEdge* e : path_edges) msg += " -> " + e->to;
+      if (scc.size() == 1) msg += " -> " + start;
+    } else {
+      for (std::size_t i = 0; i < scc.size(); ++i)
+        msg += (i != 0 ? " <-> " : "") + scc[i];
+    }
+    const int line =
+        path_edges.empty() ? 1 : path_edges.front()->line;
+    out.push_back({start, line, "include-cycle", std::move(msg)});
+  }
+  return out;
+}
+
+std::string to_dot(const DepGraph& g, const LayerPolicy& p) {
+  // Aggregate file edges to module edges with multiplicities.
+  std::map<std::pair<std::string, std::string>, int> mod_edges;
+  std::set<std::string> modules;
+  for (const IncludeEdge& e : g.edges) {
+    const std::string a = module_of(e.from), b = module_of(e.to);
+    modules.insert(a);
+    modules.insert(b);
+    if (a != b) ++mod_edges[{a, b}];
+  }
+  std::ostringstream dot;
+  dot << "// Generated by locmps-lint --deps-dot; do not edit.\n"
+      << "// Arrows point at the dependency: A -> B means A includes B.\n"
+      << "digraph locmps_modules {\n"
+      << "  rankdir=BT;\n"
+      << "  node [shape=box, fontsize=11];\n";
+  for (std::size_t t = 0; t < p.tiers.size(); ++t) {
+    bool any = false;
+    for (const std::string& m : p.tiers[t]) any |= modules.count(m) != 0;
+    if (!any) continue;  // tier with no scanned modules (e.g. tests)
+    dot << "  { rank=same;";
+    for (const std::string& m : p.tiers[t])
+      if (modules.count(m) != 0) dot << " \"" << m << "\";";
+    dot << " }  // tier " << t << "\n";
+  }
+  for (const std::string& m : modules) {
+    dot << "  \"" << m << "\"";
+    if (p.open_modules.count(m) != 0)
+      dot << " [style=filled, fillcolor=lightgrey, "
+             "tooltip=\"open: cross-cutting, reachable from any tier\"]";
+    else if (p.tier.count(m) == 0)
+      dot << " [style=dashed, tooltip=\"undeclared in layers.txt\"]";
+    dot << ";\n";
+  }
+  for (const auto& [edge, count] : mod_edges)
+    dot << "  \"" << edge.first << "\" -> \"" << edge.second
+        << "\" [label=\"" << count << "\"];\n";
+  dot << "}\n";
+  return dot.str();
+}
+
+}  // namespace locmps::lint

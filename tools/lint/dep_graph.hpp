@@ -1,0 +1,106 @@
+#pragma once
+/// \file dep_graph.hpp
+/// locmps-lint pass 1: the project-wide include graph.
+///
+/// The per-file rules (lint_core) see one translation unit at a time and
+/// can defend *local* determinism contracts. The architectural contract —
+/// `src/obs` must not grow a dependency on `src/schedulers`, the
+/// coarsen→allocate→place→backfill decomposition stays a DAG of modules —
+/// is cross-module by nature, so this pass parses every `#include` across
+/// the tree, builds the file- and module-level dependency graph, and
+/// checks it against the declared layering policy in
+/// `tools/lint/layers.txt`:
+///
+///   * `layer-violation` — a project include whose target module sits in
+///     the same or a higher tier than the including module (policy is
+///     strictly downward);
+///   * `include-cycle` — a strongly connected component in the *file*
+///     include graph, with the cycle path printed.
+///
+/// Policy file syntax (one declaration per line, '#' comments):
+///
+///   layer util                  # tier 0, the bottom
+///   layer cluster speedup      # tier 1: may include tier 0 only
+///   ...
+///   open obs                    # cross-cutting: may be *depended on*
+///                               # from any tier; its own includes are
+///                               # still checked at its declared tier
+///
+/// Both rules honor the usual inline suppression — a
+/// `// LINT-ALLOW(layer-violation)` trailing the `#include` (or on the
+/// line above) — and the committed baseline, exactly like the per-file
+/// rules. The module graph is exported as DOT via `locmps-lint
+/// --deps-dot` for docs/static_analysis.md.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace locmps::lint {
+
+/// The sources the graph is built from. An abstraction over the
+/// filesystem so fixture tests can assemble trees in memory.
+struct SourceSet {
+  /// path -> file contents. Paths are repo-relative with forward slashes.
+  std::map<std::string, std::string> files;
+  /// The directory roots the walk started from, used (in order) to
+  /// resolve quoted includes in scratch trees (`seeded/src` + "core/x.hpp").
+  std::vector<std::string> roots;
+};
+
+/// One resolved project-include edge.
+struct IncludeEdge {
+  std::string from;     ///< including file
+  std::string to;       ///< resolved included file
+  int line = 0;         ///< line of the #include in `from`
+  bool allowed_layer = false;  ///< LINT-ALLOW(layer-violation) at the site
+  bool allowed_cycle = false;  ///< LINT-ALLOW(include-cycle) at the site
+};
+
+struct DepGraph {
+  std::vector<std::string> files;   ///< all scanned files, sorted
+  std::vector<IncludeEdge> edges;   ///< resolved quoted includes, sorted
+};
+
+/// The layering policy parsed from layers.txt.
+struct LayerPolicy {
+  std::map<std::string, int> tier;      ///< module -> tier index (0 = bottom)
+  std::set<std::string> open_modules;   ///< depended on from any tier
+  std::vector<std::vector<std::string>> tiers;  ///< for printing/DOT
+};
+
+/// Module of a repo-relative path: the directory component after the
+/// first `src` component ("src/graph/x.hpp" -> "graph", also
+/// "seeded/src/graph/x.hpp" -> "graph"); otherwise the last component
+/// among {tools, bench, tests, examples} ("tools/lint/x.cpp" -> "tools");
+/// otherwise the first directory component.
+std::string module_of(std::string_view path);
+
+/// Parses layers.txt. Returns false and sets \p err on a syntax error
+/// (unknown keyword, module declared twice, empty layer line).
+bool parse_layers(std::string_view text, LayerPolicy& out, std::string& err);
+
+/// Scans every file in \p src for quoted includes and resolves them
+/// against (in order) each root, "src/", and the includer's directory.
+/// Unresolved includes (system headers, generated files) are dropped.
+DepGraph build_dep_graph(const SourceSet& src);
+
+/// layer-violation findings for every edge that crosses modules against
+/// the policy (same-tier or upward), plus one finding per module that
+/// has cross-module edges but no declared tier.
+std::vector<Finding> check_layers(const DepGraph& g, const LayerPolicy& p);
+
+/// include-cycle findings: one per strongly connected component of the
+/// file include graph with more than one file (or a self-include), the
+/// cycle path printed in deterministic order.
+std::vector<Finding> find_cycles(const DepGraph& g);
+
+/// The module-level dependency graph as DOT, tiers ranked bottom-up,
+/// edges labeled with their file-edge multiplicity. Deterministic output.
+std::string to_dot(const DepGraph& g, const LayerPolicy& p);
+
+}  // namespace locmps::lint

@@ -1,0 +1,342 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "dep_graph.hpp"
+#include "lint_core.hpp"
+
+// Baked in at configure time by tools/CMakeLists.txt (git describe),
+// matching locmps-inspect --version.
+#ifndef LOCMPS_GIT_DESCRIBE
+#define LOCMPS_GIT_DESCRIBE "unknown"
+#endif
+
+namespace fs = std::filesystem;
+
+namespace locmps::lint {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: locmps-lint [options] PATH...\n"
+    "\n"
+    "Project determinism/hygiene checker (docs/static_analysis.md).\n"
+    "Lints every .cpp/.hpp under each PATH with the per-file rules, and\n"
+    "with --deps additionally checks the project-wide include graph\n"
+    "against the layering policy.\n"
+    "\n"
+    "options:\n"
+    "  --baseline FILE   grandfather list (one \"path:rule\" per line);\n"
+    "                    entries may only ever shrink\n"
+    "  --deps            run the dependency passes: layer-violation and\n"
+    "                    include-cycle over the project include graph\n"
+    "  --layers FILE     layering policy for --deps\n"
+    "                    (default: tools/lint/layers.txt)\n"
+    "  --deps-dot FILE   write the module dependency graph as DOT to FILE\n"
+    "                    ('-' = stdout); implies --deps\n"
+    "  --format MODE     text (default), json, or github\n"
+    "                    (workflow-command annotations for CI)\n"
+    "  --list-rules      print the rule names and exit\n"
+    "  --help, -h        this message\n"
+    "  --version         print the build's git describe and exit\n"
+    "\n"
+    "exit codes: 0 clean, 1 findings, 2 usage or I/O error\n";
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Path as reported: relative, forward slashes, no leading "./".
+std::string display_path(const fs::path& p) {
+  std::string s = p.generic_string();
+  if (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+std::set<std::string> read_baseline(const std::string& file, bool& ok,
+                                    std::ostream& err) {
+  std::set<std::string> entries;
+  ok = true;
+  if (file.empty()) return entries;
+  std::ifstream in(file);
+  if (!in) {
+    err << "locmps-lint: cannot read baseline " << file << "\n";
+    ok = false;
+    return entries;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
+                             line.back() == '\t'))
+      line.pop_back();
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    entries.insert(line.substr(start));
+  }
+  return entries;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// GitHub workflow-command data escaping (%, CR, LF).
+std::string gh_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%') out += "%25";
+    else if (c == '\r') out += "%0D";
+    else if (c == '\n') out += "%0A";
+    else out += c;
+  }
+  return out;
+}
+
+struct Cli {
+  std::string baseline_file;
+  std::string layers_file = "tools/lint/layers.txt";
+  std::string deps_dot;  // empty = off, "-" = stdout
+  std::string format = "text";
+  bool deps = false;
+  bool list_rules = false;
+  bool help = false;
+  bool version = false;
+  std::vector<std::string> paths;
+};
+
+/// Parses argv[1..]; returns false (usage error) with a message on err.
+bool parse_args(const std::vector<std::string>& args, Cli& cli,
+                std::ostream& err) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&](const char* flag) -> const std::string* {
+      if (++i >= args.size()) {
+        err << "locmps-lint: " << flag << " needs an argument\n";
+        return nullptr;
+      }
+      return &args[i];
+    };
+    if (arg == "--baseline") {
+      const std::string* v = need_value("--baseline");
+      if (v == nullptr) return false;
+      cli.baseline_file = *v;
+    } else if (arg == "--layers") {
+      const std::string* v = need_value("--layers");
+      if (v == nullptr) return false;
+      cli.layers_file = *v;
+    } else if (arg == "--deps") {
+      cli.deps = true;
+    } else if (arg == "--deps-dot") {
+      const std::string* v = need_value("--deps-dot");
+      if (v == nullptr) return false;
+      cli.deps_dot = *v;
+      cli.deps = true;
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      std::string mode;
+      if (arg == "--format") {
+        const std::string* v = need_value("--format");
+        if (v == nullptr) return false;
+        mode = *v;
+      } else {
+        mode = arg.substr(9);
+      }
+      if (mode != "text" && mode != "json" && mode != "github") {
+        err << "locmps-lint: unknown format '" << mode
+            << "' (expected text, json, or github)\n";
+        return false;
+      }
+      cli.format = mode;
+    } else if (arg == "--list-rules") {
+      cli.list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+    } else if (arg == "--version") {
+      cli.version = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "locmps-lint: unknown option " << arg << "\n" << kUsage;
+      return false;
+    } else {
+      cli.paths.push_back(arg);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  Cli cli;
+  if (!parse_args(args, cli, err)) return 2;
+  if (cli.help) {
+    out << kUsage;
+    return 0;
+  }
+  if (cli.version) {
+    out << "locmps-lint " << LOCMPS_GIT_DESCRIBE << "\n";
+    return 0;
+  }
+  if (cli.list_rules) {
+    for (const std::string& r : rule_names()) out << r << "\n";
+    return 0;
+  }
+  if (cli.paths.empty()) {
+    err << kUsage;
+    return 2;
+  }
+
+  bool baseline_ok = false;
+  const std::set<std::string> baseline =
+      read_baseline(cli.baseline_file, baseline_ok, err);
+  if (!baseline_ok) return 2;
+
+  std::vector<std::string> files;
+  std::vector<std::string> roots;
+  for (const std::string& p : cli.paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      roots.push_back(display_path(p));
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && lintable(it->path()))
+          files.push_back(display_path(it->path()));
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(display_path(p));
+    } else {
+      err << "locmps-lint: no such path " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t checked = 0, suppressed = 0;
+  std::vector<Finding> findings;
+  SourceSet sources;
+  sources.roots = roots;
+  for (const std::string& file : files) {
+    if (skip_path(file)) continue;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      err << "locmps-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    ++checked;
+    for (Finding& f : lint_source(file, text, options_for(file)))
+      findings.push_back(std::move(f));
+    if (cli.deps) sources.files.emplace(file, std::move(text));
+  }
+
+  if (cli.deps) {
+    std::ifstream lin(cli.layers_file);
+    if (!lin) {
+      err << "locmps-lint: cannot read layers file " << cli.layers_file
+          << " (required by --deps)\n";
+      return 2;
+    }
+    std::ostringstream lss;
+    lss << lin.rdbuf();
+    LayerPolicy policy;
+    std::string perr;
+    if (!parse_layers(lss.str(), policy, perr)) {
+      err << "locmps-lint: " << perr << "\n";
+      return 2;
+    }
+    const DepGraph graph = build_dep_graph(sources);
+    for (Finding& f : check_layers(graph, policy))
+      findings.push_back(std::move(f));
+    for (Finding& f : find_cycles(graph)) findings.push_back(std::move(f));
+    if (!cli.deps_dot.empty()) {
+      const std::string dot = to_dot(graph, policy);
+      if (cli.deps_dot == "-") {
+        out << dot;
+      } else {
+        std::ofstream dout(cli.deps_dot, std::ios::binary);
+        if (!dout) {
+          err << "locmps-lint: cannot write " << cli.deps_dot << "\n";
+          return 2;
+        }
+        dout << dot;
+      }
+    }
+  }
+
+  // Baseline filter, then a stable global order for every output format.
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    if (baseline.count(f.file + ":" + f.rule) != 0) {
+      ++suppressed;
+      continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (cli.format == "json") {
+    out << "{\n  \"tool\": \"locmps-lint\",\n  \"version\": \""
+        << json_escape(LOCMPS_GIT_DESCRIBE) << "\",\n  \"files_checked\": "
+        << checked << ",\n  \"suppressed\": " << suppressed
+        << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const Finding& f = kept[i];
+      out << (i == 0 ? "\n" : ",\n")
+          << "    {\"file\": \"" << json_escape(f.file)
+          << "\", \"line\": " << f.line << ", \"rule\": \""
+          << json_escape(f.rule) << "\", \"message\": \""
+          << json_escape(f.message) << "\"}";
+    }
+    out << (kept.empty() ? "]" : "\n  ]") << "\n}\n";
+  } else if (cli.format == "github") {
+    for (const Finding& f : kept)
+      out << "::error file=" << gh_escape(f.file) << ",line=" << f.line
+          << ",title=" << gh_escape(f.rule)
+          << "::" << gh_escape(f.message) << "\n";
+  } else {
+    for (const Finding& f : kept) out << format(f) << "\n";
+  }
+  err << "locmps-lint: " << checked << " file(s), " << kept.size()
+      << " finding(s)";
+  if (suppressed != 0) err << ", " << suppressed << " baselined";
+  err << "\n";
+  return kept.empty() ? 0 : 1;
+}
+
+}  // namespace locmps::lint

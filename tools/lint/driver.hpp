@@ -1,0 +1,26 @@
+#pragma once
+/// \file driver.hpp
+/// locmps-lint CLI engine, as a library so tests/test_lint.cpp can drive
+/// the real command line — argument parsing, exit codes, output formats —
+/// in-process instead of shelling out to the binary.
+///
+///   locmps-lint [options] PATH...
+///
+/// Walks every PATH (file or directory) for .cpp/.hpp sources, runs the
+/// per-file rules (lint_core) on each, optionally runs the project-wide
+/// dependency passes (dep_graph: layer-violation, include-cycle), filters
+/// findings through the committed baseline, and prints the rest in the
+/// selected format. Exit 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace locmps::lint {
+
+/// Runs the CLI with \p args (argv[1..]); diagnostics to \p err, findings
+/// and reports to \p out. Returns the process exit code.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace locmps::lint

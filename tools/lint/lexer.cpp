@@ -1,0 +1,223 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace locmps::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Classifies a pp-number as integral or floating. Hex floats ('p'
+/// exponent) and anything with a '.' or a decimal exponent are floating.
+Kind number_kind(std::string_view t) {
+  const bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
+  if (t.find('.') != std::string_view::npos) return Kind::FloatLit;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const char c = t[i];
+    if (hex && (c == 'p' || c == 'P')) return Kind::FloatLit;
+    if (!hex && (c == 'e' || c == 'E') && i + 1 < t.size() &&
+        (std::isdigit(static_cast<unsigned char>(t[i + 1])) ||
+         t[i + 1] == '+' || t[i + 1] == '-'))
+      return Kind::FloatLit;
+  }
+  return Kind::Number;
+}
+
+}  // namespace
+
+void scan_comment(std::string_view comment, int line, AllowMap& allows) {
+  constexpr std::string_view kTag = "LINT-ALLOW(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
+    pos += kTag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) return;
+    std::string_view list = comment.substr(pos, close - pos);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t comma = list.find(',', start);
+      if (comma == std::string_view::npos) comma = list.size();
+      std::string_view rule = list.substr(start, comma - start);
+      while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+      while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+      if (!rule.empty()) allows[line].insert(std::string(rule));
+      start = comma + 1;
+    }
+    pos = close;
+  }
+}
+
+Lexed lex(std::string_view s) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = s.size();
+  bool at_line_start = true;  // only whitespace seen on this line so far
+
+  auto newline = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      std::string text;
+      while (i < n) {
+        if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
+          newline();
+          i += 2;
+          text += ' ';
+          continue;
+        }
+        if (s[i] == '\n') break;
+        text += s[i++];
+      }
+      out.directives.push_back({line, text});
+      continue;
+    }
+    at_line_start = false;
+    // Comments (scanned for LINT-ALLOW pragmas).
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const std::size_t end = s.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      scan_comment(s.substr(i, stop - i), line, out.allows);
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const int first_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t stop = std::min(n, j + 2);
+      scan_comment(s.substr(i, stop - i), first_line, out.allows);
+      i = stop;
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && s[p] != '(') delim += s[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = s.find(close, p);
+      const std::size_t stop =
+          end == std::string_view::npos ? n : end + close.size();
+      line += static_cast<int>(
+          std::count(s.begin() + static_cast<long>(i),
+                     s.begin() + static_cast<long>(stop), '\n'));
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < n) ++j;
+        if (s[j] == '\n') ++line;  // unterminated; keep line counts sane
+        ++j;
+      }
+      i = std::min(n, j + 1);
+      continue;
+    }
+    // Identifiers.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(s[j])) ++j;
+      out.tokens.push_back(
+          {Kind::Ident, std::string(s.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // pp-numbers, including ".5" and exponent signs.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = s[j];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = s[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      std::string text(s.substr(i, j - i));
+      out.tokens.push_back({number_kind(text), std::move(text), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; multi-char operators the rules care about.
+    static constexpr std::string_view kTwo[] = {"::", "->", "==", "!=", "<=",
+                                                ">=", "&&", "||", "+=", "-=",
+                                                "<<", ">>"};
+    std::string text(1, c);
+    if (i + 1 < n) {
+      const std::string_view two = s.substr(i, 2);
+      for (std::string_view t : kTwo)
+        if (two == t) {
+          text = std::string(two);
+          break;
+        }
+    }
+    out.tokens.push_back({Kind::Punct, text, line});
+    i += text.size();
+  }
+  return out;
+}
+
+bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 2 && is(toks[i - 1], "::") && is(toks[i - 2], "std");
+}
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view opener, std::string_view closer) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (is(toks[j], opener)) ++depth;
+    if (is(toks[j], closer) && --depth == 0) return j + 1;
+  }
+  return toks.size();
+}
+
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  if (i >= toks.size() || !is(toks[i], "<")) return i;
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is(toks[j], "<")) ++depth;
+    else if (is(toks[j], ">") && --depth == 0) return j + 1;
+    else if (is(toks[j], ">>") && (depth -= 2) <= 0) return j + 1;
+  }
+  return toks.size();
+}
+
+}  // namespace locmps::lint

@@ -1,0 +1,71 @@
+#pragma once
+/// \file lexer.hpp
+/// locmps-lint: the shared C++ token stream.
+///
+/// A deliberately simple lexer — strings, raw strings, comments and
+/// preprocessor directives are handled; macros are not expanded. One
+/// translation unit in, a flat token stream plus the directive lines and
+/// the per-line LINT-ALLOW suppressions out. Both the per-file rules
+/// (lint_core) and the declaration tracker (symbols) consume this stream,
+/// so they agree on line numbers and on what counts as code.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locmps::lint {
+
+enum class Kind { Ident, Number, FloatLit, Punct };
+
+struct Token {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Directive {
+  int line;
+  std::string text;  // the directive line, '#' included, trimmed
+};
+
+/// Per-line LINT-ALLOW suppressions harvested from comments.
+using AllowMap = std::map<int, std::set<std::string>>;
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  AllowMap allows;
+};
+
+Lexed lex(std::string_view s);
+
+/// Records `LINT-ALLOW(a,b)` pragmas found inside \p comment at \p line.
+void scan_comment(std::string_view comment, int line, AllowMap& allows);
+
+// Small helpers over the token stream, shared by the rule passes.
+
+inline bool is(const Token& t, std::string_view text) {
+  return t.text == text;
+}
+
+inline const Token* prev_tok(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 ? &toks[i - 1] : nullptr;
+}
+inline const Token* next_tok(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+}
+
+/// True when toks[i] is qualified as std::NAME (possibly ::std::NAME).
+bool std_qualified(const std::vector<Token>& toks, std::size_t i);
+
+/// Index just past the matching closer for the opener at \p open.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view opener, std::string_view closer);
+
+/// Skips a template argument list starting at a '<' (best effort: '>'
+/// tokens inside are assumed to be closers, which holds for type lists).
+std::size_t skip_template_args(const std::vector<Token>& toks, std::size_t i);
+
+}  // namespace locmps::lint

@@ -1,296 +1,19 @@
 #include "lint_core.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <set>
+
+#include "lexer.hpp"
+#include "symbols.hpp"
 
 namespace locmps::lint {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class Kind { Ident, Number, FloatLit, Punct };
-
-struct Token {
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-struct Directive {
-  int line;
-  std::string text;  // the directive line, '#' included, trimmed
-};
-
-/// Per-line LINT-ALLOW suppressions harvested from comments.
-using AllowMap = std::map<int, std::set<std::string>>;
-
-struct Lexed {
-  std::vector<Token> tokens;
-  std::vector<Directive> directives;
-  AllowMap allows;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Records `LINT-ALLOW(a,b)` pragmas found inside a comment.
-void scan_comment(std::string_view comment, int line, AllowMap& allows) {
-  constexpr std::string_view kTag = "LINT-ALLOW(";
-  std::size_t pos = 0;
-  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
-    pos += kTag.size();
-    const std::size_t close = comment.find(')', pos);
-    if (close == std::string_view::npos) return;
-    std::string_view list = comment.substr(pos, close - pos);
-    std::size_t start = 0;
-    while (start <= list.size()) {
-      std::size_t comma = list.find(',', start);
-      if (comma == std::string_view::npos) comma = list.size();
-      std::string_view rule = list.substr(start, comma - start);
-      while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
-      while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
-      if (!rule.empty()) allows[line].insert(std::string(rule));
-      start = comma + 1;
-    }
-    pos = close;
-  }
-}
-
-/// Classifies a pp-number as integral or floating. Hex floats ('p'
-/// exponent) and anything with a '.' or a decimal exponent are floating.
-Kind number_kind(std::string_view t) {
-  const bool hex = t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X');
-  if (t.find('.') != std::string_view::npos) return Kind::FloatLit;
-  for (std::size_t i = 1; i < t.size(); ++i) {
-    const char c = t[i];
-    if (hex && (c == 'p' || c == 'P')) return Kind::FloatLit;
-    if (!hex && (c == 'e' || c == 'E') && i + 1 < t.size() &&
-        (std::isdigit(static_cast<unsigned char>(t[i + 1])) ||
-         t[i + 1] == '+' || t[i + 1] == '-'))
-      return Kind::FloatLit;
-  }
-  return Kind::Number;
-}
-
-Lexed lex(std::string_view s) {
-  Lexed out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = s.size();
-  bool at_line_start = true;  // only whitespace seen on this line so far
-
-  auto newline = [&] {
-    ++line;
-    at_line_start = true;
-  };
-
-  while (i < n) {
-    const char c = s[i];
-    if (c == '\n') {
-      newline();
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: consume the (possibly continued) line.
-    if (c == '#' && at_line_start) {
-      std::string text;
-      while (i < n) {
-        if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
-          newline();
-          i += 2;
-          text += ' ';
-          continue;
-        }
-        if (s[i] == '\n') break;
-        text += s[i++];
-      }
-      out.directives.push_back({line, text});
-      continue;
-    }
-    at_line_start = false;
-    // Comments (scanned for LINT-ALLOW pragmas).
-    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
-      const std::size_t end = s.find('\n', i);
-      const std::size_t stop = end == std::string_view::npos ? n : end;
-      scan_comment(s.substr(i, stop - i), line, out.allows);
-      i = stop;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
-      const int first_line = line;
-      std::size_t j = i + 2;
-      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) {
-        if (s[j] == '\n') ++line;
-        ++j;
-      }
-      const std::size_t stop = std::min(n, j + 2);
-      scan_comment(s.substr(i, stop - i), first_line, out.allows);
-      i = stop;
-      continue;
-    }
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && s[p] != '(') delim += s[p++];
-      const std::string close = ")" + delim + "\"";
-      const std::size_t end = s.find(close, p);
-      const std::size_t stop =
-          end == std::string_view::npos ? n : end + close.size();
-      line += static_cast<int>(
-          std::count(s.begin() + static_cast<long>(i),
-                     s.begin() + static_cast<long>(stop), '\n'));
-      i = stop;
-      continue;
-    }
-    // String / char literals.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < n && s[j] != quote) {
-        if (s[j] == '\\' && j + 1 < n) ++j;
-        if (s[j] == '\n') ++line;  // unterminated; keep line counts sane
-        ++j;
-      }
-      i = std::min(n, j + 1);
-      continue;
-    }
-    // Identifiers.
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(s[j])) ++j;
-      out.tokens.push_back(
-          {Kind::Ident, std::string(s.substr(i, j - i)), line});
-      i = j;
-      continue;
-    }
-    // pp-numbers, including ".5" and exponent signs.
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && i + 1 < n &&
-         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
-      std::size_t j = i;
-      while (j < n) {
-        const char d = s[j];
-        if (ident_char(d) || d == '.' || d == '\'') {
-          ++j;
-          continue;
-        }
-        if ((d == '+' || d == '-') && j > i) {
-          const char prev = s[j - 1];
-          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
-            ++j;
-            continue;
-          }
-        }
-        break;
-      }
-      std::string text(s.substr(i, j - i));
-      out.tokens.push_back({number_kind(text), std::move(text), line});
-      i = j;
-      continue;
-    }
-    // Punctuation; multi-char operators the rules care about.
-    static constexpr std::string_view kTwo[] = {"::", "->", "==", "!=", "<=",
-                                                ">=", "&&", "||", "+=", "-=",
-                                                "<<", ">>"};
-    std::string text(1, c);
-    if (i + 1 < n) {
-      const std::string_view two = s.substr(i, 2);
-      for (std::string_view t : kTwo)
-        if (two == t) {
-          text = std::string(two);
-          break;
-        }
-    }
-    out.tokens.push_back({Kind::Punct, text, line});
-    i += text.size();
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
 // Shared helpers over the token stream
 // ---------------------------------------------------------------------------
-
-bool is(const Token& t, std::string_view text) { return t.text == text; }
-
-const Token* prev_tok(const std::vector<Token>& toks, std::size_t i) {
-  return i > 0 ? &toks[i - 1] : nullptr;
-}
-const Token* next_tok(const std::vector<Token>& toks, std::size_t i) {
-  return i + 1 < toks.size() ? &toks[i + 1] : nullptr;
-}
-
-/// True when toks[i] is qualified as std::NAME (possibly ::std::NAME).
-bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
-  return i >= 2 && is(toks[i - 1], "::") && is(toks[i - 2], "std");
-}
-
-/// Index just past the matching closer for the opener at \p open.
-std::size_t match_forward(const std::vector<Token>& toks, std::size_t open,
-                          std::string_view opener, std::string_view closer) {
-  int depth = 0;
-  for (std::size_t j = open; j < toks.size(); ++j) {
-    if (is(toks[j], opener)) ++depth;
-    if (is(toks[j], closer) && --depth == 0) return j + 1;
-  }
-  return toks.size();
-}
-
-/// Skips a template argument list starting at a '<' (best effort: '>'
-/// tokens inside are assumed to be closers, which holds for type lists).
-std::size_t skip_template_args(const std::vector<Token>& toks,
-                               std::size_t i) {
-  if (i >= toks.size() || !is(toks[i], "<")) return i;
-  int depth = 0;
-  for (std::size_t j = i; j < toks.size(); ++j) {
-    if (is(toks[j], "<")) ++depth;
-    else if (is(toks[j], ">") && --depth == 0) return j + 1;
-    else if (is(toks[j], ">>") && (depth -= 2) <= 0) return j + 1;
-  }
-  return toks.size();
-}
-
-const std::set<std::string, std::less<>> kUnorderedTypes = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset"};
-
-/// Names of variables declared in this file with an unordered container
-/// type, plus aliases introduced by `using X = std::unordered_map<...>`.
-std::set<std::string> collect_unordered_vars(const std::vector<Token>& t) {
-  std::set<std::string> vars;
-  std::set<std::string> alias_types(kUnorderedTypes.begin(),
-                                    kUnorderedTypes.end());
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (t[i].kind != Kind::Ident || alias_types.count(t[i].text) == 0)
-      continue;
-    // `using Alias = std::unordered_map<...>`: record the alias name.
-    if (i >= 3 && is(t[i - 1], "::") && i >= 4 && is(t[i - 3], "=") &&
-        t[i - 4].kind == Kind::Ident && i >= 5 && is(t[i - 5], "using")) {
-      alias_types.insert(t[i - 4].text);
-      continue;
-    }
-    std::size_t j = skip_template_args(t, i + 1);
-    while (j < t.size() &&
-           (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")))
-      ++j;
-    if (j < t.size() && t[j].kind == Kind::Ident) vars.insert(t[j].text);
-  }
-  return vars;
-}
 
 /// Names of variables declared float/double (including simple declarator
 /// lists and `auto x = <float literal>`), and of std::vector<float/double>
@@ -383,9 +106,12 @@ class Linter {
       : path_(path), lx_(lx), opt_(opt) {}
 
   std::vector<Finding> run() {
+    if (opt_.check_unordered_iter || opt_.check_digest_taint)
+      symbols_ = collect_symbols(lx_.tokens);
     if (opt_.check_include_hygiene) include_hygiene();
     if (opt_.check_nondet) nondet_source();
     if (opt_.check_unordered_iter) unordered_iteration();
+    if (opt_.check_digest_taint) digest_taint();
     if (opt_.check_float_sort) float_sort();
     if (opt_.check_float_eq) float_eq();
     if (opt_.check_raw_sync) raw_sync();
@@ -494,9 +220,11 @@ class Linter {
   // implementation-defined order into whatever consumes the loop — a
   // tie-break seeded from it destroys the threads=N == threads=1
   // replay guarantee. Membership tests are fine; iteration is not.
+  // The symbol table sees through `using`/`typedef` aliases, member
+  // fields and `auto` rebindings (tools/lint/symbols.hpp).
   void unordered_iteration() {
     const auto& t = lx_.tokens;
-    const std::set<std::string> vars = collect_unordered_vars(t);
+    const std::set<std::string>& vars = symbols_.unordered_vars;
     if (vars.empty()) return;
     for (std::size_t i = 0; i < t.size(); ++i) {
       // for (... : var)
@@ -530,6 +258,91 @@ class Linter {
         add(t[i].line, "unordered-iteration",
             "iterator over unordered container '" + t[i].text +
                 "'; iteration order is implementation-defined");
+    }
+  }
+
+  // digest-taint: a value obtained by iterating an unordered container
+  // must not flow into an observability sink or a sort key. The obs
+  // digests (event traces, metric counters) are part of the bit-exact
+  // replay contract — threads=N must emit byte-identical records — and a
+  // sort keyed on hash-order-derived data is nondeterministic even when
+  // the sorted range itself is not. Flow tracking is statement/local-init
+  // only (tools/lint/symbols.hpp); collecting keys and sorting them is
+  // the sanctioned fix and does not trip this rule.
+  void digest_taint() {
+    const auto& t = lx_.tokens;
+    const auto& taint = symbols_.taint;
+    if (taint.empty()) return;
+    auto first_tainted = [&](std::size_t from,
+                             std::size_t to) -> const Token* {
+      for (std::size_t j = from; j < to && j < t.size(); ++j)
+        if (t[j].kind == Kind::Ident && taint.count(t[j].text) != 0)
+          return &t[j];
+      return nullptr;
+    };
+    auto origin_of = [&](const Token& tok) {
+      return taint.at(tok.text);
+    };
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Kind::Ident) continue;
+      const std::string& x = t[i].text;
+      // sink.emit(...) / sink->emit(...): any emit call is an obs sink.
+      const Token* pv = prev_tok(t, i);
+      const bool member_call =
+          pv != nullptr && (is(*pv, ".") || is(*pv, "->"));
+      const bool on_sink_var =
+          i >= 2 && member_call && t[i - 2].kind == Kind::Ident &&
+          symbols_.sink_vars.count(t[i - 2].text) != 0;
+      const bool sink_method =
+          (x == "emit" && member_call) ||
+          ((x == "add" || x == "set" || x == "sample") && on_sink_var);
+      if (sink_method && i + 1 < t.size() && is(t[i + 1], "(")) {
+        const std::size_t end = match_forward(t, i + 1, "(", ")");
+        if (const Token* bad = first_tainted(i + 2, end - 1))
+          add(bad->line, "digest-taint",
+              "'" + bad->text + "' derives from iterating unordered "
+              "container '" + origin_of(*bad) + "' and flows into obs "
+              "sink " + x + "(); the emitted digest would depend on hash "
+              "order — iterate a sorted copy instead");
+        continue;
+      }
+      // obs::Event("...")...field(...): the fluent event builder. Scan
+      // the whole statement — the chain's fields all land in the record.
+      if (x == "Event" && !member_call && i + 1 < t.size() &&
+          is(t[i + 1], "(")) {
+        std::size_t end = i;
+        int par = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          if (is(t[j], "(")) ++par;
+          else if (is(t[j], ")")) {
+            if (--par == 0 && (j + 1 >= t.size() || !is(t[j + 1], "."))) {
+              end = j;
+              break;
+            }
+          } else if (is(t[j], ";") && par == 0) {
+            end = j;
+            break;
+          }
+        }
+        if (const Token* bad = first_tainted(i + 2, end))
+          add(bad->line, "digest-taint",
+              "'" + bad->text + "' derives from iterating unordered "
+              "container '" + origin_of(*bad) + "' and flows into an obs "
+              "Event record; the trace digest would depend on hash order");
+        continue;
+      }
+      // std::sort / stable_sort with a tainted argument (typically a
+      // comparator capturing hash-order-derived keys).
+      if ((x == "sort" || x == "stable_sort") && !member_call &&
+          i + 1 < t.size() && is(t[i + 1], "(") &&
+          (pv == nullptr || !is(*pv, "::") || std_qualified(t, i))) {
+        const std::size_t end = match_forward(t, i + 1, "(", ")");
+        if (const Token* bad = first_tainted(i + 2, end - 1))
+          add(bad->line, "digest-taint",
+              "std::" + x + " keyed on '" + bad->text + "', which derives "
+              "from iterating unordered container '" + origin_of(*bad) +
+              "'; the resulting order depends on hash order");
+      }
     }
   }
 
@@ -624,6 +437,7 @@ class Linter {
   std::string_view path_;
   const Lexed& lx_;
   const Options& opt_;
+  SymbolTable symbols_;
   std::vector<Finding> findings_;
 };
 
@@ -640,6 +454,7 @@ Options options_for(std::string_view path) {
   o.check_float_eq = !in_tests;
   o.check_nondet = !in_tests;
   o.check_unordered_iter = in_src;
+  o.check_digest_taint = in_src;
   o.check_raw_sync = !path_contains(path, "util/annotations.hpp");
   return o;
 }
@@ -662,8 +477,9 @@ std::vector<Finding> lint_source(std::string_view path,
 }
 
 std::vector<std::string> rule_names() {
-  return {"unordered-iteration", "nondet-source", "float-sort",
-          "float-eq",            "include-hygiene", "raw-mutex"};
+  return {"unordered-iteration", "nondet-source",   "float-sort",
+          "float-eq",            "include-hygiene", "raw-mutex",
+          "digest-taint",        "layer-violation", "include-cycle"};
 }
 
 std::string format(const Finding& f) {

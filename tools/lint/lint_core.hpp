@@ -39,6 +39,7 @@ struct Options {
   bool check_float_sort = true;
   bool check_include_hygiene = true;
   bool check_raw_sync = true;        ///< off in util/annotations.hpp
+  bool check_digest_taint = true;    ///< off outside src/
 };
 
 /// Rule applicability by repo-relative path (see docs/static_analysis.md):

@@ -1,157 +1,15 @@
 /// \file locmps_lint.cpp
-/// CLI driver for locmps-lint (tools/lint/lint_core.*).
-///
-///   locmps-lint [--baseline FILE] [--list-rules] PATH...
-///
-/// Walks every PATH (file or directory) for .cpp/.hpp sources, lints each
-/// with the rule set options_for() derives from its path, filters findings
-/// through the committed baseline, and prints the rest as
-/// "file:line: [rule] message". Exit 0 = clean, 1 = findings, 2 = usage or
-/// I/O error.
-///
-/// Baseline format (tools/lint/lint_baseline.txt): one "path:rule" per
-/// line, '#' comments. An entry grandfathers every finding of that rule in
-/// that file — prefer inline LINT-ALLOW pragmas, which are visible at the
-/// offending statement; the baseline exists so adopting a new rule never
-/// requires a same-commit sweep of historic findings.
+/// locmps-lint entry point. All the logic lives in driver.cpp (so the
+/// fixture tests can run the real CLI in-process); this file only adapts
+/// argv and the standard streams.
 
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "lint_core.hpp"
-
-namespace fs = std::filesystem;
-using locmps::lint::Finding;
-
-namespace {
-
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
-}
-
-/// Path as reported: relative, forward slashes, no leading "./".
-std::string display_path(const fs::path& p) {
-  std::string s = p.generic_string();
-  if (s.rfind("./", 0) == 0) s.erase(0, 2);
-  return s;
-}
-
-std::set<std::string> read_baseline(const std::string& file, bool& ok) {
-  std::set<std::string> entries;
-  ok = true;
-  if (file.empty()) return entries;
-  std::ifstream in(file);
-  if (!in) {
-    std::cerr << "locmps-lint: cannot read baseline " << file << "\n";
-    ok = false;
-    return entries;
-  }
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
-                             line.back() == '\t'))
-      line.pop_back();
-    std::size_t start = line.find_first_not_of(" \t");
-    if (start == std::string::npos) continue;
-    entries.insert(line.substr(start));
-  }
-  return entries;
-}
-
-}  // namespace
+#include "driver.hpp"
 
 int main(int argc, char** argv) {
-  std::string baseline_file;
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--baseline") {
-      if (++i >= argc) {
-        std::cerr << "locmps-lint: --baseline needs a file argument\n";
-        return 2;
-      }
-      baseline_file = argv[i];
-    } else if (arg == "--list-rules") {
-      for (const std::string& r : locmps::lint::rule_names())
-        std::cout << r << "\n";
-      return 0;
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: locmps-lint [--baseline FILE] [--list-rules] "
-                   "PATH...\n";
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "locmps-lint: unknown option " << arg << "\n";
-      return 2;
-    } else {
-      paths.push_back(arg);
-    }
-  }
-  if (paths.empty()) {
-    std::cerr << "usage: locmps-lint [--baseline FILE] [--list-rules] "
-                 "PATH...\n";
-    return 2;
-  }
-
-  bool baseline_ok = false;
-  const std::set<std::string> baseline =
-      read_baseline(baseline_file, baseline_ok);
-  if (!baseline_ok) return 2;
-
-  std::vector<std::string> files;
-  for (const std::string& p : paths) {
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      for (fs::recursive_directory_iterator it(p, ec), end;
-           !ec && it != end; it.increment(ec)) {
-        if (it->is_regular_file() && lintable(it->path()))
-          files.push_back(display_path(it->path()));
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(display_path(p));
-    } else {
-      std::cerr << "locmps-lint: no such path " << p << "\n";
-      return 2;
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::size_t checked = 0, suppressed = 0;
-  std::vector<Finding> findings;
-  for (const std::string& file : files) {
-    if (locmps::lint::skip_path(file)) continue;
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      std::cerr << "locmps-lint: cannot read " << file << "\n";
-      return 2;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string text = ss.str();
-    ++checked;
-    for (Finding& f : locmps::lint::lint_source(
-             file, text, locmps::lint::options_for(file))) {
-      if (baseline.count(f.file + ":" + f.rule) != 0) {
-        ++suppressed;
-        continue;
-      }
-      findings.push_back(std::move(f));
-    }
-  }
-
-  for (const Finding& f : findings)
-    std::cout << locmps::lint::format(f) << "\n";
-  std::cerr << "locmps-lint: " << checked << " file(s), "
-            << findings.size() << " finding(s)";
-  if (suppressed != 0) std::cerr << ", " << suppressed << " baselined";
-  std::cerr << "\n";
-  return findings.empty() ? 0 : 1;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return locmps::lint::run_cli(args, std::cout, std::cerr);
 }

@@ -1,0 +1,211 @@
+#include "symbols.hpp"
+
+namespace locmps::lint {
+
+namespace {
+
+const std::set<std::string> kUnorderedBuiltins = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+const std::set<std::string> kSinkTypes = {"EventBuffer", "JsonlSink",
+                                          "EventSink", "MetricsRegistry"};
+
+/// Tokens that may appear in a range-for declarator without naming the
+/// loop variable.
+const std::set<std::string> kDeclKeywords = {"auto", "const", "volatile",
+                                             "static", "std"};
+
+/// Index of the first token of the statement containing \p i: one past
+/// the previous ';', '{' or '}' (or 0).
+std::size_t statement_start(const std::vector<Token>& t, std::size_t i) {
+  std::size_t j = i;
+  while (j > 0) {
+    const Token& p = t[j - 1];
+    if (is(p, ";") || is(p, "{") || is(p, "}")) break;
+    --j;
+  }
+  return j;
+}
+
+/// Index of the terminating ';' of the statement containing \p i, at
+/// paren/bracket nesting level zero (or toks.size()).
+std::size_t statement_end(const std::vector<Token>& t, std::size_t i) {
+  int par = 0, brk = 0, brc = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const std::string& x = t[j].text;
+    if (x == "(") ++par;
+    else if (x == ")") { if (par == 0) return j; --par; }
+    else if (x == "[") ++brk;
+    else if (x == "]") --brk;
+    else if (x == "{") ++brc;
+    else if (x == "}") { if (brc == 0) return j; --brc; }
+    else if (x == ";" && par == 0 && brk == 0 && brc == 0) return j;
+  }
+  return t.size();
+}
+
+/// Collects type aliases and declared variables for the given set of
+/// type names; returns true when something new was learned.
+bool collect_types_and_vars(const std::vector<Token>& t,
+                            std::set<std::string>& types,
+                            std::set<std::string>& vars) {
+  bool grew = false;
+  auto add_type = [&](const std::string& n) {
+    grew |= types.insert(n).second;
+  };
+  auto add_var = [&](const std::string& n) {
+    grew |= vars.insert(n).second;
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::Ident || types.count(t[i].text) == 0) continue;
+    // A member access `x.unordered_map` can't occur; `x.find` etc. never
+    // collide with type names, so no receiver check is needed here.
+    const std::size_t start = statement_start(t, i);
+    bool is_using = false, is_typedef = false;
+    for (std::size_t j = start; j < i; ++j) {
+      if (is(t[j], "using")) is_using = true;
+      if (is(t[j], "typedef")) is_typedef = true;
+    }
+    if (is_using) {
+      // using NAME = <...type...>; — NAME is the ident right after
+      // `using`, before '='.
+      for (std::size_t j = start; j + 2 < i; ++j)
+        if (is(t[j], "using") && t[j + 1].kind == Kind::Ident &&
+            is(t[j + 2], "="))
+          add_type(t[j + 1].text);
+      continue;
+    }
+    if (is_typedef) {
+      // typedef <...type...> NAME; — NAME is the last ident before ';'.
+      const std::size_t end = statement_end(t, i);
+      for (std::size_t j = end; j > i; --j)
+        if (t[j - 1].kind == Kind::Ident) {
+          add_type(t[j - 1].text);
+          break;
+        }
+      continue;
+    }
+    // A declaration: TYPE<...> [&*const]* NAME. Locals, parameters and
+    // member fields all share this shape.
+    std::size_t j = skip_template_args(t, i + 1);
+    while (j < t.size() &&
+           (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")))
+      ++j;
+    if (j < t.size() && t[j].kind == Kind::Ident) add_var(t[j].text);
+  }
+  // auto x = other; / auto& x = other; — rebinding a known container.
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!is(t[i], "auto")) continue;
+    std::size_t j = i + 1;
+    while (j < t.size() &&
+           (is(t[j], "&") || is(t[j], "*") || is(t[j], "const")))
+      ++j;
+    if (j + 2 >= t.size() || t[j].kind != Kind::Ident || !is(t[j + 1], "="))
+      continue;
+    const Token& rhs = t[j + 2];
+    const Token* after = next_tok(t, j + 2);
+    if (rhs.kind == Kind::Ident && vars.count(rhs.text) != 0 &&
+        (after == nullptr || is(*after, ";")))
+      add_var(t[j].text);
+  }
+  return grew;
+}
+
+/// One propagation sweep of the taint relation; returns true on growth.
+bool propagate_taint(const std::vector<Token>& t,
+                     const std::set<std::string>& unordered_vars,
+                     std::map<std::string, std::string>& taint) {
+  bool grew = false;
+  auto mark = [&](const std::string& name, const std::string& origin) {
+    grew |= taint.emplace(name, origin).second;
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // for (<decl> : <range>) where <range> names an unordered container:
+    // every declared name (including structured bindings) is tainted.
+    if (t[i].kind == Kind::Ident && is(t[i], "for") && i + 1 < t.size() &&
+        is(t[i + 1], "(")) {
+      const std::size_t end = match_forward(t, i + 1, "(", ")");
+      std::size_t colon = 0;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (is(t[j], "(")) ++depth;
+        else if (is(t[j], ")")) --depth;
+        else if (is(t[j], ":") && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      std::string origin;
+      for (std::size_t j = colon; j < end; ++j)
+        if (t[j].kind == Kind::Ident && unordered_vars.count(t[j].text)) {
+          origin = t[j].text;
+          break;
+        }
+      if (origin.empty()) continue;
+      // The declared names: everything inside a structured binding
+      // `[k, v]`, else the last identifier before the ':'. Type names in
+      // the declarator (`std::pair<...>`) are never the declared name.
+      bool structured = false;
+      for (std::size_t j = i + 2; j < colon; ++j)
+        if (is(t[j], "[")) {
+          structured = true;
+          for (std::size_t k = j + 1; k < colon && !is(t[k], "]"); ++k)
+            if (t[k].kind == Kind::Ident &&
+                kDeclKeywords.count(t[k].text) == 0)
+              mark(t[k].text, origin);
+          break;
+        }
+      if (!structured)
+        for (std::size_t j = colon; j > i + 2; --j)
+          if (t[j - 1].kind == Kind::Ident &&
+              kDeclKeywords.count(t[j - 1].text) == 0) {
+            mark(t[j - 1].text, origin);
+            break;
+          }
+      continue;
+    }
+    // NAME = CONTAINER.begin()/cbegin()/rbegin() — iterator taint.
+    if (t[i].kind == Kind::Ident && unordered_vars.count(t[i].text) != 0 &&
+        i >= 2 && is(t[i - 1], "=") && t[i - 2].kind == Kind::Ident &&
+        i + 2 < t.size() && is(t[i + 1], ".") &&
+        (is(t[i + 2], "begin") || is(t[i + 2], "cbegin") ||
+         is(t[i + 2], "rbegin")))
+      mark(t[i - 2].text, t[i].text);
+    // NAME = <expr with taint> / NAME += ... / NAME -= ... — statement
+    // flow: anything computed from a tainted value is tainted.
+    if (t[i].kind == Kind::Ident && i + 1 < t.size() &&
+        (is(t[i + 1], "=") || is(t[i + 1], "+=") || is(t[i + 1], "-="))) {
+      const std::size_t end = statement_end(t, i + 2);
+      for (std::size_t j = i + 2; j < end; ++j)
+        if (t[j].kind == Kind::Ident && taint.count(t[j].text) != 0) {
+          mark(t[i].text, taint.at(t[j].text));
+          break;
+        }
+    }
+  }
+  return grew;
+}
+
+}  // namespace
+
+SymbolTable collect_symbols(const std::vector<Token>& toks) {
+  SymbolTable out;
+  out.unordered_types = kUnorderedBuiltins;
+  // Alias chains (`using B = A;` after `using A = std::unordered_map<..>`)
+  // and late declarations need a fixpoint; depth is tiny in practice.
+  for (int iter = 0; iter < 8; ++iter)
+    if (!collect_types_and_vars(toks, out.unordered_types,
+                                out.unordered_vars))
+      break;
+  // Sink variables: one non-iterated pass is enough (no alias chasing —
+  // the obs types are always declared by their own name).
+  std::set<std::string> sink_types = kSinkTypes;
+  collect_types_and_vars(toks, sink_types, out.sink_vars);
+  for (int iter = 0; iter < 8; ++iter)
+    if (!propagate_taint(toks, out.unordered_vars, out.taint)) break;
+  return out;
+}
+
+}  // namespace locmps::lint

@@ -1,0 +1,56 @@
+#pragma once
+/// \file symbols.hpp
+/// locmps-lint: a lightweight per-TU declaration tracker.
+///
+/// The per-file rules (lint_core) used to recognize an unordered container
+/// only when its `std::unordered_*` spelling appeared in the declaration
+/// statement itself — a `using` alias, a typedef, an `auto` binding or a
+/// member field hid the container from the linter. This pass walks the
+/// token stream once and resolves, lexically and conservatively:
+///
+///  * **unordered type names** — the four `std::unordered_*` containers
+///    plus every alias reachable from them through `using A = B;` and
+///    `typedef B A;` chains declared in the TU;
+///  * **unordered variables** — every identifier declared (local,
+///    parameter, or member field: lexically identical) with an unordered
+///    type, plus `auto x = other;` / `auto& x = other;` rebindings of an
+///    already-known unordered variable;
+///  * **sink variables** — identifiers declared with one of the obs sink
+///    types (`EventBuffer`, `JsonlSink`, `EventSink`, `MetricsRegistry`),
+///    used by the digest-taint rule to recognize metric emission;
+///  * **taint** — identifiers whose value derives from *iterating* an
+///    unordered container: range-for loop variables (including structured
+///    bindings), `begin()/cbegin()/rbegin()` iterators, and anything
+///    assigned (`=`, `+=`, `-=`) from an already-tainted value within a
+///    statement. Membership tests (`find`, `count`, `contains`) do not
+///    taint — they are order-independent.
+///
+/// There is no scoping and no inter-procedural flow: a name, once known,
+/// is known for the rest of the file. That is the same conservative
+/// trade the rest of locmps-lint makes (docs/static_analysis.md); false
+/// positives are expected to be rare and are silenced with LINT-ALLOW.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace locmps::lint {
+
+struct SymbolTable {
+  /// Unordered container type names: the std four + local aliases.
+  std::set<std::string> unordered_types;
+  /// Variables (locals, parameters, members) of an unordered type.
+  std::set<std::string> unordered_vars;
+  /// Variables of an obs sink type (EventBuffer, JsonlSink, ...).
+  std::set<std::string> sink_vars;
+  /// Hash-order-tainted identifiers -> the container they derive from.
+  std::map<std::string, std::string> taint;
+};
+
+/// Builds the symbol table for one TU's token stream.
+SymbolTable collect_symbols(const std::vector<Token>& toks);
+
+}  // namespace locmps::lint
